@@ -1,0 +1,114 @@
+// Micro-benchmarks (google-benchmark) of the library's hot paths: fabric
+// construction, D-Mod-K table computation (the subnet-manager cost), route
+// tracing, HSD stage analysis, CPS generation and the packet simulator's
+// event rate.
+#include <benchmark/benchmark.h>
+
+#include "analysis/hsd.hpp"
+#include "core/grouped_rd.hpp"
+#include "cps/generators.hpp"
+#include "routing/dmodk.hpp"
+#include "sim/packet_sim.hpp"
+#include "topology/presets.hpp"
+
+namespace {
+
+using namespace ftcf;
+
+void BM_FabricBuild(benchmark::State& state) {
+  const auto spec = topo::paper_cluster(static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    topo::Fabric fabric(spec);
+    benchmark::DoNotOptimize(fabric.num_ports());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(spec.num_hosts()));
+}
+BENCHMARK(BM_FabricBuild)->Arg(128)->Arg(324)->Arg(1944);
+
+void BM_DModKTables(benchmark::State& state) {
+  const topo::Fabric fabric(
+      topo::paper_cluster(static_cast<std::uint64_t>(state.range(0))));
+  const route::DModKRouter router;
+  for (auto _ : state) {
+    auto tables = router.compute(fabric);
+    benchmark::DoNotOptimize(tables.complete());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(fabric.num_switches() * fabric.num_hosts()));
+}
+BENCHMARK(BM_DModKTables)->Arg(128)->Arg(324)->Arg(1944);
+
+void BM_TraceRoute(benchmark::State& state) {
+  const topo::Fabric fabric(topo::paper_cluster(324));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  std::uint64_t s = 0;
+  for (auto _ : state) {
+    const auto links = route::trace_route(fabric, tables, s % 324,
+                                          (s * 7 + 13) % 324);
+    benchmark::DoNotOptimize(links.size());
+    ++s;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRoute);
+
+void BM_HsdShiftStage(benchmark::State& state) {
+  const topo::Fabric fabric(
+      topo::paper_cluster(static_cast<std::uint64_t>(state.range(0))));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const analysis::HsdAnalyzer analyzer(fabric, tables);
+  const auto ordering = order::NodeOrdering::topology(fabric);
+  const auto flows =
+      ordering.map_stage(cps::shift_stage(fabric.num_hosts(), 5));
+  for (auto _ : state) {
+    const auto metrics = analyzer.analyze_stage(flows);
+    benchmark::DoNotOptimize(metrics.max_hsd);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(flows.size()));
+}
+BENCHMARK(BM_HsdShiftStage)->Arg(324)->Arg(1944);
+
+void BM_ShiftGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const auto seq = cps::shift(n);
+    benchmark::DoNotOptimize(seq.total_pairs());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * (n - 1)));
+}
+BENCHMARK(BM_ShiftGeneration)->Arg(128)->Arg(324);
+
+void BM_GroupedRdGeneration(benchmark::State& state) {
+  const topo::Fabric fabric(
+      topo::paper_cluster(static_cast<std::uint64_t>(state.range(0))));
+  for (auto _ : state) {
+    const auto seq = core::grouped_recursive_doubling(fabric);
+    benchmark::DoNotOptimize(seq.total_pairs());
+  }
+}
+BENCHMARK(BM_GroupedRdGeneration)->Arg(324)->Arg(1944);
+
+void BM_PacketSimEventRate(benchmark::State& state) {
+  const topo::Fabric fabric(topo::paper_cluster(128));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const auto ordering = order::NodeOrdering::topology(fabric);
+  const auto stages = sim::traffic_from_cps(cps::dissemination(128), ordering,
+                                            128, 16 * 1024);
+  sim::PacketSim psim(fabric, tables);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto result = psim.run(stages, sim::Progression::kAsync);
+    events += result.events;
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_PacketSimEventRate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

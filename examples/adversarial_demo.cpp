@@ -1,0 +1,71 @@
+// Adversarial ordering demo: watch the same Ring traffic on the same fabric
+// run at three very different speeds in the packet simulator, then inspect
+// *why* via per-level link loads.
+//
+//   $ ./adversarial_demo --nodes 128 --kib 256
+#include <iostream>
+
+#include "analysis/link_load.hpp"
+#include "cps/generators.hpp"
+#include "routing/dmodk.hpp"
+#include "sim/packet_sim.hpp"
+#include "topology/presets.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftcf;
+
+  util::Cli cli("adversarial_demo",
+                "one Ring stage under three node orders: full BW to 1/K");
+  cli.add_option("nodes", "cluster size preset (2-level)", "128");
+  cli.add_option("kib", "message size in KiB", "256");
+  cli.add_option("seed", "random-order seed", "31");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const topo::Fabric fabric(topo::paper_cluster(cli.uinteger("nodes")));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const analysis::HsdAnalyzer analyzer(fabric, tables);
+  sim::PacketSim psim(fabric, tables);
+  const std::uint64_t n = fabric.num_hosts();
+  const std::uint64_t bytes = cli.uinteger("kib") * 1024;
+  const cps::Sequence ring = cps::ring(n);
+
+  struct Variant {
+    const char* name;
+    order::NodeOrdering ordering;
+  };
+  const Variant variants[] = {
+      {"topology", order::NodeOrdering::topology(fabric)},
+      {"random", order::NodeOrdering::random(fabric, cli.uinteger("seed"))},
+      {"adversarial", order::NodeOrdering::adversarial_ring(fabric)},
+  };
+
+  util::Table table({"node order", "normalized BW", "max link load",
+                     "hot links", "avg msg latency"});
+  table.set_title("Ring stage on " + fabric.spec().to_string() + ", " +
+                  util::fmt_bytes(bytes) + " messages");
+
+  for (const Variant& v : variants) {
+    const auto result =
+        psim.run(sim::traffic_from_cps(ring, v.ordering, n, bytes),
+                 sim::Progression::kSynchronized);
+    std::vector<std::uint32_t> loads;
+    analyzer.analyze_stage(v.ordering.map_stage(ring.stages[0]), &loads);
+    std::uint64_t hot = 0;
+    std::uint32_t max_load = 0;
+    for (const auto& level : analysis::per_level_loads(fabric, loads)) {
+      hot += level.hot_links;
+      max_load = std::max(max_load, level.max_load);
+    }
+    table.add_row({v.name, util::fmt_ratio_percent(result.normalized_bw),
+                   std::to_string(max_load), std::to_string(hot),
+                   util::fmt_double(result.message_latency_us.mean(), 1) +
+                       " us"});
+  }
+  table.print(std::cout);
+  std::cout << "\nStatic analysis (max link load) predicts the dynamic "
+               "outcome (normalized BW ~ 1/load):\nhot spots are a property "
+               "of routing x ordering, before any packet moves.\n";
+  return 0;
+}

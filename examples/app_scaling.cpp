@@ -1,0 +1,75 @@
+// Application-scaling scenario (the paper's §I motivation): an iterative
+// solver whose per-iteration communication is an allreduce plus a halo-ish
+// alltoall. As the cluster grows, does communication stay out of the way?
+//
+// For each cluster size the tuned collective layer picks its algorithms,
+// the traces are replayed through the packet simulator under two placements
+// (the paper's topology order vs random ranks), and the resulting
+// communication time per iteration is reported. With the contention-free
+// plan, per-iteration time stays flat with cluster size (weak scaling); with
+// random ranks it grows with the hot-spot degree.
+//
+//   $ ./app_scaling --sizes 16,128,324 --kib 64
+#include <iostream>
+
+#include "collectives/simulate.hpp"
+#include "collectives/tuned.hpp"
+#include "routing/dmodk.hpp"
+#include "topology/presets.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftcf;
+
+  util::Cli cli("app_scaling",
+                "weak-scaling communication time of an iterative app");
+  cli.add_option("sizes", "cluster sizes to sweep", "16,128,324");
+  cli.add_option("kib", "allreduce payload per rank in KiB", "64");
+  cli.add_option("seed", "random-placement seed", "8");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::uint64_t count =
+      cli.uinteger("kib") * 1024 / sizeof(coll::Element);
+
+  util::Table table({"nodes", "allreduce algorithm", "comm time (plan)",
+                     "comm time (random ranks)", "slowdown"});
+  table.set_title("Per-iteration communication (allreduce + alltoall), "
+                  "packet-simulated");
+
+  for (const std::uint64_t nodes : cli.uint_list("sizes")) {
+    const topo::Fabric fabric(topo::paper_cluster(nodes));
+    const auto tables = route::DModKRouter{}.compute(fabric);
+    const auto plan_order = order::NodeOrdering::topology(fabric);
+    const auto rand_order =
+        order::NodeOrdering::random(fabric, cli.uinteger("seed"));
+    const std::uint64_t n = fabric.num_hosts();
+
+    const coll::TunedCollectives tuned(n);
+    const std::vector<coll::Buffer> field(n, coll::Buffer(count, 1));
+    const auto ar = tuned.allreduce(coll::ReduceOp::kSum, field);
+    // Halo exchange modeled as a small alltoall (4 elements per pair).
+    const std::vector<coll::Buffer> halo(n, coll::Buffer(n * 4, 1));
+    const auto a2a = tuned.alltoall(halo, 4);
+
+    double plan_s = 0, rand_s = 0;
+    for (const coll::Trace* trace : {&ar.result.trace, &a2a.result.trace}) {
+      plan_s +=
+          coll::simulate_trace(*trace, fabric, tables, plan_order).seconds;
+      rand_s +=
+          coll::simulate_trace(*trace, fabric, tables, rand_order).seconds;
+    }
+    table.add_row({std::to_string(n), ar.algorithm,
+                   util::fmt_double(plan_s * 1e3, 2) + " ms",
+                   util::fmt_double(rand_s * 1e3, 2) + " ms",
+                   "x" + util::fmt_double(rand_s / plan_s, 2)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nThe plan's time grows only with the algorithmic work "
+               "(alltoall is O(N) stages);\nrandom placement pays an "
+               "additional hot-spot tax that *increases with cluster "
+               "size*\n(the slowdown column) — the scalability loss the "
+               "paper set out to remove (§I).\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Partial jobs: which subsets of a fat-tree can run congestion-free?
+//
+// §V says sub-allocations in multiples of N / prod(w) nodes stay clean; this
+// example sweeps the number of residue classes used and contrasts them with
+// randomly-excluded compact-ranked jobs of the same size.
+//
+//   $ ./partial_jobs --nodes 324
+#include <iostream>
+
+#include "analysis/hsd.hpp"
+#include "core/jobs.hpp"
+#include "cps/generators.hpp"
+#include "routing/dmodk.hpp"
+#include "topology/presets.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftcf;
+
+  util::Cli cli("partial_jobs",
+                "congestion-free sub-allocations vs random exclusions");
+  cli.add_option("nodes", "cluster size preset", "324");
+  cli.add_option("seed", "random exclusion seed", "99");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const topo::Fabric fabric(topo::paper_cluster(cli.uinteger("nodes")));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const analysis::HsdAnalyzer analyzer(fabric, tables);
+  const std::uint64_t residues = order::num_sub_allocations(fabric);
+
+  std::cout << "fabric " << fabric.spec().to_string() << ": "
+            << fabric.num_hosts() << " hosts, " << residues
+            << " sub-allocations of " << fabric.num_hosts() / residues
+            << " nodes each (stride = " << residues << ")\n\n";
+
+  util::Table table({"job", "ranks", "shift avg HSD", "worst stage HSD"});
+  table.set_title("Shift CPS under D-Mod-K, per job shape");
+
+  // Structured sub-allocations: 1, 2, half, all residue classes.
+  for (const std::uint64_t k :
+       {std::uint64_t{1}, std::uint64_t{2}, residues / 2, residues}) {
+    if (k == 0 || k > residues) continue;
+    std::vector<std::uint32_t> classes(k);
+    for (std::uint32_t c = 0; c < k; ++c) classes[c] = c;
+    const auto ordering = order::NodeOrdering::residue_allocation(fabric, classes);
+    const auto metrics = analyzer.analyze_sequence(
+        cps::shift(ordering.num_ranks()), ordering);
+    table.add_row({"sub-allocation x" + std::to_string(k),
+                   std::to_string(ordering.num_ranks()),
+                   util::fmt_double(metrics.avg_max_hsd, 2),
+                   std::to_string(metrics.worst_stage_hsd)});
+  }
+
+  // Random exclusions of the same sizes, compact ranking.
+  util::Xoshiro256 rng(cli.uinteger("seed"));
+  for (const std::uint64_t k :
+       {std::uint64_t{1}, std::uint64_t{2}, residues / 2}) {
+    if (k == 0) continue;
+    const std::uint64_t job = k * (fabric.num_hosts() / residues);
+    const auto subset = util::random_subset(fabric.num_hosts(), job, rng);
+    const auto ordering = order::NodeOrdering::compact_subset(
+        {subset.begin(), subset.end()}, fabric.num_hosts());
+    const auto metrics =
+        analyzer.analyze_sequence(cps::shift(job), ordering);
+    table.add_row({"random exclusion (" + std::to_string(job) + " nodes)",
+                   std::to_string(job),
+                   util::fmt_double(metrics.avg_max_hsd, 2),
+                   std::to_string(metrics.worst_stage_hsd)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nStructured sub-allocations stay at HSD 1 at every size; "
+               "random exclusions with\ncompact ranks do not — placement "
+               "discipline is part of the contract.\n";
+
+  // Extension (§V leaves this open): several jobs at once, each on its own
+  // disjoint set of sub-allocations, all shifting concurrently.
+  const std::uint64_t unit = fabric.num_hosts() / residues;
+  const std::vector<std::uint64_t> job_sizes{unit * (residues / 2),
+                                             unit * (residues / 4),
+                                             unit * (residues / 4)};
+  const auto jobs = core::allocate_jobs(fabric, job_sizes);
+  const auto interference = core::analyze_job_interference(fabric, tables, jobs);
+  std::cout << "\nMulti-job extension: " << jobs.size()
+            << " jobs of sizes";
+  for (const auto s : job_sizes) std::cout << ' ' << s;
+  std::cout << " nodes, all running Shift concurrently:\n"
+            << "  worst HSD per job alone: "
+            << interference.worst_single_job_hsd
+            << ", worst HSD with all jobs running: "
+            << interference.worst_combined_hsd
+            << (interference.isolated
+                    ? " — perfectly isolated, no cross-job link sharing.\n"
+                    : " — jobs interfere!\n");
+  return 0;
+}

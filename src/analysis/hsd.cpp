@@ -1,0 +1,108 @@
+#include "analysis/hsd.hpp"
+
+#include <algorithm>
+
+#include "util/expects.hpp"
+
+namespace ftcf::analysis {
+
+using topo::Fabric;
+
+HsdAnalyzer::HsdAnalyzer(const Fabric& fabric,
+                         const route::ForwardingTables& tables)
+    : fabric_(&fabric), tables_(&tables) {
+  scratch_.assign(fabric.num_ports(), 0);
+}
+
+StageMetrics HsdAnalyzer::analyze_stage(
+    std::span<const cps::Pair> host_flows,
+    std::vector<std::uint32_t>* link_loads) const {
+  std::fill(scratch_.begin(), scratch_.end(), 0u);
+  StageMetrics metrics;
+
+  // Inline route walk (same semantics as route::trace_route, without the
+  // per-flow allocation): this loop dominates Fig. 3 / Table 3 runtimes.
+  const std::size_t max_links = 2ull * fabric_->height() + 2;
+  for (const cps::Pair& flow : host_flows) {
+    if (flow.src == flow.dst) continue;
+    ++metrics.num_flows;
+    const topo::NodeId dst_node = fabric_->host_node(flow.dst);
+    topo::NodeId at = fabric_->host_node(flow.src);
+    std::uint32_t out_index = fabric_->node(at).num_down_ports +
+                              route::host_up_port(*fabric_, flow.src, flow.dst);
+    for (std::size_t hop = 0;; ++hop) {
+      util::ensures(hop <= max_links, "forwarding tables loop");
+      const topo::PortId out = fabric_->port_id(at, out_index);
+      ++scratch_[out];
+      at = fabric_->port(fabric_->port(out).peer).node;
+      if (at == dst_node) break;
+      out_index = tables_->out_port(at, flow.dst);
+    }
+  }
+
+  for (topo::PortId pid = 0; pid < scratch_.size(); ++pid) {
+    const std::uint32_t load = scratch_[pid];
+    if (load == 0) continue;
+    if (load > metrics.max_hsd) {
+      metrics.max_hsd = load;
+      metrics.hottest_port = pid;
+    }
+    const topo::Port& pt = fabric_->port(pid);
+    const topo::Node& n = fabric_->node(pt.node);
+    if (n.kind == topo::NodeKind::kHost) {
+      metrics.max_host_hsd = std::max(metrics.max_host_hsd, load);  // injection
+    } else if (pt.index >= n.num_down_ports) {
+      metrics.max_up_hsd = std::max(metrics.max_up_hsd, load);
+    } else {
+      // All switch down-going ports count for Theorem 2; the leaf->host
+      // delivery ports additionally count as host (NIC) links.
+      metrics.max_down_hsd = std::max(metrics.max_down_hsd, load);
+      const topo::Port& peer = fabric_->port(pt.peer);
+      if (fabric_->node(peer.node).kind == topo::NodeKind::kHost)
+        metrics.max_host_hsd = std::max(metrics.max_host_hsd, load);
+    }
+  }
+
+  if (link_loads != nullptr) *link_loads = scratch_;
+  return metrics;
+}
+
+SequenceMetrics HsdAnalyzer::analyze_sequence(
+    const cps::Sequence& seq, const order::NodeOrdering& ordering) const {
+  SequenceMetrics out;
+  out.per_stage_max.reserve(seq.stages.size());
+  double sum = 0.0;
+  for (const cps::Stage& stage : seq.stages) {
+    if (stage.empty()) {
+      out.per_stage_max.push_back(0);
+      continue;
+    }
+    const auto flows = ordering.map_stage(stage);
+    const StageMetrics metrics = analyze_stage(flows);
+    out.per_stage_max.push_back(metrics.max_hsd);
+    out.worst_stage_hsd = std::max(out.worst_stage_hsd, metrics.max_hsd);
+    out.worst_up_hsd = std::max(out.worst_up_hsd, metrics.max_up_hsd);
+    out.worst_down_hsd = std::max(out.worst_down_hsd, metrics.max_down_hsd);
+    sum += metrics.max_hsd;
+  }
+  const std::size_t counted =
+      static_cast<std::size_t>(std::count_if(out.per_stage_max.begin(),
+                                             out.per_stage_max.end(),
+                                             [](std::uint32_t m) { return m > 0; }));
+  out.avg_max_hsd = counted ? sum / static_cast<double>(counted) : 0.0;
+  return out;
+}
+
+util::Accumulator random_order_hsd_ensemble(
+    const Fabric& fabric, const route::ForwardingTables& tables,
+    const cps::Sequence& seq, std::uint32_t trials, std::uint64_t seed) {
+  const HsdAnalyzer analyzer(fabric, tables);
+  util::Accumulator acc;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    const auto ordering = order::NodeOrdering::random(fabric, seed + t);
+    acc.add(analyzer.analyze_sequence(seq, ordering).avg_max_hsd);
+  }
+  return acc;
+}
+
+}  // namespace ftcf::analysis

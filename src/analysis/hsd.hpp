@@ -1,0 +1,70 @@
+// Hot-Spot-Degree analysis (paper §II and §VII; the ibdm-based tool).
+//
+// Given a topology, routing tables and a traffic stage (a set of src->dst
+// host flows), count the flows crossing every directed link. The Hot-Spot
+// Degree of a link is that count; the HSD of a stage is the maximum over all
+// links; the HSD of a collective is the average of the per-stage maxima
+// (matching the paper: "the average of the maximal hot-spot-degree of all
+// links, over all stages of the collective algorithm"). HSD == 1 everywhere
+// means congestion-free.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cps/stage.hpp"
+#include "ordering/ordering.hpp"
+#include "routing/trace.hpp"
+#include "util/stats.hpp"
+
+namespace ftcf::analysis {
+
+struct StageMetrics {
+  std::uint32_t max_hsd = 0;         ///< max flows on any directed link
+  std::uint32_t max_up_hsd = 0;      ///< max over up-going links (Theorem 1)
+  std::uint32_t max_down_hsd = 0;    ///< max over down-going links (Theorem 2)
+  std::uint32_t max_host_hsd = 0;    ///< max over NIC injection/delivery links
+  std::uint64_t num_flows = 0;       ///< routed flows (src != dst)
+  topo::PortId hottest_port = topo::kInvalidPort;
+};
+
+struct SequenceMetrics {
+  double avg_max_hsd = 0.0;              ///< the paper's headline metric
+  std::uint32_t worst_stage_hsd = 0;     ///< max over stages
+  std::uint32_t worst_up_hsd = 0;
+  std::uint32_t worst_down_hsd = 0;
+  std::vector<std::uint32_t> per_stage_max;
+};
+
+class HsdAnalyzer {
+ public:
+  HsdAnalyzer(const topo::Fabric& fabric,
+              const route::ForwardingTables& tables);
+
+  /// Analyze one stage given flows already in host-index space.
+  /// When `link_loads` is non-null it receives the per-port flow counts
+  /// (indexed by PortId).
+  [[nodiscard]] StageMetrics analyze_stage(
+      std::span<const cps::Pair> host_flows,
+      std::vector<std::uint32_t>* link_loads = nullptr) const;
+
+  /// Analyze a full CPS under a node ordering.
+  [[nodiscard]] SequenceMetrics analyze_sequence(
+      const cps::Sequence& seq, const order::NodeOrdering& ordering) const;
+
+  [[nodiscard]] const topo::Fabric& fabric() const noexcept { return *fabric_; }
+
+ private:
+  const topo::Fabric* fabric_;
+  const route::ForwardingTables* tables_;
+  mutable std::vector<std::uint32_t> scratch_;  ///< per-port counters
+};
+
+/// Fig. 3 ensemble: the sequence's avg-max-HSD under `trials` random
+/// orderings; the returned accumulator carries mean/min/max across trials.
+[[nodiscard]] util::Accumulator random_order_hsd_ensemble(
+    const topo::Fabric& fabric, const route::ForwardingTables& tables,
+    const cps::Sequence& seq, std::uint32_t trials, std::uint64_t seed);
+
+}  // namespace ftcf::analysis

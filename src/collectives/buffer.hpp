@@ -1,0 +1,38 @@
+// Data-content primitives for the collective engine (§III: a collective =
+// permutation sequence x content). Elements are 64-bit integers so reduction
+// results are exact regardless of combination order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/expects.hpp"
+
+namespace ftcf::coll {
+
+using Element = std::int64_t;
+using Buffer = std::vector<Element>;
+
+enum class ReduceOp { kSum, kMax, kMin, kProd, kBxor };
+
+[[nodiscard]] constexpr Element apply(ReduceOp op, Element a,
+                                      Element b) noexcept {
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kMax: return a > b ? a : b;
+    case ReduceOp::kMin: return a < b ? a : b;
+    case ReduceOp::kProd: return a * b;
+    case ReduceOp::kBxor: return a ^ b;
+  }
+  return a;
+}
+
+/// Element-wise in-place reduction: into[i] = op(into[i], from[i]).
+inline void reduce_into(ReduceOp op, Buffer& into, const Buffer& from) {
+  util::expects(into.size() == from.size(), "reduce length mismatch");
+  for (std::size_t i = 0; i < into.size(); ++i)
+    into[i] = apply(op, into[i], from[i]);
+}
+
+}  // namespace ftcf::coll

@@ -1,0 +1,52 @@
+#include "collectives/oracle.hpp"
+
+#include "util/expects.hpp"
+
+namespace ftcf::coll::oracle {
+
+Buffer reduce(ReduceOp op, const std::vector<Buffer>& inputs) {
+  util::expects(!inputs.empty(), "oracle reduce of nothing");
+  Buffer acc = inputs.front();
+  for (std::size_t i = 1; i < inputs.size(); ++i)
+    reduce_into(op, acc, inputs[i]);
+  return acc;
+}
+
+Buffer gather(const std::vector<Buffer>& inputs) {
+  Buffer out;
+  for (const Buffer& buf : inputs) out.insert(out.end(), buf.begin(), buf.end());
+  return out;
+}
+
+std::vector<Buffer> allgather(const std::vector<Buffer>& inputs) {
+  return std::vector<Buffer>(inputs.size(), gather(inputs));
+}
+
+std::vector<Buffer> reduce_scatter(ReduceOp op,
+                                   const std::vector<Buffer>& inputs,
+                                   std::uint64_t count) {
+  const Buffer total = reduce(op, inputs);
+  util::expects(total.size() == inputs.size() * count,
+                "oracle reduce_scatter size mismatch");
+  std::vector<Buffer> outputs(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    outputs[i].assign(total.begin() + static_cast<std::ptrdiff_t>(i * count),
+                      total.begin() + static_cast<std::ptrdiff_t>((i + 1) * count));
+  return outputs;
+}
+
+std::vector<Buffer> alltoall(const std::vector<Buffer>& inputs,
+                             std::uint64_t count) {
+  const std::size_t ranks = inputs.size();
+  std::vector<Buffer> outputs(ranks, Buffer(ranks * count, 0));
+  for (std::size_t i = 0; i < ranks; ++i) {
+    util::expects(inputs[i].size() == ranks * count,
+                  "oracle alltoall input size mismatch");
+    for (std::size_t j = 0; j < ranks; ++j)
+      for (std::size_t e = 0; e < count; ++e)
+        outputs[j][i * count + e] = inputs[i][j * count + e];
+  }
+  return outputs;
+}
+
+}  // namespace ftcf::coll::oracle

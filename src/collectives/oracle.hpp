@@ -1,0 +1,28 @@
+// Sequential reference implementations ("what the collective must compute"),
+// used by tests to validate the staged algorithms.
+#pragma once
+
+#include <vector>
+
+#include "collectives/buffer.hpp"
+
+namespace ftcf::coll::oracle {
+
+/// Element-wise reduction of all inputs.
+[[nodiscard]] Buffer reduce(ReduceOp op, const std::vector<Buffer>& inputs);
+
+/// Concatenation of all inputs in rank order.
+[[nodiscard]] Buffer gather(const std::vector<Buffer>& inputs);
+
+/// outputs[i] = concatenation (allgather result, same for every rank).
+[[nodiscard]] std::vector<Buffer> allgather(const std::vector<Buffer>& inputs);
+
+/// outputs[i] = block i of the element-wise reduction (block = count elems).
+[[nodiscard]] std::vector<Buffer> reduce_scatter(
+    ReduceOp op, const std::vector<Buffer>& inputs, std::uint64_t count);
+
+/// outputs[i] block j == inputs[j] block i.
+[[nodiscard]] std::vector<Buffer> alltoall(const std::vector<Buffer>& inputs,
+                                           std::uint64_t count);
+
+}  // namespace ftcf::coll::oracle

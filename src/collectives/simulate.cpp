@@ -1,0 +1,36 @@
+#include "collectives/simulate.hpp"
+
+#include "util/expects.hpp"
+
+namespace ftcf::coll {
+
+SimulatedCost simulate_trace(const Trace& trace, const topo::Fabric& fabric,
+                             const route::ForwardingTables& tables,
+                             const order::NodeOrdering& ordering,
+                             const sim::Calibration& calib) {
+  util::expects(trace.bytes_per_pair.size() == trace.sequence.stages.size(),
+                "trace bytes must align with stages");
+
+  std::vector<sim::StageTraffic> stages;
+  stages.reserve(trace.sequence.stages.size());
+  for (std::size_t s = 0; s < trace.sequence.stages.size(); ++s) {
+    const cps::Stage& stage = trace.sequence.stages[s];
+    if (stage.empty()) continue;
+    const std::uint64_t bytes =
+        std::max<std::uint64_t>(trace.bytes_per_pair[s], calib.mtu_bytes);
+    sim::StageTraffic st(fabric.num_hosts());
+    for (const cps::Pair& pr : ordering.map_stage(stage)) {
+      if (pr.src == pr.dst) continue;
+      st.add(pr.src, pr.dst, bytes);
+    }
+    stages.push_back(std::move(st));
+  }
+
+  sim::PacketSim psim(fabric, tables, calib);
+  SimulatedCost cost;
+  cost.run = psim.run(stages, sim::Progression::kSynchronized);
+  cost.seconds = sim::to_seconds(cost.run.makespan);
+  return cost;
+}
+
+}  // namespace ftcf::coll

@@ -1,0 +1,30 @@
+// Bridge from collective traces to the packet simulator: replay the exact
+// per-stage traffic a collective generated (pairs + bytes) as synchronized
+// stages on a fabric, and measure — rather than model — its completion time.
+//
+// Together with the alpha-beta-HSD estimate this closes the loop: the
+// static model predicts, the simulator confirms (tests assert they agree on
+// ordering between node orders).
+#pragma once
+
+#include "collectives/collectives.hpp"
+#include "ordering/ordering.hpp"
+#include "routing/lft.hpp"
+#include "sim/packet_sim.hpp"
+
+namespace ftcf::coll {
+
+struct SimulatedCost {
+  double seconds = 0.0;
+  sim::RunResult run;  ///< full simulator metrics of the replay
+};
+
+/// Replay `trace` under `ordering` on the fabric with synchronized stages.
+/// Zero-byte stages (barrier notifications) are charged one MTU so they
+/// still traverse the network.
+[[nodiscard]] SimulatedCost simulate_trace(
+    const Trace& trace, const topo::Fabric& fabric,
+    const route::ForwardingTables& tables, const order::NodeOrdering& ordering,
+    const sim::Calibration& calib = sim::Calibration::qdr_pcie_gen2());
+
+}  // namespace ftcf::coll

@@ -1,0 +1,68 @@
+// Tuned collective selection — the front end a user calls.
+//
+// MVAPICH and OpenMPI pick a collective algorithm per call from the message
+// size and rank count (that selection is exactly what Table 1 tabulates).
+// TunedCollectives reproduces that behaviour over this library's
+// implementations: every call runs the real data movement, returns the
+// result, and reports which algorithm ran plus its traffic trace, so the
+// choice can be audited for congestion on a concrete fabric.
+//
+// Selection policy (mirroring the cited implementations):
+//   * small messages (< small_threshold bytes per rank):
+//       allreduce -> recursive doubling; allgather -> bruck (recursive
+//       doubling when P is a power of two); bcast/gather/scatter/reduce ->
+//       binomial trees; barrier -> dissemination
+//   * large messages:
+//       allreduce -> Rabenseifner (power-of-two P) else recursive doubling;
+//       allgather -> ring; bcast -> binomial scatter + ring allgather
+//       (when the payload splits evenly) else binomial;
+//       gather/scatter -> linear; alltoall -> pairwise exchange always
+#pragma once
+
+#include <string>
+
+#include "collectives/collectives.hpp"
+
+namespace ftcf::coll {
+
+struct TunedConfig {
+  std::uint64_t small_threshold_bytes = 8192;  ///< MVAPICH-style switch point
+};
+
+template <typename Out>
+struct TunedResult {
+  std::string algorithm;  ///< which implementation was selected
+  Result<Out> result;
+};
+
+class TunedCollectives {
+ public:
+  explicit TunedCollectives(std::uint64_t ranks, TunedConfig config = {});
+
+  [[nodiscard]] std::uint64_t ranks() const noexcept { return ranks_; }
+
+  [[nodiscard]] TunedResult<Buffer> allreduce(
+      ReduceOp op, const std::vector<Buffer>& inputs) const;
+  [[nodiscard]] TunedResult<Buffer> allgather(
+      const std::vector<Buffer>& inputs) const;
+  [[nodiscard]] TunedResult<Buffer> bcast(const Buffer& root_data) const;
+  [[nodiscard]] TunedResult<Buffer> reduce(
+      ReduceOp op, const std::vector<Buffer>& inputs) const;
+  [[nodiscard]] TunedResult<Buffer> gather(
+      const std::vector<Buffer>& inputs) const;
+  [[nodiscard]] TunedResult<Buffer> scatter(const Buffer& root_data) const;
+  [[nodiscard]] TunedResult<Buffer> alltoall(
+      const std::vector<Buffer>& inputs, std::uint64_t count) const;
+  [[nodiscard]] TunedResult<std::uint64_t> barrier() const;
+
+ private:
+  [[nodiscard]] bool small(std::uint64_t bytes_per_rank) const noexcept {
+    return bytes_per_rank < config_.small_threshold_bytes;
+  }
+  [[nodiscard]] bool pow2() const noexcept;
+
+  std::uint64_t ranks_;
+  TunedConfig config_;
+};
+
+}  // namespace ftcf::coll

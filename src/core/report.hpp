@@ -1,0 +1,28 @@
+// Fabric report: one human-readable summary combining the structural audit,
+// the routing guarantees and the congestion profile of every CPS — the
+// "show me everything about this cluster" entry point used by ftcf_tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "routing/lft.hpp"
+#include "topology/fabric.hpp"
+
+namespace ftcf::core {
+
+struct ReportOptions {
+  bool check_theorems = true;   ///< run the (exhaustive) theorem checkers
+  bool audit_cps = true;        ///< HSD of every CPS under the plan
+  std::uint32_t random_trials = 3;  ///< random-order baseline trials
+  std::uint64_t seed = 1;
+};
+
+/// Render the full report for a fabric under D-Mod-K + topology ordering.
+void write_fabric_report(const topo::Fabric& fabric, std::ostream& os,
+                         const ReportOptions& options = {});
+
+[[nodiscard]] std::string fabric_report(const topo::Fabric& fabric,
+                                        const ReportOptions& options = {});
+
+}  // namespace ftcf::core

@@ -1,0 +1,78 @@
+#include "core/theorems.hpp"
+
+#include <sstream>
+
+#include "core/grouped_rd.hpp"
+#include "cps/generators.hpp"
+#include "routing/dmodk.hpp"
+
+namespace ftcf::core {
+
+namespace {
+
+TheoremReport run_shift_check(const topo::Fabric& fabric, bool check_up,
+                              bool check_down) {
+  const route::DModKRouter router;
+  const route::ForwardingTables tables = router.compute(fabric);
+  const analysis::HsdAnalyzer analyzer(fabric, tables);
+  const auto ordering = order::NodeOrdering::topology(fabric);
+
+  TheoremReport report;
+  const std::uint64_t n = fabric.num_hosts();
+  for (std::uint64_t s = 1; s < n; ++s) {
+    const cps::Stage stage = cps::shift_stage(n, s);
+    const auto flows = ordering.map_stage(stage);
+    const analysis::StageMetrics metrics = analyzer.analyze_stage(flows);
+    ++report.stages_checked;
+    report.worst_up_hsd = std::max(report.worst_up_hsd, metrics.max_up_hsd);
+    report.worst_down_hsd =
+        std::max(report.worst_down_hsd, metrics.max_down_hsd);
+    const bool bad = (check_up && metrics.max_up_hsd > 1) ||
+                     (check_down && metrics.max_down_hsd > 1);
+    if (bad && report.holds) {
+      report.holds = false;
+      std::ostringstream oss;
+      oss << "shift stage s=" << s << " has up HSD " << metrics.max_up_hsd
+          << ", down HSD " << metrics.max_down_hsd;
+      report.detail = oss.str();
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+TheoremReport check_theorem1(const topo::Fabric& fabric) {
+  return run_shift_check(fabric, /*check_up=*/true, /*check_down=*/false);
+}
+
+TheoremReport check_theorem2(const topo::Fabric& fabric) {
+  return run_shift_check(fabric, /*check_up=*/false, /*check_down=*/true);
+}
+
+TheoremReport check_theorem3(const topo::Fabric& fabric) {
+  const route::DModKRouter router;
+  const route::ForwardingTables tables = router.compute(fabric);
+  const analysis::HsdAnalyzer analyzer(fabric, tables);
+  const auto ordering = order::NodeOrdering::topology(fabric);
+  const cps::Sequence seq = grouped_recursive_doubling(fabric);
+
+  TheoremReport report;
+  for (std::size_t idx = 0; idx < seq.stages.size(); ++idx) {
+    const auto flows = ordering.map_stage(seq.stages[idx]);
+    const analysis::StageMetrics metrics = analyzer.analyze_stage(flows);
+    ++report.stages_checked;
+    report.worst_up_hsd = std::max(report.worst_up_hsd, metrics.max_up_hsd);
+    report.worst_down_hsd =
+        std::max(report.worst_down_hsd, metrics.max_down_hsd);
+    if (metrics.max_hsd > 1 && report.holds) {
+      report.holds = false;
+      std::ostringstream oss;
+      oss << "grouped RD stage " << idx << " has HSD " << metrics.max_hsd;
+      report.detail = oss.str();
+    }
+  }
+  return report;
+}
+
+}  // namespace ftcf::core

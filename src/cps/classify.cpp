@@ -1,0 +1,82 @@
+#include "cps/classify.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/expects.hpp"
+
+namespace ftcf::cps {
+
+bool is_partial_permutation(const Stage& stage, std::uint64_t n) {
+  std::vector<bool> src_seen(n, false);
+  std::vector<bool> dst_seen(n, false);
+  for (const Pair& pr : stage.pairs) {
+    if (pr.src >= n || pr.dst >= n) return false;
+    if (pr.src == pr.dst) return false;
+    if (src_seen[pr.src] || dst_seen[pr.dst]) return false;
+    src_seen[pr.src] = true;
+    dst_seen[pr.dst] = true;
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> constant_displacement(const Stage& stage,
+                                                   std::uint64_t n) {
+  util::expects(n >= 1, "displacement needs a rank count");
+  std::optional<std::uint64_t> d;
+  for (const Pair& pr : stage.pairs) {
+    const std::uint64_t disp = (pr.dst + n - pr.src % n) % n;
+    if (!d) d = disp;
+    else if (*d != disp) return std::nullopt;
+  }
+  return d;
+}
+
+std::vector<std::uint64_t> displacement_classes(const Stage& stage,
+                                                std::uint64_t n) {
+  std::set<std::uint64_t> classes;
+  for (const Pair& pr : stage.pairs)
+    classes.insert((pr.dst + n - pr.src % n) % n);
+  return {classes.begin(), classes.end()};
+}
+
+bool is_bidirectional_stage(const Stage& stage) {
+  std::set<Pair> pairs(stage.pairs.begin(), stage.pairs.end());
+  return std::all_of(stage.pairs.begin(), stage.pairs.end(),
+                     [&](const Pair& pr) {
+                       return pairs.contains(Pair{pr.dst, pr.src});
+                     });
+}
+
+Direction sequence_direction(const Sequence& seq) {
+  // Unidirectional per the paper: the displacement is the same (and positive)
+  // for every pair of a stage. This must be tested before symmetry because a
+  // shift by exactly N/2 coincides with its own reverse.
+  const bool all_single_class = std::all_of(
+      seq.stages.begin(), seq.stages.end(), [&](const Stage& stage) {
+        return stage.empty() ||
+               constant_displacement(stage, seq.num_ranks).has_value();
+      });
+  if (all_single_class) return Direction::kUnidirectional;
+
+  const bool all_symmetric =
+      std::all_of(seq.stages.begin(), seq.stages.end(), [](const Stage& stage) {
+        return stage.empty() || is_bidirectional_stage(stage);
+      });
+  if (all_symmetric) return Direction::kBidirectional;
+  return Direction::kMixed;
+}
+
+bool shift_contains(const Sequence& seq) {
+  // A stage with constant displacement d over N ranks is by construction a
+  // subset of {(i, (i+d) mod N)}: membership only requires the displacement
+  // to be constant and nonzero.
+  for (const Stage& stage : seq.stages) {
+    if (stage.empty()) continue;
+    const auto d = constant_displacement(stage, seq.num_ranks);
+    if (!d || *d == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace ftcf::cps

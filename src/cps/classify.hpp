@@ -1,0 +1,41 @@
+// CPS classification — the §III observations turned into predicates:
+//   1. constant displacement per stage,
+//   2. unidirectional vs bidirectional,
+//   3. Shift is a superset of every unidirectional CPS.
+#pragma once
+
+#include <optional>
+
+#include "cps/stage.hpp"
+
+namespace ftcf::cps {
+
+/// True when no rank appears twice as a source or twice as a destination
+/// (the stage is a partial permutation; self-pairs are rejected).
+[[nodiscard]] bool is_partial_permutation(const Stage& stage, std::uint64_t n);
+
+/// The constant displacement (dst - src) mod N shared by every pair of the
+/// stage, or nullopt if the displacement varies. Bidirectional stages have
+/// two displacement classes, d and N-d; they are reported as
+/// displacement_classes instead.
+[[nodiscard]] std::optional<std::uint64_t> constant_displacement(
+    const Stage& stage, std::uint64_t n);
+
+/// Distinct (dst - src) mod N values present in a stage, sorted ascending.
+[[nodiscard]] std::vector<std::uint64_t> displacement_classes(
+    const Stage& stage, std::uint64_t n);
+
+/// True when every pair's reverse is also in the stage.
+[[nodiscard]] bool is_bidirectional_stage(const Stage& stage);
+
+enum class Direction { kUnidirectional, kBidirectional, kMixed };
+
+/// Direction of a whole sequence: unidirectional if no stage contains a
+/// reverse pair, bidirectional if every stage is fully symmetric.
+[[nodiscard]] Direction sequence_direction(const Sequence& seq);
+
+/// §III key claim: every stage of a unidirectional CPS is a subset of the
+/// Shift stage with the same displacement. Checks all stages.
+[[nodiscard]] bool shift_contains(const Sequence& seq);
+
+}  // namespace ftcf::cps

@@ -1,0 +1,180 @@
+#include "cps/generators.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+#include "util/expects.hpp"
+
+namespace ftcf::cps {
+
+using util::expects;
+
+namespace {
+
+/// floor(log2(n)) for n >= 1.
+std::uint32_t floor_log2(std::uint64_t n) {
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(n));
+}
+
+/// Largest power of two <= n.
+std::uint64_t pow2_floor(std::uint64_t n) { return 1ULL << floor_log2(n); }
+
+}  // namespace
+
+std::string cps_name(CpsKind kind) {
+  switch (kind) {
+    case CpsKind::kRing: return "ring";
+    case CpsKind::kShift: return "shift";
+    case CpsKind::kBinomial: return "binomial";
+    case CpsKind::kDissemination: return "dissemination";
+    case CpsKind::kTournament: return "tournament";
+    case CpsKind::kLinear: return "linear";
+    case CpsKind::kRecursiveDoubling: return "recursive-doubling";
+    case CpsKind::kRecursiveHalving: return "recursive-halving";
+  }
+  return "?";
+}
+
+CpsKind parse_cps(const std::string& name) {
+  for (const CpsKind kind : kAllCpsKinds)
+    if (cps_name(kind) == name) return kind;
+  throw util::Error("unknown CPS '" + name + "'");
+}
+
+Stage shift_stage(std::uint64_t n, std::uint64_t s) {
+  expects(n >= 2, "shift stage needs at least 2 ranks");
+  expects(s >= 1 && s < n, "shift displacement must be in [1, N-1]");
+  Stage stage;
+  stage.pairs.reserve(n);
+  for (Rank i = 0; i < n; ++i) stage.pairs.push_back({i, (i + s) % n});
+  return stage;
+}
+
+Sequence ring(std::uint64_t n) {
+  expects(n >= 2, "ring needs at least 2 ranks");
+  Sequence seq{.name = "ring", .num_ranks = n, .stages = {}};
+  seq.stages.push_back(shift_stage(n, 1));
+  return seq;
+}
+
+Sequence shift(std::uint64_t n) {
+  expects(n >= 2, "shift needs at least 2 ranks");
+  Sequence seq{.name = "shift", .num_ranks = n, .stages = {}};
+  seq.stages.reserve(n - 1);
+  for (std::uint64_t s = 1; s < n; ++s) seq.stages.push_back(shift_stage(n, s));
+  return seq;
+}
+
+Sequence binomial(std::uint64_t n) {
+  expects(n >= 2, "binomial needs at least 2 ranks");
+  Sequence seq{.name = "binomial", .num_ranks = n, .stages = {}};
+  for (std::uint64_t step = 1; step < n; step <<= 1) {
+    Stage stage;
+    for (Rank i = 0; i < step && i + step < n; ++i)
+      stage.pairs.push_back({i, i + step});
+    seq.stages.push_back(std::move(stage));
+  }
+  return seq;
+}
+
+Sequence dissemination(std::uint64_t n) {
+  expects(n >= 2, "dissemination needs at least 2 ranks");
+  Sequence seq{.name = "dissemination", .num_ranks = n, .stages = {}};
+  for (std::uint64_t step = 1; step < n; step <<= 1) {
+    Stage stage;
+    stage.pairs.reserve(n);
+    for (Rank i = 0; i < n; ++i) stage.pairs.push_back({i, (i + step) % n});
+    seq.stages.push_back(std::move(stage));
+  }
+  return seq;
+}
+
+Sequence tournament(std::uint64_t n) {
+  expects(n >= 2, "tournament needs at least 2 ranks");
+  Sequence seq{.name = "tournament", .num_ranks = n, .stages = {}};
+  for (std::uint64_t step = 1; step < n; step <<= 1) {
+    Stage stage;
+    for (Rank i = 0; i + step < n; i += 2 * step)
+      stage.pairs.push_back({i + step, i});
+    seq.stages.push_back(std::move(stage));
+  }
+  return seq;
+}
+
+Sequence linear(std::uint64_t n) {
+  expects(n >= 2, "linear needs at least 2 ranks");
+  Sequence seq{.name = "linear", .num_ranks = n, .stages = {}};
+  seq.stages.reserve(n - 1);
+  for (Rank i = 1; i < n; ++i) {
+    Stage stage;
+    stage.pairs.push_back({0, i});
+    seq.stages.push_back(std::move(stage));
+  }
+  return seq;
+}
+
+namespace {
+
+/// Core power-of-two XOR stages over ranks [0, n2), ascending or descending
+/// distance, each exchange emitted as the two directed pairs of one stage.
+void append_xor_stages(Sequence& seq, std::uint64_t n2, bool ascending) {
+  const std::uint32_t rounds = floor_log2(n2);
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    const std::uint64_t step =
+        ascending ? (1ULL << r) : (1ULL << (rounds - 1 - r));
+    Stage stage;
+    stage.pairs.reserve(n2);
+    for (Rank i = 0; i < n2; ++i) stage.pairs.push_back({i, i ^ step});
+    seq.stages.push_back(std::move(stage));
+  }
+}
+
+Sequence recursive_xor(std::uint64_t n, bool ascending, std::string name) {
+  expects(n >= 2, "recursive doubling/halving needs at least 2 ranks");
+  Sequence seq{.name = std::move(name), .num_ranks = n, .stages = {}};
+  const std::uint64_t n2 = pow2_floor(n);
+  const std::uint64_t extras = n - n2;
+
+  if (extras > 0) {
+    // Pre: fold the extra ranks into proxies:  n_{i+n2} -> n_i, i < extras.
+    Stage pre;
+    pre.role = StageRole::kFold;
+    for (Rank i = 0; i < extras; ++i) pre.pairs.push_back({i + n2, i});
+    seq.stages.push_back(std::move(pre));
+  }
+  append_xor_stages(seq, n2, ascending);
+  if (extras > 0) {
+    // Post: proxies return results:  n_i -> n_{i+n2}, i < extras.
+    Stage post;
+    post.role = StageRole::kUnfold;
+    for (Rank i = 0; i < extras; ++i) post.pairs.push_back({i, i + n2});
+    seq.stages.push_back(std::move(post));
+  }
+  return seq;
+}
+
+}  // namespace
+
+Sequence recursive_doubling(std::uint64_t n) {
+  return recursive_xor(n, /*ascending=*/true, "recursive-doubling");
+}
+
+Sequence recursive_halving(std::uint64_t n) {
+  return recursive_xor(n, /*ascending=*/false, "recursive-halving");
+}
+
+Sequence generate(CpsKind kind, std::uint64_t n) {
+  switch (kind) {
+    case CpsKind::kRing: return ring(n);
+    case CpsKind::kShift: return shift(n);
+    case CpsKind::kBinomial: return binomial(n);
+    case CpsKind::kDissemination: return dissemination(n);
+    case CpsKind::kTournament: return tournament(n);
+    case CpsKind::kLinear: return linear(n);
+    case CpsKind::kRecursiveDoubling: return recursive_doubling(n);
+    case CpsKind::kRecursiveHalving: return recursive_halving(n);
+  }
+  throw util::Error("unknown CPS kind");
+}
+
+}  // namespace ftcf::cps

@@ -1,0 +1,80 @@
+// Generators for the eight Collective Permutation Sequences of the paper's
+// Tables 1-2, each following its formal definition exactly.
+//
+// Unidirectional CPS (displacement always positive; every stage is a subset
+// of a Shift stage): Ring, Shift, Binomial, Dissemination, Tournament,
+// Linear. Bidirectional CPS (XOR distance; every pair appears with its
+// reverse in the same stage): Recursive-Doubling, Recursive-Halving.
+//
+// Non-power-of-2 rank counts are handled for the bidirectional CPS with the
+// standard pre/post proxy permutations the paper describes in §VI: the ranks
+// above the largest power of two fold their data into proxies first and
+// receive results back last.
+#pragma once
+
+#include "cps/stage.hpp"
+
+namespace ftcf::cps {
+
+enum class CpsKind {
+  kRing,
+  kShift,
+  kBinomial,
+  kDissemination,
+  kTournament,
+  kLinear,
+  kRecursiveDoubling,
+  kRecursiveHalving,
+};
+
+/// All kinds, for table-driven tests and benches.
+inline constexpr CpsKind kAllCpsKinds[] = {
+    CpsKind::kRing,         CpsKind::kShift,
+    CpsKind::kBinomial,     CpsKind::kDissemination,
+    CpsKind::kTournament,   CpsKind::kLinear,
+    CpsKind::kRecursiveDoubling, CpsKind::kRecursiveHalving,
+};
+
+[[nodiscard]] std::string cps_name(CpsKind kind);
+[[nodiscard]] CpsKind parse_cps(const std::string& name);
+
+/// Ring: the single stage  n_i -> n_{(i+1) mod N}.
+/// (Ring-algorithm collectives replay this stage N-1 times.)
+[[nodiscard]] Sequence ring(std::uint64_t n);
+
+/// Shift: stages s = 1..N-1 of  n_i -> n_{(i+s) mod N}. The superset of all
+/// unidirectional CPS; also the traffic of pairwise-exchange all-to-all.
+[[nodiscard]] Sequence shift(std::uint64_t n);
+
+/// A single Shift stage with displacement s (1 <= s < N).
+[[nodiscard]] Stage shift_stage(std::uint64_t n, std::uint64_t s);
+
+/// Binomial: stages s = 0..ceil(log2 N)-1 of  n_i -> n_{i+2^s}
+/// for 0 <= i < 2^s and i + 2^s < N (broadcast direction; reverse the pairs
+/// for the reduce direction).
+[[nodiscard]] Sequence binomial(std::uint64_t n);
+
+/// Dissemination (Bruck): stages s of  n_i -> n_{(i+2^s) mod N}.
+[[nodiscard]] Sequence dissemination(std::uint64_t n);
+
+/// Tournament: stages s of  n_{i+2^s} -> n_i  for i = 0 mod 2^{s+1},
+/// i + 2^s < N (pairwise elimination towards rank 0).
+[[nodiscard]] Sequence tournament(std::uint64_t n);
+
+/// Linear: stages s = 1..N-1 of the single pair n_0 -> n_s (root-sequential
+/// scatter; reverse for gather).
+[[nodiscard]] Sequence linear(std::uint64_t n);
+
+/// Recursive-Doubling: stages s = 0..log2(N')-1 of  n_i <-> n_{i XOR 2^s}
+/// over N' = 2^floor(log2 N) ranks, wrapped with pre/post proxy stages when
+/// N is not a power of two.
+[[nodiscard]] Sequence recursive_doubling(std::uint64_t n);
+
+/// Recursive-Halving: the same stages in reverse order (XOR distance
+/// descending), with the same pre/post wrapping.
+[[nodiscard]] Sequence recursive_halving(std::uint64_t n);
+
+/// Dispatch by kind.
+[[nodiscard]] Sequence generate(CpsKind kind, std::uint64_t n);
+
+}  // namespace ftcf::cps

@@ -1,0 +1,40 @@
+// Table 1: which Collective Permutation Sequence each MVAPICH / OpenMPI
+// collective algorithm uses.
+//
+// The printed table in the paper is partially garbled in available copies;
+// this registry reconstructs it from the cited collective implementations
+// (MVAPICH and the OpenMPI "tuned" component, refs [7][8][10]) following the
+// paper's row/column structure: 18 algorithms, 8 CPS. Markers follow the
+// paper's legend: 'm'/'M' MVAPICH small/large messages, 'o'/'O' OpenMPI
+// small/large messages, and a power-of-2-only restriction flag.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cps/generators.hpp"
+
+namespace ftcf::cps {
+
+enum class MpiLibrary { kMvapich, kOpenMpi };
+enum class MsgClass { kSmall, kLarge, kBoth };
+
+struct UsageEntry {
+  std::string collective;   ///< e.g. "AllGather"
+  std::string algorithm;    ///< e.g. "recursive doubling"
+  CpsKind cps;
+  MpiLibrary library;
+  MsgClass msg_class;
+  bool power_of_two_only = false;
+};
+
+/// The reconstructed Table 1 contents.
+[[nodiscard]] const std::vector<UsageEntry>& table1_usage();
+
+/// Distinct collective names, in table order.
+[[nodiscard]] std::vector<std::string> table1_collectives();
+
+/// Marker string ("m", "M", "o2", ...) for one entry, per the paper legend.
+[[nodiscard]] std::string usage_marker(const UsageEntry& entry);
+
+}  // namespace ftcf::cps

@@ -1,0 +1,91 @@
+#include "routing/baselines.hpp"
+
+#include <vector>
+
+#include "util/expects.hpp"
+#include "util/rng.hpp"
+
+namespace ftcf::route {
+
+using topo::Fabric;
+using topo::PgftSpec;
+
+namespace {
+
+/// Program the down-going direction shared by every minimal fat-tree router:
+/// at an ancestor switch, descend into the unique child subtree holding j.
+/// `rail(sw, level, j)` selects among the p_l parallel links.
+template <typename RailFn>
+void program_down(const Fabric& fabric, ForwardingTables& tables,
+                  RailFn&& rail) {
+  const PgftSpec& spec = fabric.spec();
+  for (const topo::NodeId sw : fabric.switch_ids()) {
+    const topo::Node& node = fabric.node(sw);
+    for (std::uint64_t j = 0; j < fabric.num_hosts(); ++j) {
+      if (!fabric.is_ancestor_of_host(sw, j)) continue;
+      const std::uint32_t child = fabric.host_digit(j, node.level);
+      const std::uint32_t k = rail(sw, node.level, j);
+      tables.set_out_port(sw, j, child + k * spec.m(node.level));
+    }
+  }
+}
+
+}  // namespace
+
+ForwardingTables UpDownMinHopRouter::compute(const Fabric& fabric) const {
+  const PgftSpec& spec = fabric.spec();
+  ForwardingTables tables(fabric);
+
+  program_down(fabric, tables,
+               [&](topo::NodeId, std::uint32_t level, std::uint64_t j) {
+                 // Balance parallel rails round-robin over destinations.
+                 return static_cast<std::uint32_t>(j % spec.p(level));
+               });
+
+  // Up: greedy least-loaded candidate, in destination id order. Every
+  // up-going port is on a minimal route, so all are candidates.
+  std::vector<std::uint32_t> load;
+  for (const topo::NodeId sw : fabric.switch_ids()) {
+    const topo::Node& node = fabric.node(sw);
+    if (node.num_up_ports == 0) continue;
+    load.assign(node.num_up_ports, 0);
+    for (std::uint64_t j = 0; j < fabric.num_hosts(); ++j) {
+      if (fabric.is_ancestor_of_host(sw, j)) continue;
+      std::uint32_t best = 0;
+      for (std::uint32_t q = 1; q < node.num_up_ports; ++q)
+        if (load[q] < load[best]) best = q;
+      ++load[best];
+      tables.set_out_port(sw, j, node.num_down_ports + best);
+    }
+  }
+  util::ensures(tables.complete(), "up/down router programmed every entry");
+  return tables;
+}
+
+ForwardingTables RandomRouter::compute(const Fabric& fabric) const {
+  const PgftSpec& spec = fabric.spec();
+  ForwardingTables tables(fabric);
+  const auto pick = [this](topo::NodeId sw, std::uint64_t j,
+                           std::uint32_t choices) {
+    util::SplitMix64 mixer(seed_ ^ (static_cast<std::uint64_t>(sw) << 32) ^ j);
+    return static_cast<std::uint32_t>(mixer.next() % choices);
+  };
+
+  program_down(fabric, tables,
+               [&](topo::NodeId sw, std::uint32_t level, std::uint64_t j) {
+                 return pick(sw, j, spec.p(level));
+               });
+  for (const topo::NodeId sw : fabric.switch_ids()) {
+    const topo::Node& node = fabric.node(sw);
+    if (node.num_up_ports == 0) continue;
+    for (std::uint64_t j = 0; j < fabric.num_hosts(); ++j) {
+      if (fabric.is_ancestor_of_host(sw, j)) continue;
+      tables.set_out_port(sw, j,
+                          node.num_down_ports + pick(sw, j, node.num_up_ports));
+    }
+  }
+  util::ensures(tables.complete(), "random router programmed every entry");
+  return tables;
+}
+
+}  // namespace ftcf::route

@@ -1,0 +1,38 @@
+// Baseline (collective-oblivious) routers the paper's §II degradations arise
+// under. Both produce valid minimal up*/down* fat-tree routes; they differ
+// only in how they pick among the equally-short up-going candidates:
+//
+//  * UpDownMinHopRouter — greedy per-switch load balancing over destination
+//    ids, like OpenSM's min-hop port balancing: for each destination in id
+//    order pick the candidate up-port with the fewest destinations already
+//    assigned (lowest index on ties).
+//  * RandomRouter — a deterministic hash of (seed, switch, destination)
+//    picks the up-port; models arbitrary deterministic routing with no
+//    structure ("random ranking" simulations of §II).
+#pragma once
+
+#include <cstdint>
+
+#include "routing/router.hpp"
+
+namespace ftcf::route {
+
+class UpDownMinHopRouter final : public Router {
+ public:
+  [[nodiscard]] std::string name() const override { return "updown"; }
+  [[nodiscard]] ForwardingTables compute(
+      const topo::Fabric& fabric) const override;
+};
+
+class RandomRouter final : public Router {
+ public:
+  explicit RandomRouter(std::uint64_t seed) : seed_(seed) {}
+  [[nodiscard]] std::string name() const override { return "random"; }
+  [[nodiscard]] ForwardingTables compute(
+      const topo::Fabric& fabric) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace ftcf::route

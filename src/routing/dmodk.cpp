@@ -1,0 +1,59 @@
+#include "routing/dmodk.hpp"
+
+#include "util/expects.hpp"
+
+namespace ftcf::route {
+
+using topo::Fabric;
+using topo::PgftSpec;
+using util::expects;
+
+std::uint32_t DModKRouter::up_port_formula(const PgftSpec& spec,
+                                           std::uint32_t level,
+                                           std::uint64_t dest) {
+  expects(level < spec.height(), "no up-going ports above the top level");
+  const std::uint64_t divisor = spec.w_prefix_product(level);
+  const std::uint64_t ports = static_cast<std::uint64_t>(spec.w(level + 1)) *
+                              spec.p(level + 1);
+  return static_cast<std::uint32_t>((dest / divisor) % ports);
+}
+
+std::uint32_t DModKRouter::down_rail_formula(const PgftSpec& spec,
+                                             std::uint32_t level,
+                                             std::uint64_t dest) {
+  expects(level >= 1 && level <= spec.height(),
+          "down rail is defined per level boundary 1..h");
+  const std::uint64_t divisor = spec.w_prefix_product(level - 1);
+  const std::uint64_t ports =
+      static_cast<std::uint64_t>(spec.w(level)) * spec.p(level);
+  const auto q = static_cast<std::uint32_t>((dest / divisor) % ports);
+  return q / spec.w(level);
+}
+
+ForwardingTables DModKRouter::compute(const Fabric& fabric) const {
+  const PgftSpec& spec = fabric.spec();
+  ForwardingTables tables(fabric);
+  const std::uint64_t n = fabric.num_hosts();
+
+  for (const topo::NodeId sw : fabric.switch_ids()) {
+    const topo::Node& node = fabric.node(sw);
+    const std::uint32_t l = node.level;
+    for (std::uint64_t j = 0; j < n; ++j) {
+      std::uint32_t port;
+      if (fabric.is_ancestor_of_host(sw, j)) {
+        // Down: the unique child subtree containing j, over the rail the
+        // up-path of j takes at this boundary.
+        const std::uint32_t child = fabric.host_digit(j, l);
+        const std::uint32_t rail = down_rail_formula(spec, l, j);
+        port = child + rail * spec.m(l);
+      } else {
+        port = node.num_down_ports + up_port_formula(spec, l, j);
+      }
+      tables.set_out_port(sw, j, port);
+    }
+  }
+  util::ensures(tables.complete(), "D-Mod-K programmed every LFT entry");
+  return tables;
+}
+
+}  // namespace ftcf::route

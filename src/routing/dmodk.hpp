@@ -1,0 +1,36 @@
+// D-Mod-K routing for PGFTs/RLFTs (paper §V, Eq. (1)).
+//
+// Closed form: at a level-l switch, traffic to destination host j that must
+// still travel upwards leaves through up-going port
+//
+//     q_l(j) = floor(j / W_l) mod (w_{l+1} * p_{l+1}),   W_l = prod_{i<=l} w_i
+//
+// which reaches parent column  b_{l+1} = q mod w_{l+1}  over parallel rail
+// k = floor(q / w_{l+1}).  Traffic travelling down follows the unique child
+// that is an ancestor of j; among the p_l parallel links, the same rail the
+// up-path of j uses at that boundary is taken, making each down-going port
+// carry exactly one destination (Theorem 2).
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace ftcf::route {
+
+class DModKRouter final : public Router {
+ public:
+  [[nodiscard]] std::string name() const override { return "dmodk"; }
+  [[nodiscard]] ForwardingTables compute(
+      const topo::Fabric& fabric) const override;
+
+  /// The closed-form up-port (index within the up-going range) a level-l
+  /// switch uses for destination j. Exposed for tests of Eq. (1) itself.
+  [[nodiscard]] static std::uint32_t up_port_formula(
+      const topo::PgftSpec& spec, std::uint32_t level, std::uint64_t dest);
+
+  /// The parallel rail k used at the level-(l-1)/l boundary for destination
+  /// j; selects among the p_l parallel down-links.
+  [[nodiscard]] static std::uint32_t down_rail_formula(
+      const topo::PgftSpec& spec, std::uint32_t level, std::uint64_t dest);
+};
+
+}  // namespace ftcf::route

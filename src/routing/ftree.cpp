@@ -1,0 +1,108 @@
+#include "routing/ftree.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "util/expects.hpp"
+
+namespace ftcf::route {
+
+using topo::Fabric;
+using topo::PgftSpec;
+
+namespace {
+
+/// Least-loaded index among `count` counters starting at `base`, preferring
+/// the lowest index on ties (OpenSM behaviour).
+std::uint32_t least_loaded(const std::vector<std::uint64_t>& counters,
+                           std::size_t base, std::uint32_t count,
+                           std::uint32_t stride = 1) {
+  std::uint32_t best = 0;
+  std::uint64_t best_load = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t load = counters[base + i * stride];
+    if (load < best_load) {
+      best_load = load;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ForwardingTables FtreeRouter::compute(const Fabric& fabric) const {
+  const PgftSpec& spec = fabric.spec();
+  ForwardingTables tables(fabric);
+  const std::uint64_t n = fabric.num_hosts();
+  const std::uint32_t h = fabric.height();
+
+  // Per-port usage counters (indexed by PortId); up- and down-going counters
+  // are kept in the same array since port ids are globally unique.
+  std::vector<std::uint64_t> counters(fabric.num_ports(), 0);
+
+  // Digits of the peak (top-level) switch chosen for each destination; the
+  // position-(l+1) digit tells every off-chain switch which parent column
+  // leads towards the peak.
+  std::vector<std::uint32_t> peak_digits(h);
+
+  for (std::uint64_t j = 0; j < n; ++j) {
+    // --- climb from the destination's leaf, least-loaded up-port first ---
+    topo::NodeId at = fabric.leaf_switch_of_host(j);
+    {
+      // Leaf delivers j on the down port facing the host (rail 0: hosts are
+      // single-cable in every fabric this router accepts).
+      util::expects(spec.p(1) == 1 && spec.w(1) == 1,
+                    "ftree router requires single-cable hosts");
+      tables.set_out_port(at, j, fabric.host_digit(j, 1));
+    }
+    for (std::uint32_t l = 1; l < h; ++l) {
+      const topo::Node& node = fabric.node(at);
+      const std::uint32_t q = least_loaded(
+          counters, node.first_port + node.num_down_ports, node.num_up_ports);
+      const topo::PortId up = fabric.port_id(at, node.num_down_ports + q);
+      ++counters[up];
+      const topo::PortId down = fabric.port(up).peer;
+      const topo::Node& parent = fabric.node(fabric.port(down).node);
+      tables.set_out_port(fabric.port(down).node, j,
+                          fabric.port(down).index);
+      at = fabric.port(down).node;
+      peak_digits[l] = parent.digits[l];  // position l+1 digit of the chain
+    }
+
+    // --- program every remaining switch towards the chain ---
+    for (const topo::NodeId sw : fabric.switch_ids()) {
+      const topo::Node& node = fabric.node(sw);
+      if (fabric.is_ancestor_of_host(sw, j)) {
+        // Descend into the unique child subtree holding j; pick the
+        // least-loaded parallel rail. The leaf and the chain switches
+        // already have entries (the climb chose their rails); keep those.
+        if (tables.has_entry(sw, j)) continue;
+        const std::uint32_t child = fabric.host_digit(j, node.level);
+        const std::uint32_t rail =
+            least_loaded(counters, node.first_port + child, spec.p(node.level),
+                         spec.m(node.level));
+        const std::uint32_t port = child + rail * spec.m(node.level);
+        ++counters[fabric.port_id(sw, port)];
+        tables.set_out_port(sw, j, port);
+      } else {
+        // Ascend towards the peak: parent column fixed by the chain digits,
+        // parallel rail balanced by counters.
+        const std::uint32_t w_up = spec.w(node.level + 1);
+        const std::uint32_t p_up = spec.p(node.level + 1);
+        const std::uint32_t column = peak_digits[node.level];
+        const std::uint32_t rail = least_loaded(
+            counters, node.first_port + node.num_down_ports + column, p_up,
+            w_up);
+        const std::uint32_t port =
+            node.num_down_ports + column + rail * w_up;
+        ++counters[fabric.port_id(sw, port)];
+        tables.set_out_port(sw, j, port);
+      }
+    }
+  }
+  util::ensures(tables.complete(), "ftree programmed every LFT entry");
+  return tables;
+}
+
+}  // namespace ftcf::route

@@ -1,0 +1,29 @@
+// OpenSM-style "ftree" routing: the engineering form of D-Mod-K that
+// InfiniBand subnet managers actually run (the paper's routing was adopted
+// into OpenSM's ftree/updn engines; ref. [22]).
+//
+// Instead of evaluating Eq. (1) per (switch, destination), the SM walks the
+// tree once per destination: starting from the destination's leaf it
+// ascends, at each switch assigning the *least-loaded* up-going port to the
+// destination's downward route (counters per port), then programs all other
+// switches to forward towards that chosen core. Destinations are processed
+// in host-index order.
+//
+// On complete RLFTs this greedy counter walk reproduces the closed-form
+// D-Mod-K tables exactly (tested), which is why the closed form describes
+// deployed behaviour; on irregular fabrics the greedy form still yields
+// balanced tables where the formula has no meaning.
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace ftcf::route {
+
+class FtreeRouter final : public Router {
+ public:
+  [[nodiscard]] std::string name() const override { return "ftree"; }
+  [[nodiscard]] ForwardingTables compute(
+      const topo::Fabric& fabric) const override;
+};
+
+}  // namespace ftcf::route

@@ -1,0 +1,43 @@
+// Linear Forwarding Tables, as programmed into InfiniBand switches by a
+// subnet manager: for every switch, a dense map destination-host -> out-port.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/fabric.hpp"
+
+namespace ftcf::route {
+
+/// Forwarding state for one fabric. Indexed by switch NodeId and destination
+/// host index; the stored value is a port index *within the switch*.
+class ForwardingTables {
+ public:
+  explicit ForwardingTables(const topo::Fabric& fabric);
+
+  /// Out-port index of `sw` towards destination host j. Switches never
+  /// forward towards hosts that are unreachable, so this is total.
+  [[nodiscard]] std::uint32_t out_port(topo::NodeId sw, std::uint64_t dest) const;
+
+  void set_out_port(topo::NodeId sw, std::uint64_t dest, std::uint32_t port);
+
+  /// True when the (switch, destination) entry has been programmed.
+  [[nodiscard]] bool has_entry(topo::NodeId sw, std::uint64_t dest) const;
+
+  [[nodiscard]] const topo::Fabric& fabric() const noexcept { return *fabric_; }
+
+  /// True once every (switch, destination) entry has been programmed.
+  [[nodiscard]] bool complete() const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t slot(topo::NodeId sw, std::uint64_t dest) const;
+
+  const topo::Fabric* fabric_;
+  std::uint64_t num_hosts_;
+  topo::NodeId first_switch_;
+  std::vector<std::uint32_t> table_;  ///< [switch-ordinal * N + dest]
+};
+
+inline constexpr std::uint32_t kUnroutedPort = static_cast<std::uint32_t>(-1);
+
+}  // namespace ftcf::route

@@ -1,0 +1,91 @@
+#include "routing/lft_io.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ftcf::route {
+
+using util::ParseError;
+using util::SpecError;
+
+void write_lfts(const topo::Fabric& fabric, const ForwardingTables& tables,
+                std::ostream& os) {
+  os << "# ftcf forwarding tables (dest : out-port per switch)\n";
+  for (const topo::NodeId sw : fabric.switch_ids()) {
+    os << "switch " << fabric.node_name(sw) << '\n';
+    for (std::uint64_t d = 0; d < fabric.num_hosts(); ++d)
+      os << d << " : " << tables.out_port(sw, d) << '\n';
+  }
+}
+
+std::string to_lft_string(const topo::Fabric& fabric,
+                          const ForwardingTables& tables) {
+  std::ostringstream oss;
+  write_lfts(fabric, tables, oss);
+  return oss.str();
+}
+
+ForwardingTables read_lfts(const topo::Fabric& fabric, std::istream& is) {
+  std::map<std::string, topo::NodeId> by_name;
+  for (const topo::NodeId sw : fabric.switch_ids())
+    by_name[fabric.node_name(sw)] = sw;
+
+  ForwardingTables tables(fabric);
+  topo::NodeId current = topo::kInvalidNode;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;
+
+    if (first == "switch") {
+      std::string name;
+      if (!(ls >> name))
+        throw ParseError("line " + std::to_string(lineno) +
+                         ": switch needs a name");
+      const auto it = by_name.find(name);
+      if (it == by_name.end())
+        throw SpecError("LFT dump names unknown switch '" + name + "'");
+      current = it->second;
+      continue;
+    }
+
+    if (current == topo::kInvalidNode)
+      throw ParseError("line " + std::to_string(lineno) +
+                       ": table entry before any 'switch' header");
+    std::uint64_t dest = 0;
+    std::string colon;
+    std::uint32_t port = 0;
+    try {
+      dest = std::stoull(first);
+    } catch (const std::exception&) {
+      throw ParseError("line " + std::to_string(lineno) +
+                       ": expected a destination number, got '" + first + "'");
+    }
+    if (!(ls >> colon >> port) || colon != ":")
+      throw ParseError("line " + std::to_string(lineno) +
+                       ": expected 'DEST : PORT'");
+    if (dest >= fabric.num_hosts())
+      throw SpecError("line " + std::to_string(lineno) +
+                      ": destination out of range");
+    tables.set_out_port(current, dest, port);
+  }
+  if (!tables.complete())
+    throw SpecError("LFT dump does not cover every (switch, destination)");
+  return tables;
+}
+
+ForwardingTables from_lft_string(const topo::Fabric& fabric,
+                                 const std::string& text) {
+  std::istringstream iss(text);
+  return read_lfts(fabric, iss);
+}
+
+}  // namespace ftcf::route

@@ -1,0 +1,36 @@
+// Forwarding-table dump I/O, in the spirit of OpenSM's `ibroute` /
+// dump_lfts output: one block per switch listing destination -> port.
+//
+//   switch S1_0
+//   0 : 0
+//   1 : 1
+//   ...
+//
+// Dumps let the computed tables be diffed against a production subnet
+// manager's, and re-imported to drive analysis/simulation of tables that
+// came from elsewhere.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "routing/lft.hpp"
+
+namespace ftcf::route {
+
+/// Write every switch's table.
+void write_lfts(const topo::Fabric& fabric, const ForwardingTables& tables,
+                std::ostream& os);
+
+[[nodiscard]] std::string to_lft_string(const topo::Fabric& fabric,
+                                        const ForwardingTables& tables);
+
+/// Parse a dump back into tables for `fabric`. Unknown switch names, bad
+/// ports or incomplete tables throw util::ParseError / util::SpecError.
+[[nodiscard]] ForwardingTables read_lfts(const topo::Fabric& fabric,
+                                         std::istream& is);
+
+[[nodiscard]] ForwardingTables from_lft_string(const topo::Fabric& fabric,
+                                               const std::string& text);
+
+}  // namespace ftcf::route

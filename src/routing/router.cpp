@@ -1,0 +1,29 @@
+#include "routing/router.hpp"
+
+#include "routing/baselines.hpp"
+#include "routing/ftree.hpp"
+#include "routing/dmodk.hpp"
+#include "util/error.hpp"
+
+namespace ftcf::route {
+
+std::unique_ptr<Router> make_router(RouterKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case RouterKind::kDModK: return std::make_unique<DModKRouter>();
+    case RouterKind::kFtree: return std::make_unique<FtreeRouter>();
+    case RouterKind::kUpDown: return std::make_unique<UpDownMinHopRouter>();
+    case RouterKind::kRandom: return std::make_unique<RandomRouter>(seed);
+  }
+  throw util::Error("unknown router kind");
+}
+
+RouterKind parse_router_kind(const std::string& text) {
+  if (text == "dmodk") return RouterKind::kDModK;
+  if (text == "ftree") return RouterKind::kFtree;
+  if (text == "updown") return RouterKind::kUpDown;
+  if (text == "random") return RouterKind::kRandom;
+  throw util::Error("unknown router '" + text +
+                    "' (expected dmodk|ftree|updown|random)");
+}
+
+}  // namespace ftcf::route

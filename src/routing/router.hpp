@@ -1,0 +1,32 @@
+// Router interface: a routing engine fills ForwardingTables for a fabric.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "routing/lft.hpp"
+
+namespace ftcf::route {
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// Short stable identifier ("dmodk", "updown", "random").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Program complete forwarding tables for the fabric.
+  [[nodiscard]] virtual ForwardingTables compute(
+      const topo::Fabric& fabric) const = 0;
+};
+
+enum class RouterKind { kDModK, kFtree, kUpDown, kRandom };
+
+/// Factory used by benches/CLIs. `seed` feeds the randomized routers and is
+/// ignored by deterministic ones.
+std::unique_ptr<Router> make_router(RouterKind kind, std::uint64_t seed = 1);
+
+/// Parse "dmodk" / "ftree" / "updown" / "random" (throws util::Error otherwise).
+RouterKind parse_router_kind(const std::string& text);
+
+}  // namespace ftcf::route

@@ -1,0 +1,53 @@
+#include "routing/trace.hpp"
+
+#include "util/expects.hpp"
+
+namespace ftcf::route {
+
+using topo::Fabric;
+using util::ensures;
+using util::expects;
+
+std::uint32_t host_up_port(const Fabric& fabric, std::uint64_t src,
+                           std::uint64_t dest) {
+  const topo::Node& host = fabric.node(fabric.host_node(src));
+  if (host.num_up_ports == 1) return 0;
+  return static_cast<std::uint32_t>(dest % host.num_up_ports);
+}
+
+std::vector<topo::PortId> trace_route(const Fabric& fabric,
+                                      const ForwardingTables& tables,
+                                      std::uint64_t src, std::uint64_t dst) {
+  expects(src < fabric.num_hosts() && dst < fabric.num_hosts(),
+          "trace endpoints must be valid hosts");
+  std::vector<topo::PortId> links;
+  if (src == dst) return links;
+
+  const topo::NodeId dst_node = fabric.host_node(dst);
+  topo::NodeId at = fabric.host_node(src);
+  std::uint32_t out_index =
+      fabric.node(at).num_down_ports + host_up_port(fabric, src, dst);
+
+  // A minimal fat-tree route has at most 2h+1 links; allow slack so that a
+  // malformed table is reported as a loop, not an infinite walk.
+  const std::size_t max_links = 2ull * fabric.height() + 2;
+  while (true) {
+    ensures(links.size() <= max_links, "forwarding tables loop");
+    const topo::PortId out = fabric.port_id(at, out_index);
+    links.push_back(out);
+    const topo::PortId in = fabric.port(out).peer;
+    at = fabric.port(in).node;
+    if (at == dst_node) return links;
+    ensures(fabric.node(at).kind == topo::NodeKind::kSwitch,
+            "route crossed a foreign host");
+    out_index = tables.out_port(at, dst);
+  }
+}
+
+std::size_t route_hops(const Fabric& fabric, const ForwardingTables& tables,
+                       std::uint64_t src, std::uint64_t dst) {
+  const auto links = trace_route(fabric, tables, src, dst);
+  return links.empty() ? 0 : links.size() - 1;
+}
+
+}  // namespace ftcf::route

@@ -1,0 +1,31 @@
+// Path tracing over programmed forwarding tables: turns a (src, dst) host
+// pair into the ordered list of directed links (source ports) it traverses.
+// This is the primitive the Hot-Spot-Degree analysis counts over.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/lft.hpp"
+
+namespace ftcf::route {
+
+/// The up-going port a *host* uses towards `dest`. RLFT hosts have a single
+/// cable; for general PGFTs we apply the level-0 form of Eq. (1),
+/// q = dest mod (w_1 p_1), which all routers in this library share.
+[[nodiscard]] std::uint32_t host_up_port(const topo::Fabric& fabric,
+                                         std::uint64_t src, std::uint64_t dest);
+
+/// Trace src -> dst. Returns the directed links in order, each identified by
+/// the PortId it leaves from (host NIC port first, destination NIC not
+/// included). Throws util::InvariantError if the tables loop or divert.
+[[nodiscard]] std::vector<topo::PortId> trace_route(
+    const topo::Fabric& fabric, const ForwardingTables& tables,
+    std::uint64_t src, std::uint64_t dst);
+
+/// Number of switch hops of the traced route (links minus the host link).
+[[nodiscard]] std::size_t route_hops(const topo::Fabric& fabric,
+                                     const ForwardingTables& tables,
+                                     std::uint64_t src, std::uint64_t dst);
+
+}  // namespace ftcf::route

@@ -1,0 +1,64 @@
+#include "routing/validate.hpp"
+
+#include <sstream>
+
+namespace ftcf::route {
+
+using topo::Fabric;
+using topo::ValidationReport;
+
+namespace {
+
+void check_pair(const Fabric& fabric, const ForwardingTables& tables,
+                std::uint64_t src, std::uint64_t dst,
+                ValidationReport& report) {
+  std::vector<topo::PortId> links;
+  try {
+    links = trace_route(fabric, tables, src, dst);
+  } catch (const std::exception& ex) {
+    std::ostringstream oss;
+    oss << "route " << src << " -> " << dst << " failed: " << ex.what();
+    report.fail(oss.str());
+    return;
+  }
+  // up*/down*: once a link goes down (out of a down-going port), every later
+  // link must also go down.
+  bool descending = false;
+  for (const topo::PortId pid : links) {
+    const topo::Port& pt = fabric.port(pid);
+    const topo::Node& n = fabric.node(pt.node);
+    const bool up = pt.index >= n.num_down_ports;
+    if (up && descending) {
+      std::ostringstream oss;
+      oss << "route " << src << " -> " << dst
+          << " turns upward after descending (not up*/down*)";
+      report.fail(oss.str());
+      return;
+    }
+    if (!up) descending = true;
+  }
+}
+
+}  // namespace
+
+ValidationReport validate_routing(const Fabric& fabric,
+                                  const ForwardingTables& tables,
+                                  std::uint64_t exhaustive_limit) {
+  ValidationReport report;
+  const std::uint64_t n = fabric.num_hosts();
+  if (n <= exhaustive_limit) {
+    for (std::uint64_t s = 0; s < n; ++s)
+      for (std::uint64_t d = 0; d < n; ++d)
+        if (s != d) check_pair(fabric, tables, s, d, report);
+    return report;
+  }
+  // Deterministic sample: every source against a strided set of
+  // destinations, plus the full matrix for a strided set of sources.
+  const std::uint64_t stride = n / 64 + 1;
+  for (std::uint64_t s = 0; s < n; ++s)
+    for (std::uint64_t d = s % stride; d < n; d += stride)
+      if (s != d) check_pair(fabric, tables, s, d, report);
+  return report;
+}
+
+}  // namespace ftcf::route

@@ -1,0 +1,17 @@
+// Routing validation: reachability of every (src, dst) pair and the up*/down*
+// property (a route never turns upward after its first descent), which is
+// what makes fat-tree deterministic routing deadlock-free.
+#pragma once
+
+#include "routing/trace.hpp"
+#include "topology/validate.hpp"
+
+namespace ftcf::route {
+
+/// Audit the tables. For fabrics above `exhaustive_limit` hosts, (src, dst)
+/// pairs are sampled deterministically instead of enumerated.
+topo::ValidationReport validate_routing(const topo::Fabric& fabric,
+                                        const ForwardingTables& tables,
+                                        std::uint64_t exhaustive_limit = 512);
+
+}  // namespace ftcf::route

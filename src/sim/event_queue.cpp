@@ -1,0 +1,31 @@
+#include "sim/event_queue.hpp"
+
+#include "util/expects.hpp"
+
+namespace ftcf::sim {
+
+void EventQueue::schedule(SimTime at, Callback fn) {
+  util::expects(at >= now_, "cannot schedule an event in the past");
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; the callback is moved out via const_cast,
+  // which is safe because the entry is popped before the callback runs.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.at;
+  ++processed_;
+  entry.fn();
+  return true;
+}
+
+bool EventQueue::run(std::uint64_t limit) {
+  while (limit-- > 0) {
+    if (!step()) return true;
+  }
+  return heap_.empty();
+}
+
+}  // namespace ftcf::sim

@@ -1,0 +1,58 @@
+// Discrete-event engine: a time-ordered queue of callbacks.
+//
+// Ties are broken by insertion sequence so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ftcf::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `at` (>= now()).
+  void schedule(SimTime at, Callback fn);
+  /// Schedule `fn` `delay` ns from now.
+  void schedule_in(SimTime delay, Callback fn) {
+    schedule(now_ + delay, std::move(fn));
+  }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+
+  /// Pop and run the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `limit` events were processed.
+  /// Returns true when drained.
+  bool run(std::uint64_t limit = UINT64_MAX);
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace ftcf::sim

@@ -1,0 +1,290 @@
+#include "sim/flow_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "routing/trace.hpp"
+#include "util/expects.hpp"
+
+namespace ftcf::sim {
+
+using topo::Fabric;
+using topo::PortId;
+using util::expects;
+
+namespace {
+
+struct Flow {
+  std::uint64_t host = 0;         ///< source host (one active flow per host)
+  std::uint64_t total_bytes = 0;  ///< message size
+  double remaining = 0.0;         ///< bytes left
+  double rate = 0.0;              ///< current bytes/s (0 while starting up)
+  SimTime starts_at = 0;          ///< becomes active at this time
+  SimTime started = 0;            ///< for latency accounting
+  std::vector<PortId> path;
+  bool active = false;            ///< consuming bandwidth
+};
+
+class Engine {
+ public:
+  Engine(const Fabric& fabric, const route::ForwardingTables& tables,
+         const Calibration& calib)
+      : fabric_(fabric), tables_(tables), calib_(calib) {
+    capacity_.reserve(fabric.num_ports());
+    for (PortId pid = 0; pid < fabric.num_ports(); ++pid) {
+      const topo::Port& pt = fabric.port(pid);
+      const topo::Port& peer = fabric.port(pt.peer);
+      const bool host_side =
+          fabric_.node(pt.node).kind == topo::NodeKind::kHost ||
+          fabric_.node(peer.node).kind == topo::NodeKind::kHost;
+      capacity_.push_back(host_side ? calib.host_bw_bytes_per_sec
+                                    : calib.link_bw_bytes_per_sec);
+    }
+    cursors_.resize(fabric.num_hosts());
+    flows_.resize(fabric.num_hosts());
+  }
+
+  RunResult run(const std::vector<StageTraffic>& stages,
+                Progression progression, std::uint64_t event_limit) {
+    progression_ = progression;
+    stages_ = &stages;
+
+    if (progression == Progression::kAsync) {
+      for (const StageTraffic& st : stages) {
+        expects(st.sends.size() == fabric_.num_hosts(),
+                "stage traffic must cover every host");
+        for (std::uint64_t h = 0; h < st.sends.size(); ++h)
+          cursors_[h].insert(cursors_[h].end(), st.sends[h].begin(),
+                             st.sends[h].end());
+      }
+      next_stage_ = stages.size();
+      for (std::uint64_t h = 0; h < fabric_.num_hosts(); ++h)
+        if (!cursors_[h].empty()) ++active_hosts_;
+    } else {
+      advance_stage();
+    }
+    for (std::uint64_t h = 0; h < fabric_.num_hosts(); ++h) start_next(h);
+
+    while (live_flows_ > 0) {
+      expects(events_ < event_limit, "flow simulation exceeded event limit");
+      step();
+    }
+
+    RunResult result;
+    result.makespan = now_;
+    result.bytes_delivered = bytes_delivered_;
+    result.messages_delivered = messages_delivered_;
+    result.events = events_;
+    result.active_hosts = active_hosts_;
+    result.message_latency_us = latency_;
+    if (now_ > 0 && active_hosts_ > 0) {
+      result.effective_bw_per_host = static_cast<double>(bytes_delivered_) /
+                                     to_seconds(now_) /
+                                     static_cast<double>(active_hosts_);
+      result.normalized_bw =
+          result.effective_bw_per_host / calib_.host_bw_bytes_per_sec;
+    }
+    return result;
+  }
+
+ private:
+  void advance_stage() {
+    while (next_stage_ < stages_->size()) {
+      const StageTraffic& st = (*stages_)[next_stage_++];
+      expects(st.sends.size() == fabric_.num_hosts(),
+              "stage traffic must cover every host");
+      bool any = false;
+      std::uint64_t active = 0;
+      for (std::uint64_t h = 0; h < st.sends.size(); ++h) {
+        cursors_[h] = st.sends[h];
+        if (!st.sends[h].empty()) {
+          any = true;
+          ++active;
+        }
+      }
+      if (any) {
+        active_hosts_ = std::max(active_hosts_, active);
+        return;
+      }
+    }
+  }
+
+  /// Make the host's next message a (starting-up) flow.
+  void start_next(std::uint64_t h) {
+    auto& pending = cursors_[h];
+    if (pending.empty()) return;
+    const Message msg = pending.front();
+    pending.erase(pending.begin());
+    expects(msg.dst != h && msg.dst < fabric_.num_hosts(),
+            "flow destination invalid");
+
+    Flow& flow = flows_[h];
+    flow.host = h;
+    flow.total_bytes = msg.bytes;
+    flow.remaining = static_cast<double>(msg.bytes);
+    flow.path = route::trace_route(fabric_, tables_, h, msg.dst);
+    const SimTime startup =
+        static_cast<SimTime>(calib_.mpi_overhead_ns) +
+        static_cast<SimTime>(flow.path.size()) *
+            (calib_.switch_latency_ns + calib_.cable_latency_ns);
+    flow.starts_at = now_ + startup;
+    flow.started = now_;
+    flow.active = false;
+    flow.rate = 0.0;
+    ++live_flows_;
+    rates_dirty_ = true;
+  }
+
+  /// Max-min fair rates for all active flows (progressive filling).
+  void recompute_rates() {
+    // Sparse link state over links used by active flows.
+    link_index_.assign(fabric_.num_ports(), -1);
+    links_.clear();
+    unfixed_.clear();
+    for (Flow& flow : flows_) {
+      if (!flow.active) continue;
+      unfixed_.push_back(&flow);
+      flow.rate = -1.0;
+      for (const PortId pid : flow.path) {
+        if (link_index_[pid] < 0) {
+          link_index_[pid] = static_cast<std::int32_t>(links_.size());
+          links_.push_back({pid, capacity_[pid], 0});
+        }
+        ++links_[static_cast<std::size_t>(link_index_[pid])].count;
+      }
+    }
+
+    std::size_t fixed = 0;
+    while (fixed < unfixed_.size()) {
+      // Bottleneck link: smallest fair share among links with unfixed flows.
+      double best = std::numeric_limits<double>::infinity();
+      for (const LinkEntry& le : links_) {
+        if (le.count == 0) continue;
+        best = std::min(best, le.residual / le.count);
+      }
+      expects(std::isfinite(best), "water-filling found no bottleneck");
+      // Fix every unfixed flow crossing a link at the bottleneck share.
+      for (Flow* flow : unfixed_) {
+        if (flow->rate >= 0.0) continue;
+        bool limited = false;
+        for (const PortId pid : flow->path) {
+          const LinkEntry& le =
+              links_[static_cast<std::size_t>(link_index_[pid])];
+          if (le.count > 0 && le.residual / le.count <= best * (1 + 1e-12)) {
+            limited = true;
+            break;
+          }
+        }
+        if (!limited) continue;
+        flow->rate = best;
+        ++fixed;
+        for (const PortId pid : flow->path) {
+          LinkEntry& le = links_[static_cast<std::size_t>(link_index_[pid])];
+          le.residual -= best;
+          --le.count;
+        }
+      }
+    }
+    rates_dirty_ = false;
+  }
+
+  void step() {
+    // Activate flows whose startup delay elapsed.
+    SimTime next_event = kNever;
+    for (Flow& flow : flows_) {
+      if (flow.remaining <= 0.0) continue;
+      if (!flow.active) {
+        if (flow.starts_at <= now_) {
+          flow.active = true;
+          rates_dirty_ = true;
+        } else {
+          next_event = std::min(next_event, flow.starts_at);
+        }
+      }
+    }
+    if (rates_dirty_) recompute_rates();
+
+    // Earliest completion among active flows.
+    for (const Flow& flow : flows_) {
+      if (!flow.active || flow.remaining <= 0.0) continue;
+      if (flow.rate <= 0.0) continue;
+      const double dt_s = flow.remaining / flow.rate;
+      const auto dt = static_cast<SimTime>(std::ceil(dt_s * 1e9));
+      next_event = std::min(next_event, now_ + std::max<SimTime>(dt, 1));
+    }
+    expects(next_event != kNever, "flow simulation stalled");
+
+    // Advance fluid state to next_event.
+    const double dt_s = to_seconds(next_event - now_);
+    now_ = next_event;
+    ++events_;
+    for (std::uint64_t h = 0; h < flows_.size(); ++h) {
+      Flow& flow = flows_[h];
+      if (!flow.active || flow.remaining <= 0.0) continue;
+      flow.remaining -= flow.rate * dt_s;
+      if (flow.remaining <= 0.5) {  // sub-byte residue: done
+        flow.remaining = 0.0;
+        flow.active = false;
+        --live_flows_;
+        rates_dirty_ = true;
+        bytes_delivered_ += flow.total_bytes;
+        ++messages_delivered_;
+        latency_.add(to_us(now_ - flow.started));
+        // Hosts walk their own message list in both modes; in synchronized
+        // mode the list only holds the current stage, so the barrier is
+        // enforced by the stage advance below.
+        start_next(h);
+      }
+    }
+    if (live_flows_ == 0 && progression_ == Progression::kSynchronized) {
+      advance_stage();
+      for (std::uint64_t h = 0; h < fabric_.num_hosts(); ++h) start_next(h);
+    }
+  }
+
+  struct LinkEntry {
+    PortId pid;
+    double residual;
+    std::uint32_t count;
+  };
+
+  const Fabric& fabric_;
+  const route::ForwardingTables& tables_;
+  Calibration calib_;
+
+  std::vector<double> capacity_;
+  std::vector<std::vector<Message>> cursors_;
+  std::vector<Flow> flows_;
+  std::vector<std::int32_t> link_index_;
+  std::vector<LinkEntry> links_;
+  std::vector<Flow*> unfixed_;
+
+  const std::vector<StageTraffic>* stages_ = nullptr;
+  std::size_t next_stage_ = 0;
+  Progression progression_ = Progression::kAsync;
+
+  SimTime now_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t live_flows_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t active_hosts_ = 0;
+  bool rates_dirty_ = true;
+  util::Accumulator latency_;
+};
+
+}  // namespace
+
+FlowSim::FlowSim(const Fabric& fabric, const route::ForwardingTables& tables,
+                 Calibration calibration)
+    : fabric_(&fabric), tables_(&tables), calib_(calibration) {}
+
+RunResult FlowSim::run(const std::vector<StageTraffic>& stages,
+                       Progression progression, std::uint64_t event_limit) {
+  Engine engine(*fabric_, *tables_, calib_);
+  return engine.run(stages, progression, event_limit);
+}
+
+}  // namespace ftcf::sim

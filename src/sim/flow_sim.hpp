@@ -1,0 +1,39 @@
+// Flow-level (fluid) network simulator for paper-scale sweeps.
+//
+// Instead of packets, each in-flight message is a fluid flow along its
+// routed path; link bandwidth is shared max-min fairly among the flows
+// crossing it, and the simulation advances between flow starts/completions.
+// This captures the first-order effect the paper measures — multiple flows
+// squeezed through one oversubscribed link — at a cost independent of
+// message size, which makes 1944-node full-sequence runs practical. It does
+// not model input-queue head-of-line blocking (the packet simulator does);
+// in exchange every stage of a large sequence can be simulated exactly.
+//
+// Per-message startup (MPI software overhead + path propagation) is charged
+// serially before a host's next flow becomes active, reproducing the
+// message-size dependence of effective bandwidth.
+#pragma once
+
+#include "routing/lft.hpp"
+#include "sim/ib_calibration.hpp"
+#include "sim/metrics.hpp"
+#include "sim/traffic.hpp"
+
+namespace ftcf::sim {
+
+class FlowSim {
+ public:
+  FlowSim(const topo::Fabric& fabric, const route::ForwardingTables& tables,
+          Calibration calibration = Calibration::qdr_pcie_gen2());
+
+  [[nodiscard]] RunResult run(const std::vector<StageTraffic>& stages,
+                              Progression progression,
+                              std::uint64_t event_limit = 100'000'000ULL);
+
+ private:
+  const topo::Fabric* fabric_;
+  const route::ForwardingTables* tables_;
+  Calibration calib_;
+};
+
+}  // namespace ftcf::sim

@@ -1,0 +1,22 @@
+// Calibration constants matching the paper's §II simulation setup:
+// InfiniBand QDR links of Mellanox IS4 36-port switches (4000 MB/s
+// unidirectional) feeding hosts over PCIe Gen2 8x (3250 MB/s unidirectional).
+#pragma once
+
+#include <cstdint>
+
+namespace ftcf::sim {
+
+struct Calibration {
+  double link_bw_bytes_per_sec = 4000e6;   ///< QDR 4x effective data rate
+  double host_bw_bytes_per_sec = 3250e6;   ///< PCIe Gen2 8x injection limit
+  std::uint64_t mtu_bytes = 2048;          ///< IB MTU used by the model
+  std::int64_t switch_latency_ns = 100;    ///< IS4-class cut-through latency
+  std::int64_t cable_latency_ns = 10;      ///< ~2 m copper cable
+  std::uint32_t input_buffer_packets = 32; ///< per input port (credits)
+  std::uint64_t mpi_overhead_ns = 500;     ///< per-message software overhead
+
+  static Calibration qdr_pcie_gen2() { return Calibration{}; }
+};
+
+}  // namespace ftcf::sim

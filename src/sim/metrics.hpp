@@ -1,0 +1,44 @@
+// Result records shared by the simulators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace ftcf::sim {
+
+struct RunResult {
+  SimTime makespan = 0;                ///< time of last delivery
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t packets_delivered = 0; ///< packet sim only
+  /// Packets that arrived after a later packet of the same message (packet
+  /// sim only; nonzero under adaptive routing, the §I transport objection).
+  std::uint64_t out_of_order_packets = 0;
+  std::uint64_t events = 0;
+  std::uint64_t active_hosts = 0;      ///< hosts that injected anything
+
+  /// Mean per-host goodput in bytes/s: bytes / (makespan * active_hosts).
+  double effective_bw_per_host = 0.0;
+  /// effective_bw_per_host normalized to the host (PCIe) injection rate —
+  /// the y-axis of paper Fig. 2.
+  double normalized_bw = 0.0;
+
+  util::Accumulator message_latency_us;  ///< injection-start to last byte
+
+  // Per-directed-link observations, indexed by the source PortId
+  // (packet sim only; empty for the fluid simulator).
+  std::vector<SimTime> link_busy_ns;          ///< serialization time carried
+  std::vector<std::uint32_t> max_queue_depth; ///< input-queue high-watermark
+
+  /// Fraction of the makespan a link spent transmitting.
+  [[nodiscard]] double link_utilization(std::size_t port) const {
+    if (makespan <= 0 || port >= link_busy_ns.size()) return 0.0;
+    return static_cast<double>(link_busy_ns[port]) /
+           static_cast<double>(makespan);
+  }
+};
+
+}  // namespace ftcf::sim

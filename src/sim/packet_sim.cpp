@@ -1,0 +1,415 @@
+#include "sim/packet_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "sim/typed_queue.hpp"
+#include "util/expects.hpp"
+#include "util/rng.hpp"
+
+namespace ftcf::sim {
+
+using topo::Fabric;
+using topo::NodeKind;
+using topo::PortId;
+using util::expects;
+
+namespace {
+
+struct Packet {
+  std::uint32_t dst = 0;
+  std::uint32_t bytes = 0;
+  std::uint32_t msg = 0;
+  std::uint32_t seq = 0;  ///< position within the message (reorder tracking)
+};
+
+enum class EvType : std::uint8_t { kArrive, kOutFree, kCredit, kHostKick };
+
+struct Ev {
+  EvType type;
+  PortId port;   ///< kArrive: receiving port; kOutFree/kCredit: source port;
+                 ///< kHostKick: host index
+  Packet pkt;    ///< kArrive only
+};
+
+struct MsgMeta {
+  std::uint64_t remaining = 0;
+  SimTime start = -1;
+  std::uint32_t src = 0;
+  std::uint32_t max_seq_seen = 0;
+  bool any_delivered = false;
+};
+
+struct HostCursor {
+  std::vector<Message> msgs;       ///< messages of the current phase
+  std::size_t index = 0;           ///< current message
+  std::uint64_t offset = 0;        ///< bytes already injected of it
+  std::uint32_t first_msg_id = 0;  ///< msg ids are first_msg_id + index
+
+  [[nodiscard]] bool done() const noexcept { return index >= msgs.size(); }
+};
+
+class Engine {
+ public:
+  Engine(const Fabric& fabric, const route::ForwardingTables& tables,
+         const Calibration& calib, UpSelection up_selection,
+         SimTime jitter_max_ns, std::uint64_t jitter_seed)
+      : fabric_(fabric),
+        tables_(tables),
+        calib_(calib),
+        up_selection_(up_selection),
+        jitter_max_ns_(jitter_max_ns),
+        jitter_seed_(jitter_seed) {
+    const std::uint32_t ports = fabric.num_ports();
+    busy_.assign(ports, false);
+    credits_.assign(ports, 0);
+    rr_.assign(ports, 0);
+    busy_ns_.assign(ports, 0);
+    max_depth_.assign(ports, 0);
+    queues_.resize(ports);
+    for (PortId pid = 0; pid < ports; ++pid) {
+      const topo::Port& pt = fabric.port(pid);
+      const topo::Port& peer = fabric.port(pt.peer);
+      const bool to_switch =
+          fabric.node(peer.node).kind == NodeKind::kSwitch;
+      credits_[pid] = to_switch ? calib.input_buffer_packets
+                                : std::numeric_limits<std::uint32_t>::max() / 2;
+      const bool host_side =
+          fabric.node(pt.node).kind == NodeKind::kHost ||
+          fabric.node(peer.node).kind == NodeKind::kHost;
+      rate_.push_back(host_side ? calib.host_bw_bytes_per_sec
+                                : calib.link_bw_bytes_per_sec);
+    }
+    cursors_.resize(fabric.num_hosts());
+  }
+
+  RunResult run(const std::vector<StageTraffic>& stages,
+                Progression progression, std::uint64_t event_limit) {
+    progression_ = progression;
+    stages_ = &stages;
+    next_stage_ = 0;
+
+    if (progression == Progression::kAsync) {
+      // Concatenate every stage into one per-host sequence.
+      std::vector<HostCursor> cursors(fabric_.num_hosts());
+      for (const StageTraffic& st : stages) {
+        expects(st.sends.size() == fabric_.num_hosts(),
+                "stage traffic must cover every host");
+        for (std::uint64_t h = 0; h < st.sends.size(); ++h)
+          cursors[h].msgs.insert(cursors[h].msgs.end(), st.sends[h].begin(),
+                                 st.sends[h].end());
+      }
+      load_cursors(std::move(cursors));
+      next_stage_ = stages.size();
+    } else {
+      advance_stage();
+    }
+
+    kick_all_hosts();
+
+    while (!queue_.empty()) {
+      expects(queue_.processed() < event_limit,
+              "packet simulation exceeded its event limit");
+      dispatch(queue_.pop());
+    }
+    expects(outstanding_msgs_ == 0 && next_stage_ >= stages_->size(),
+            "simulation drained with undelivered traffic");
+
+    RunResult result;
+    result.makespan = last_delivery_;
+    result.bytes_delivered = bytes_delivered_;
+    result.messages_delivered = messages_delivered_;
+    result.packets_delivered = packets_delivered_;
+    result.events = queue_.processed();
+    result.active_hosts = active_hosts_;
+    result.out_of_order_packets = out_of_order_;
+    result.message_latency_us = latency_;
+    result.link_busy_ns = busy_ns_;
+    result.max_queue_depth = max_depth_;
+    if (result.makespan > 0 && result.active_hosts > 0) {
+      result.effective_bw_per_host =
+          static_cast<double>(result.bytes_delivered) /
+          to_seconds(result.makespan) /
+          static_cast<double>(result.active_hosts);
+      result.normalized_bw =
+          result.effective_bw_per_host / calib_.host_bw_bytes_per_sec;
+    }
+    return result;
+  }
+
+ private:
+  // --- traffic loading ------------------------------------------------------
+
+  void load_cursors(std::vector<HostCursor> cursors) {
+    std::uint64_t active = 0;
+    for (std::uint64_t h = 0; h < cursors.size(); ++h) {
+      HostCursor& cur = cursors[h];
+      cur.index = 0;
+      cur.offset = 0;
+      cur.first_msg_id = static_cast<std::uint32_t>(msgs_.size());
+      for (const Message& msg : cur.msgs) {
+        expects(msg.dst < fabric_.num_hosts() && msg.dst != h,
+                "message destination invalid");
+        msgs_.push_back(MsgMeta{msg.bytes, -1, static_cast<std::uint32_t>(h)});
+        ++outstanding_msgs_;
+      }
+      if (!cur.msgs.empty()) ++active;
+    }
+    active_hosts_ = std::max(active_hosts_, active);
+    cursors_ = std::move(cursors);
+  }
+
+  /// Load the next synchronized stage (if any) and kick every host.
+  void advance_stage() {
+    while (next_stage_ < stages_->size()) {
+      const StageTraffic& st = (*stages_)[next_stage_++];
+      expects(st.sends.size() == fabric_.num_hosts(),
+              "stage traffic must cover every host");
+      std::vector<HostCursor> cursors(fabric_.num_hosts());
+      for (std::uint64_t h = 0; h < st.sends.size(); ++h)
+        cursors[h].msgs = st.sends[h];
+      load_cursors(std::move(cursors));
+      if (outstanding_msgs_ > 0) return;  // non-empty stage loaded
+    }
+  }
+
+  // --- event dispatch -------------------------------------------------------
+
+  /// Start (or resume) every host, applying per-host stage jitter when
+  /// configured (§VII: OS jitter delays entry into each collective stage).
+  void kick_all_hosts() {
+    for (std::uint64_t h = 0; h < fabric_.num_hosts(); ++h) {
+      if (jitter_max_ns_ <= 0) {
+        host_try_send(h);
+        continue;
+      }
+      util::SplitMix64 mix(jitter_seed_ ^ (next_stage_ * 0x9e37ULL) ^ h);
+      const auto delay = static_cast<SimTime>(
+          mix.next() % static_cast<std::uint64_t>(jitter_max_ns_ + 1));
+      queue_.push(queue_.now() + delay,
+                  Ev{EvType::kHostKick, static_cast<PortId>(h), {}});
+    }
+  }
+
+  void dispatch(const Ev& ev) {
+    switch (ev.type) {
+      case EvType::kArrive: on_arrive(ev.port, ev.pkt); break;
+      case EvType::kOutFree: on_out_free(ev.port); break;
+      case EvType::kCredit: on_credit(ev.port); break;
+      case EvType::kHostKick: host_try_send(ev.port); break;
+    }
+  }
+
+  void on_arrive(PortId in_port, const Packet& pkt) {
+    const topo::Port& pt = fabric_.port(in_port);
+    const topo::Node& node = fabric_.node(pt.node);
+    if (node.kind == NodeKind::kHost) {
+      deliver(pt.node, pkt);
+      return;
+    }
+    auto& queue = queues_[in_port];
+    queue.push_back(pkt);
+    max_depth_[in_port] = std::max(max_depth_[in_port],
+                                   static_cast<std::uint32_t>(queue.size()));
+    if (queue.size() == 1) kick_head(pt.node, pkt);
+  }
+
+  /// Try every output the head packet may leave through: the LFT port, or —
+  /// under adaptive up-selection for ascending packets — any up-going port.
+  void kick_head(topo::NodeId sw, const Packet& pkt) {
+    if (up_selection_ == UpSelection::kDeterministic ||
+        fabric_.is_ancestor_of_host(sw, pkt.dst)) {
+      try_forward(route_port(sw, pkt.dst));
+      return;
+    }
+    const topo::Node& node = fabric_.node(sw);
+    for (std::uint32_t q = 0; q < node.num_up_ports; ++q) {
+      try_forward(fabric_.port_id(sw, node.num_down_ports + q));
+    }
+  }
+
+  void on_out_free(PortId out_port) {
+    busy_[out_port] = false;
+    const topo::Port& pt = fabric_.port(out_port);
+    if (fabric_.node(pt.node).kind == NodeKind::kHost) {
+      host_try_send(fabric_.host_index(pt.node));
+    } else {
+      try_forward(out_port);
+    }
+  }
+
+  void on_credit(PortId out_port) {
+    ++credits_[out_port];
+    const topo::Port& pt = fabric_.port(out_port);
+    if (fabric_.node(pt.node).kind == NodeKind::kHost) {
+      host_try_send(fabric_.host_index(pt.node));
+    } else {
+      try_forward(out_port);
+    }
+  }
+
+  // --- forwarding -----------------------------------------------------------
+
+  [[nodiscard]] PortId route_port(topo::NodeId sw, std::uint32_t dst) const {
+    return fabric_.port_id(sw, tables_.out_port(sw, dst));
+  }
+
+  void try_forward(PortId out_port) {
+    if (busy_[out_port] || credits_[out_port] == 0) return;
+    const topo::Port& out = fabric_.port(out_port);
+    const topo::NodeId sw = out.node;
+    const topo::Node& node = fabric_.node(sw);
+    const std::uint32_t nports = node.num_down_ports + node.num_up_ports;
+
+    for (std::uint32_t k = 0; k < nports; ++k) {
+      const std::uint32_t i = (rr_[out_port] + k) % nports;
+      const PortId in_port = fabric_.port_id(sw, i);
+      auto& queue = queues_[in_port];
+      if (queue.empty()) continue;
+      if (!may_leave_through(sw, queue.front(), out_port)) continue;
+
+      const Packet pkt = queue.front();
+      queue.pop_front();
+      rr_[out_port] = i + 1;
+      --credits_[out_port];
+      busy_[out_port] = true;
+
+      const SimTime ser = transfer_time(pkt.bytes, rate_[out_port]);
+      busy_ns_[out_port] += ser;
+      queue_.push(queue_.now() + ser, Ev{EvType::kOutFree, out_port, {}});
+      // Return a buffer credit to the upstream sender of the input link.
+      queue_.push(queue_.now() + calib_.cable_latency_ns,
+                  Ev{EvType::kCredit, fabric_.port(in_port).peer, {}});
+      queue_.push(queue_.now() + calib_.switch_latency_ns + ser +
+                      calib_.cable_latency_ns,
+                  Ev{EvType::kArrive, out.peer, pkt});
+
+      // The new head of this input queue may target a different, idle output.
+      if (!queue.empty()) kick_head(sw, queue.front());
+      return;  // one packet per grant; the OutFree event re-arbitrates
+    }
+  }
+
+  /// Is `out_port` a legal egress for this packet at switch `sw`?
+  [[nodiscard]] bool may_leave_through(topo::NodeId sw, const Packet& pkt,
+                                       PortId out_port) const {
+    if (up_selection_ == UpSelection::kDeterministic)
+      return route_port(sw, pkt.dst) == out_port;
+    if (fabric_.is_ancestor_of_host(sw, pkt.dst))
+      return route_port(sw, pkt.dst) == out_port;  // down stays deterministic
+    const topo::Port& out = fabric_.port(out_port);
+    return out.node == sw &&
+           out.index >= fabric_.node(sw).num_down_ports;  // any up port
+  }
+
+  // --- hosts ----------------------------------------------------------------
+
+  void host_try_send(std::uint64_t h) {
+    HostCursor& cur = cursors_[h];
+    if (cur.done()) return;
+    const topo::NodeId node_id = fabric_.host_node(h);
+    const topo::Node& node = fabric_.node(node_id);
+    expects(node.num_up_ports == 1, "packet sim requires single-cable hosts");
+    const PortId up = fabric_.port_id(node_id, node.num_down_ports);
+    if (busy_[up] || credits_[up] == 0) return;
+
+    const Message& msg = cur.msgs[cur.index];
+    const std::uint32_t msg_id =
+        cur.first_msg_id + static_cast<std::uint32_t>(cur.index);
+    MsgMeta& meta = msgs_[msg_id];
+    if (meta.start < 0) meta.start = queue_.now();
+
+    const std::uint64_t left = msg.bytes - cur.offset;
+    const auto chunk =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(left, calib_.mtu_bytes));
+    const auto seq = static_cast<std::uint32_t>(cur.offset / calib_.mtu_bytes);
+    cur.offset += chunk;
+    if (cur.offset == msg.bytes) {
+      // "Sent to the wire": the host moves on to its next message.
+      ++cur.index;
+      cur.offset = 0;
+    }
+
+    busy_[up] = true;
+    --credits_[up];
+    const SimTime ser = transfer_time(chunk, rate_[up]);
+    busy_ns_[up] += ser;
+    queue_.push(queue_.now() + ser, Ev{EvType::kOutFree, up, {}});
+    queue_.push(
+        queue_.now() + ser + calib_.cable_latency_ns,
+        Ev{EvType::kArrive, fabric_.port(up).peer,
+           Packet{static_cast<std::uint32_t>(msg.dst), chunk, msg_id, seq}});
+  }
+
+  void deliver(topo::NodeId host, const Packet& pkt) {
+    expects(fabric_.host_index(host) == pkt.dst, "packet at wrong host");
+    ++packets_delivered_;
+    bytes_delivered_ += pkt.bytes;
+    last_delivery_ = std::max(last_delivery_, queue_.now());
+    MsgMeta& meta = msgs_[pkt.msg];
+    expects(meta.remaining >= pkt.bytes, "over-delivery on a message");
+    meta.remaining -= pkt.bytes;
+    if (meta.any_delivered && pkt.seq < meta.max_seq_seen) ++out_of_order_;
+    meta.max_seq_seen = std::max(meta.max_seq_seen, pkt.seq);
+    meta.any_delivered = true;
+    if (meta.remaining == 0) {
+      ++messages_delivered_;
+      latency_.add(to_us(queue_.now() - meta.start));
+      expects(outstanding_msgs_ > 0, "message accounting underflow");
+      if (--outstanding_msgs_ == 0 &&
+          progression_ == Progression::kSynchronized) {
+        advance_stage();
+        kick_all_hosts();
+      }
+    }
+  }
+
+  const Fabric& fabric_;
+  const route::ForwardingTables& tables_;
+  Calibration calib_;
+
+  TypedEventQueue<Ev> queue_;
+  std::vector<bool> busy_;               ///< per source port
+  std::vector<std::uint32_t> credits_;   ///< per source port
+  std::vector<std::uint32_t> rr_;        ///< per switch output port
+  std::vector<double> rate_;             ///< per source port (bytes/s)
+  std::vector<SimTime> busy_ns_;         ///< per source port: tx time carried
+  std::vector<std::uint32_t> max_depth_; ///< per input port: queue watermark
+  std::vector<std::deque<Packet>> queues_;  ///< per switch input port
+
+  std::vector<HostCursor> cursors_;
+  std::vector<MsgMeta> msgs_;
+  const std::vector<StageTraffic>* stages_ = nullptr;
+  std::size_t next_stage_ = 0;
+  Progression progression_ = Progression::kAsync;
+
+  UpSelection up_selection_ = UpSelection::kDeterministic;
+  SimTime jitter_max_ns_ = 0;
+  std::uint64_t jitter_seed_ = 1;
+
+  std::uint64_t outstanding_msgs_ = 0;
+  std::uint64_t out_of_order_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t packets_delivered_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t active_hosts_ = 0;
+  SimTime last_delivery_ = 0;
+  util::Accumulator latency_;
+};
+
+}  // namespace
+
+PacketSim::PacketSim(const Fabric& fabric,
+                     const route::ForwardingTables& tables,
+                     Calibration calibration)
+    : fabric_(&fabric), tables_(&tables), calib_(calibration) {}
+
+RunResult PacketSim::run(const std::vector<StageTraffic>& stages,
+                         Progression progression, std::uint64_t event_limit) {
+  Engine engine(*fabric_, *tables_, calib_, up_selection_, jitter_max_ns_,
+                jitter_seed_);
+  return engine.run(stages, progression, event_limit);
+}
+
+}  // namespace ftcf::sim

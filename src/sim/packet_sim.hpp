@@ -1,0 +1,68 @@
+// Packet-level discrete-event network simulator (the OMNeT++ substitute).
+//
+// Mechanisms modelled, matching the paper's §II setup:
+//   * hosts inject MTU-sized packets at PCIe rate, walking their message
+//     sequence asynchronously (next message as soon as the previous one is
+//     on the wire) or under a per-stage barrier;
+//   * input-buffered switches: per-input FIFO queues -> head-of-line
+//     blocking, the mechanism behind the measured bandwidth loss;
+//   * credit-based link-level flow control (finite input buffers, so
+//     congestion backpressures toward the sources);
+//   * round-robin output arbitration; cut-through-style per-hop latency
+//     (switch + cable) added per packet, pipelined at packet granularity;
+//   * links run at QDR rate, host-adjacent links at the PCIe rate.
+//
+// Determinism: event ties break by schedule order; no randomness inside the
+// simulator — workloads carry all the randomness.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "routing/lft.hpp"
+#include "sim/ib_calibration.hpp"
+#include "sim/metrics.hpp"
+#include "sim/traffic.hpp"
+
+namespace ftcf::sim {
+
+/// How switches pick the up-going port for ascending packets:
+///   kDeterministic — follow the forwarding tables (the paper's proposal);
+///   kAdaptive      — any currently grantable up-port may take the packet
+///                    (idealized adaptive routing: reactive, per-packet).
+/// Adaptive routing avoids persistent hot spots but reorders packets — the
+/// §I objection for transports like InfiniBand Reliable Connected; the
+/// RunResult reports the reordering it caused.
+enum class UpSelection { kDeterministic, kAdaptive };
+
+class PacketSim {
+ public:
+  PacketSim(const topo::Fabric& fabric, const route::ForwardingTables& tables,
+            Calibration calibration = Calibration::qdr_pcie_gen2());
+
+  void set_up_selection(UpSelection mode) noexcept { up_selection_ = mode; }
+
+  /// Synchronized-mode OS jitter (§VII discussion): each host's entry into
+  /// each stage is delayed by an independent uniform [0, max_ns] draw.
+  /// Zero (default) disables it.
+  void set_stage_jitter(SimTime max_ns, std::uint64_t seed) noexcept {
+    jitter_max_ns_ = max_ns;
+    jitter_seed_ = seed;
+  }
+
+  /// Simulate the workload to completion and report aggregate metrics.
+  /// `event_limit` guards against runaway configurations.
+  [[nodiscard]] RunResult run(const std::vector<StageTraffic>& stages,
+                              Progression progression,
+                              std::uint64_t event_limit = 2'000'000'000ULL);
+
+ private:
+  const topo::Fabric* fabric_;
+  const route::ForwardingTables* tables_;
+  Calibration calib_;
+  UpSelection up_selection_ = UpSelection::kDeterministic;
+  SimTime jitter_max_ns_ = 0;
+  std::uint64_t jitter_seed_ = 1;
+};
+
+}  // namespace ftcf::sim

@@ -1,0 +1,32 @@
+// Simulation time: integer nanoseconds, like OMNeT++'s fixed-point simtime.
+// Integer time makes event ordering exact and runs reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace ftcf::sim {
+
+/// Nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNever = INT64_MAX;
+
+constexpr SimTime from_us(double us) noexcept {
+  return static_cast<SimTime>(us * 1e3);
+}
+constexpr double to_us(SimTime t) noexcept {
+  return static_cast<double>(t) / 1e3;
+}
+constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / 1e9;
+}
+
+/// Serialization time of `bytes` at `bytes_per_sec`, rounded up to 1 ns.
+constexpr SimTime transfer_time(std::uint64_t bytes,
+                                double bytes_per_sec) noexcept {
+  const double ns = static_cast<double>(bytes) / bytes_per_sec * 1e9;
+  const auto t = static_cast<SimTime>(ns);
+  return t > 0 ? t : 1;
+}
+
+}  // namespace ftcf::sim

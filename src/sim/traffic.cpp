@@ -1,0 +1,33 @@
+#include "sim/traffic.hpp"
+
+#include "util/expects.hpp"
+
+namespace ftcf::sim {
+
+std::vector<StageTraffic> traffic_from_cps(
+    const cps::Sequence& seq, const order::NodeOrdering& ordering,
+    std::uint64_t num_hosts, std::uint64_t bytes,
+    const std::vector<std::size_t>* stage_subset) {
+  util::expects(bytes > 0, "messages must carry at least one byte");
+  std::vector<StageTraffic> out;
+  const auto emit = [&](const cps::Stage& stage) {
+    StageTraffic st(num_hosts);
+    for (const cps::Pair& pr : ordering.map_stage(stage)) {
+      if (pr.src == pr.dst) continue;
+      st.add(pr.src, pr.dst, bytes);
+    }
+    out.push_back(std::move(st));
+  };
+
+  if (stage_subset == nullptr) {
+    for (const cps::Stage& stage : seq.stages) emit(stage);
+    return out;
+  }
+  for (const std::size_t idx : *stage_subset) {
+    util::expects(idx < seq.stages.size(), "stage subset index out of range");
+    emit(seq.stages[idx]);
+  }
+  return out;
+}
+
+}  // namespace ftcf::sim

@@ -1,0 +1,54 @@
+// Traffic specification shared by the packet-level and flow-level simulators.
+//
+// A workload is a list of stages; each stage gives every host an optional
+// message (destination + size). The two progression modes of paper §II:
+//   * kAsync       — each end-port walks its own message sequence, starting
+//                    the next message as soon as the previous one has been
+//                    handed to the wire (no global coordination);
+//   * kSynchronized — a barrier separates stages: stage s+1 starts only when
+//                    every stage-s message has been fully delivered.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cps/stage.hpp"
+#include "ordering/ordering.hpp"
+
+namespace ftcf::sim {
+
+struct Message {
+  std::uint64_t dst = 0;    ///< destination host index
+  std::uint64_t bytes = 0;
+};
+
+/// One stage: per-host message list (hosts may send several or none).
+struct StageTraffic {
+  /// sends[i] = messages host i injects this stage (in order).
+  std::vector<std::vector<Message>> sends;
+
+  explicit StageTraffic(std::uint64_t num_hosts) : sends(num_hosts) {}
+  void add(std::uint64_t src, std::uint64_t dst, std::uint64_t bytes) {
+    sends.at(src).push_back(Message{dst, bytes});
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& host : sends)
+      for (const Message& msg : host) total += msg.bytes;
+    return total;
+  }
+};
+
+enum class Progression { kAsync, kSynchronized };
+
+/// Build simulator traffic from a CPS and a node ordering: stage pairs are
+/// mapped from ranks to hosts and every pair becomes one `bytes`-sized
+/// message. `stage_subset` (optional, sorted stage indices) restricts to a
+/// sample of stages for bounded runtimes on huge sequences.
+[[nodiscard]] std::vector<StageTraffic> traffic_from_cps(
+    const cps::Sequence& seq, const order::NodeOrdering& ordering,
+    std::uint64_t num_hosts, std::uint64_t bytes,
+    const std::vector<std::size_t>* stage_subset = nullptr);
+
+}  // namespace ftcf::sim

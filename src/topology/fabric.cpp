@@ -1,0 +1,191 @@
+#include "topology/fabric.hpp"
+
+#include <sstream>
+
+#include "util/expects.hpp"
+
+namespace ftcf::topo {
+
+using util::ensures;
+using util::expects;
+
+Fabric::Fabric(PgftSpec spec) : spec_(std::move(spec)) { build(); }
+
+void Fabric::build() {
+  const std::uint32_t h = spec_.height();
+  num_hosts_ = spec_.num_hosts();
+
+  // --- create nodes level by level (hosts first), assigning digit vectors ---
+  level_first_node_.resize(h + 1);
+  std::uint64_t total_nodes = 0;
+  for (std::uint32_t l = 0; l <= h; ++l) total_nodes += spec_.nodes_at_level(l);
+  nodes_.reserve(total_nodes);
+
+  std::uint64_t total_ports = 0;
+  for (std::uint32_t l = 0; l <= h; ++l) {
+    level_first_node_[l] = static_cast<NodeId>(nodes_.size());
+    const std::uint64_t count = spec_.nodes_at_level(l);
+    const std::uint32_t down =
+        l == 0 ? 0u : spec_.down_ports_at_level(l);
+    const std::uint32_t up = spec_.up_ports_at_level(l);
+    // Digit radices for a level-l node: positions 1..l are w-range,
+    // positions l+1..h are m-range. Position 1 is least significant.
+    std::vector<std::uint32_t> radix(h);
+    for (std::uint32_t pos = 1; pos <= h; ++pos)
+      radix[pos - 1] = pos <= l ? spec_.w(pos) : spec_.m(pos);
+
+    for (std::uint64_t ord = 0; ord < count; ++ord) {
+      Node n;
+      n.kind = l == 0 ? NodeKind::kHost : NodeKind::kSwitch;
+      n.level = l;
+      n.ordinal = static_cast<std::uint32_t>(ord);
+      n.digits.resize(h);
+      std::uint64_t rest = ord;
+      for (std::uint32_t pos = 1; pos <= h; ++pos) {
+        n.digits[pos - 1] = static_cast<std::uint32_t>(rest % radix[pos - 1]);
+        rest /= radix[pos - 1];
+      }
+      ensures(rest == 0, "node ordinal decomposed cleanly");
+      n.num_down_ports = down;
+      n.num_up_ports = up;
+      n.first_port = static_cast<PortId>(total_ports);
+      total_ports += down + up;
+      if (l >= 1) switch_ids_.push_back(static_cast<NodeId>(nodes_.size()));
+      nodes_.push_back(std::move(n));
+    }
+  }
+
+  ports_.resize(total_ports);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    for (std::uint32_t i = 0; i < n.num_down_ports + n.num_up_ports; ++i) {
+      Port& pt = ports_[n.first_port + i];
+      pt.node = id;
+      pt.index = i;
+    }
+  }
+
+  // --- wire levels l <-> l+1 following the PGFT connection rule ---
+  for (std::uint32_t l = 0; l < h; ++l) {
+    const std::uint32_t wl1 = spec_.w(l + 1);
+    const std::uint32_t ml1 = spec_.m(l + 1);
+    const std::uint32_t pl1 = spec_.p(l + 1);
+    const std::uint64_t low_count = spec_.nodes_at_level(l);
+
+    // Mixed-radix strides for computing the upper node's ordinal from its
+    // digits (positions 1..l+1 are w-range for it, l+2..h m-range).
+    std::vector<std::uint64_t> up_stride(h);
+    {
+      std::uint64_t s = 1;
+      for (std::uint32_t pos = 1; pos <= h; ++pos) {
+        up_stride[pos - 1] = s;
+        s *= pos <= l + 1 ? spec_.w(pos) : spec_.m(pos);
+      }
+    }
+
+    for (std::uint64_t low_ord = 0; low_ord < low_count; ++low_ord) {
+      const NodeId low_id = level_first_node_[l] + static_cast<NodeId>(low_ord);
+      const Node& low = nodes_[low_id];
+      const std::uint32_t a = low.digits[l];  // position l+1 digit (m-range)
+
+      // Upper ordinal with position-(l+1) digit zeroed; add b * stride later.
+      std::uint64_t base_ord = 0;
+      for (std::uint32_t pos = 1; pos <= h; ++pos) {
+        if (pos == l + 1) continue;
+        base_ord += static_cast<std::uint64_t>(low.digits[pos - 1]) *
+                    up_stride[pos - 1];
+      }
+
+      for (std::uint32_t b = 0; b < wl1; ++b) {
+        const std::uint64_t up_ord = base_ord + b * up_stride[l];
+        const NodeId up_id =
+            level_first_node_[l + 1] + static_cast<NodeId>(up_ord);
+        const Node& up = nodes_[up_id];
+        ensures(up.digits[l] == b, "upper node digit matches parent index");
+
+        for (std::uint32_t k = 0; k < pl1; ++k) {
+          const std::uint32_t up_port_idx =
+              low.num_down_ports + b + k * wl1;        // up-going on lower
+          const std::uint32_t down_port_idx = a + k * ml1;  // down on upper
+          const PortId lo_pt = low.first_port + up_port_idx;
+          const PortId hi_pt = up.first_port + down_port_idx;
+          ensures(ports_[lo_pt].peer == kInvalidPort &&
+                      ports_[hi_pt].peer == kInvalidPort,
+                  "each port wired exactly once");
+          ports_[lo_pt].peer = hi_pt;
+          ports_[hi_pt].peer = lo_pt;
+        }
+      }
+    }
+  }
+
+  for (const Port& pt : ports_)
+    ensures(pt.peer != kInvalidPort, "all ports wired");
+}
+
+NodeId Fabric::host_node(std::uint64_t j) const {
+  expects(j < num_hosts_, "host index out of range");
+  return level_first_node_[0] + static_cast<NodeId>(j);
+}
+
+std::uint64_t Fabric::host_index(NodeId id) const {
+  const Node& n = node(id);
+  expects(n.kind == NodeKind::kHost, "host_index of a non-host node");
+  return n.ordinal;
+}
+
+NodeId Fabric::switch_node(std::uint32_t level, std::uint64_t ordinal) const {
+  expects(level >= 1 && level <= height(), "switch level out of range");
+  expects(ordinal < spec_.nodes_at_level(level), "switch ordinal out of range");
+  return level_first_node_[level] + static_cast<NodeId>(ordinal);
+}
+
+PortId Fabric::port_id(NodeId id, std::uint32_t index) const {
+  const Node& n = node(id);
+  expects(index < n.num_down_ports + n.num_up_ports, "port index out of range");
+  return n.first_port + index;
+}
+
+bool Fabric::is_up_port(NodeId id, std::uint32_t index) const {
+  const Node& n = node(id);
+  expects(index < n.num_down_ports + n.num_up_ports, "port index out of range");
+  return index >= n.num_down_ports;
+}
+
+NodeId Fabric::neighbor(NodeId id, std::uint32_t index) const {
+  return ports_[ports_[port_id(id, index)].peer].node;
+}
+
+NodeId Fabric::leaf_switch_of_host(std::uint64_t j) const {
+  const NodeId host = host_node(j);
+  // Hosts have exactly w_1*p_1 up ports; the leaf is the peer of port 0.
+  return neighbor(host, node(host).num_down_ports);
+}
+
+bool Fabric::is_ancestor_of_host(NodeId sw, std::uint64_t j) const {
+  const Node& n = node(sw);
+  expects(n.kind == NodeKind::kSwitch, "ancestor test requires a switch");
+  for (std::uint32_t pos = n.level + 1; pos <= height(); ++pos) {
+    if (n.digits[pos - 1] != host_digit(j, pos)) return false;
+  }
+  return true;
+}
+
+std::uint32_t Fabric::host_digit(std::uint64_t j, std::uint32_t pos) const {
+  expects(pos >= 1 && pos <= height(), "host digit position out of range");
+  return static_cast<std::uint32_t>(
+      (j / spec_.m_prefix_product(pos - 1)) % spec_.m(pos));
+}
+
+std::string Fabric::node_name(NodeId id) const {
+  const Node& n = node(id);
+  std::ostringstream oss;
+  if (n.kind == NodeKind::kHost) {
+    oss << 'H' << n.ordinal;
+  } else {
+    oss << 'S' << n.level << '_' << n.ordinal;
+  }
+  return oss.str();
+}
+
+}  // namespace ftcf::topo

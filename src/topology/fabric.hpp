@@ -1,0 +1,133 @@
+// The instantiated fabric graph of a PGFT: hosts, switches, ports and links.
+//
+// Node addressing follows the paper's tuple scheme: a node at level l carries
+// h digits; digit positions 1..l range over w_i (the node's "column" within
+// its subtree) and positions l+1..h range over m_i (which subtree it is in).
+// Hosts are level 0 (all digits m-range); their mixed-radix value
+//     j = sum_i a_i * prod_{k<i} m_k
+// is the host's linear index and *is* the paper's topology-aware MPI node
+// order.
+//
+// Port layout per node: a level-l switch has its m_l*p_l down-going ports
+// first (indices [0, m_l*p_l)), then its w_{l+1}*p_{l+1} up-going ports.
+// Hosts have only up-going ports (one for RLFTs).
+//
+// The wiring rule (paper Fig. 5): nodes at levels l and l+1 whose digit
+// vectors agree everywhere except position l+1 are joined by p_{l+1} parallel
+// links; the k-th link uses up-port  b_{l+1} + k*w_{l+1}  on the lower node
+// and down-port  a_{l+1} + k*m_{l+1}  on the upper node, where a/b are the
+// position-(l+1) digits of the lower/upper node.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "topology/spec.hpp"
+
+namespace ftcf::topo {
+
+using NodeId = std::uint32_t;
+using PortId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr PortId kInvalidPort = static_cast<PortId>(-1);
+
+enum class NodeKind : std::uint8_t { kHost, kSwitch };
+
+/// One endpoint of a cable. A directed link is identified with its source
+/// port: traffic "through port P" means traffic leaving P towards its peer.
+struct Port {
+  NodeId node = kInvalidNode;   ///< owning node
+  std::uint32_t index = 0;      ///< port index within the owning node
+  PortId peer = kInvalidPort;   ///< the port at the other end of the cable
+};
+
+struct Node {
+  NodeKind kind = NodeKind::kSwitch;
+  std::uint32_t level = 0;             ///< 0 for hosts, 1..h for switches
+  std::uint32_t ordinal = 0;           ///< index within its level
+  std::vector<std::uint32_t> digits;   ///< h digits, position i at digits[i-1]
+  PortId first_port = kInvalidPort;    ///< ports are contiguous per node
+  std::uint32_t num_down_ports = 0;
+  std::uint32_t num_up_ports = 0;
+};
+
+/// Immutable instantiated PGFT.
+class Fabric {
+ public:
+  /// Build the full fabric for a spec (wiring rule above).
+  explicit Fabric(PgftSpec spec);
+
+  [[nodiscard]] const PgftSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::uint32_t height() const noexcept { return spec_.height(); }
+
+  // --- nodes ---
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id); }
+  [[nodiscard]] std::uint64_t num_hosts() const noexcept { return num_hosts_; }
+  [[nodiscard]] std::uint64_t num_switches() const noexcept {
+    return nodes_.size() - num_hosts_;
+  }
+
+  /// NodeId of host with linear index j (also its MPI topology order).
+  [[nodiscard]] NodeId host_node(std::uint64_t j) const;
+  /// Linear index of a host node.
+  [[nodiscard]] std::uint64_t host_index(NodeId id) const;
+  /// NodeId of the switch with a given level (1..h) and within-level ordinal.
+  [[nodiscard]] NodeId switch_node(std::uint32_t level,
+                                   std::uint64_t ordinal) const;
+  [[nodiscard]] std::uint64_t switches_at_level(std::uint32_t level) const {
+    return spec_.nodes_at_level(level);
+  }
+  /// All switch NodeIds, ascending by (level, ordinal).
+  [[nodiscard]] std::span<const NodeId> switch_ids() const noexcept {
+    return switch_ids_;
+  }
+
+  // --- ports ---
+  [[nodiscard]] std::uint32_t num_ports() const noexcept {
+    return static_cast<std::uint32_t>(ports_.size());
+  }
+  [[nodiscard]] const Port& port(PortId id) const { return ports_.at(id); }
+  /// PortId of port `index` on node `id`.
+  [[nodiscard]] PortId port_id(NodeId id, std::uint32_t index) const;
+  /// True when `index` addresses an up-going port of its node.
+  [[nodiscard]] bool is_up_port(NodeId id, std::uint32_t index) const;
+  /// The node on the other end of port `index` of node `id`.
+  [[nodiscard]] NodeId neighbor(NodeId id, std::uint32_t index) const;
+
+  // --- tree relations ---
+  /// The level-1 switch a host hangs off.
+  [[nodiscard]] NodeId leaf_switch_of_host(std::uint64_t j) const;
+  /// True when `sw` (a switch) is an ancestor of host j, i.e. j lives in
+  /// the subtree rooted at `sw`.
+  [[nodiscard]] bool is_ancestor_of_host(NodeId sw, std::uint64_t j) const;
+  /// Digit of host j at position `pos` in [1, h]: (j / M_{pos-1}) mod m_pos.
+  [[nodiscard]] std::uint32_t host_digit(std::uint64_t j,
+                                         std::uint32_t pos) const;
+
+  /// Human-readable node name, e.g. "H0013" or "S2_005".
+  [[nodiscard]] std::string node_name(NodeId id) const;
+
+  /// Total directed links (== num_ports(); each port sources one).
+  [[nodiscard]] std::uint32_t num_directed_links() const noexcept {
+    return num_ports();
+  }
+
+ private:
+  void build();
+
+  PgftSpec spec_;
+  std::uint64_t num_hosts_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<Port> ports_;
+  std::vector<NodeId> switch_ids_;
+  /// first NodeId of each level (levels 0..h), for switch_node lookup
+  std::vector<NodeId> level_first_node_;
+};
+
+}  // namespace ftcf::topo

@@ -1,0 +1,210 @@
+#include "topology/spec.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/expects.hpp"
+
+namespace ftcf::topo {
+
+using util::expects;
+using util::ParseError;
+using util::SpecError;
+
+PgftSpec::PgftSpec(std::vector<std::uint32_t> m, std::vector<std::uint32_t> w,
+                   std::vector<std::uint32_t> p)
+    : m_(std::move(m)), w_(std::move(w)), p_(std::move(p)) {
+  if (m_.empty()) throw SpecError("PGFT must have at least one level");
+  if (m_.size() != w_.size() || m_.size() != p_.size())
+    throw SpecError("PGFT m/w/p vectors must have equal length");
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    if (m_[i] == 0 || w_[i] == 0 || p_[i] == 0)
+      throw SpecError("PGFT m/w/p entries must all be >= 1");
+  }
+  // Guard against absurd sizes that would overflow downstream arithmetic.
+  std::uint64_t hosts = 1;
+  for (const auto mi : m_) {
+    hosts *= mi;
+    if (hosts > (1ULL << 32))
+      throw SpecError("PGFT host count exceeds 2^32; refusing to build");
+  }
+}
+
+PgftSpec PgftSpec::xgft(std::vector<std::uint32_t> m,
+                        std::vector<std::uint32_t> w) {
+  std::vector<std::uint32_t> p(m.size(), 1);
+  return PgftSpec(std::move(m), std::move(w), std::move(p));
+}
+
+std::uint32_t PgftSpec::m(std::uint32_t level) const {
+  expects(level >= 1 && level <= height(), "m(level): level out of range");
+  return m_[level - 1];
+}
+
+std::uint32_t PgftSpec::w(std::uint32_t level) const {
+  expects(level >= 1 && level <= height(), "w(level): level out of range");
+  return w_[level - 1];
+}
+
+std::uint32_t PgftSpec::p(std::uint32_t level) const {
+  expects(level >= 1 && level <= height(), "p(level): level out of range");
+  return p_[level - 1];
+}
+
+std::uint64_t PgftSpec::num_hosts() const noexcept {
+  std::uint64_t n = 1;
+  for (const auto mi : m_) n *= mi;
+  return n;
+}
+
+std::uint64_t PgftSpec::nodes_at_level(std::uint32_t level) const {
+  expects(level <= height(), "nodes_at_level: level out of range");
+  std::uint64_t n = 1;
+  for (std::uint32_t i = 1; i <= level; ++i) n *= w_[i - 1];
+  for (std::uint32_t i = level + 1; i <= height(); ++i) n *= m_[i - 1];
+  return n;
+}
+
+std::uint32_t PgftSpec::up_ports_at_level(std::uint32_t level) const {
+  expects(level <= height(), "up_ports_at_level: level out of range");
+  if (level == height()) return 0;
+  return w_[level] * p_[level];
+}
+
+std::uint32_t PgftSpec::down_ports_at_level(std::uint32_t level) const {
+  expects(level >= 1 && level <= height(),
+          "down_ports_at_level: level out of range");
+  return m_[level - 1] * p_[level - 1];
+}
+
+std::uint64_t PgftSpec::w_prefix_product(std::uint32_t level) const {
+  expects(level <= height(), "w_prefix_product: level out of range");
+  std::uint64_t prod = 1;
+  for (std::uint32_t i = 1; i <= level; ++i) prod *= w_[i - 1];
+  return prod;
+}
+
+std::uint64_t PgftSpec::m_prefix_product(std::uint32_t level) const {
+  expects(level <= height(), "m_prefix_product: level out of range");
+  std::uint64_t prod = 1;
+  for (std::uint32_t i = 1; i <= level; ++i) prod *= m_[i - 1];
+  return prod;
+}
+
+bool PgftSpec::has_constant_cbb() const noexcept {
+  for (std::uint32_t l = 1; l < height(); ++l) {
+    if (static_cast<std::uint64_t>(m_[l - 1]) * p_[l - 1] !=
+        static_cast<std::uint64_t>(w_[l]) * p_[l])
+      return false;
+  }
+  return true;
+}
+
+bool PgftSpec::has_single_cable_hosts() const noexcept {
+  return w_[0] == 1 && p_[0] == 1;
+}
+
+bool PgftSpec::has_constant_arity() const noexcept {
+  // All levels present the same half-radix K = m_l * p_l downwards. The top
+  // level may expose anywhere up to 2K down-going ports (paper: m_h p_h = 2K
+  // for the maximal tree; real clusters often populate fewer).
+  const std::uint64_t k = static_cast<std::uint64_t>(m_[0]) * p_[0];
+  for (std::uint32_t l = 2; l < height(); ++l) {
+    if (static_cast<std::uint64_t>(m_[l - 1]) * p_[l - 1] != k) return false;
+  }
+  if (height() >= 2) {
+    const std::uint64_t top =
+        static_cast<std::uint64_t>(m_[height() - 1]) * p_[height() - 1];
+    if (top > 2 * k) return false;
+  }
+  return true;
+}
+
+bool PgftSpec::is_rlft() const noexcept {
+  return has_constant_cbb() && has_single_cable_hosts() && has_constant_arity();
+}
+
+std::uint32_t PgftSpec::arity() const noexcept { return m_[0] * p_[0]; }
+
+std::string PgftSpec::to_string() const {
+  std::ostringstream oss;
+  const auto join = [&oss](const std::vector<std::uint32_t>& v) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) oss << ',';
+      oss << v[i];
+    }
+  };
+  oss << "PGFT(" << height() << "; ";
+  join(m_);
+  oss << "; ";
+  join(w_);
+  oss << "; ";
+  join(p_);
+  oss << ')';
+  return oss.str();
+}
+
+namespace {
+
+std::vector<std::uint32_t> parse_uint_list(const std::string& piece,
+                                           const std::string& what) {
+  std::vector<std::uint32_t> out;
+  std::size_t start = 0;
+  while (start <= piece.size()) {
+    auto comma = piece.find(',', start);
+    if (comma == std::string::npos) comma = piece.size();
+    std::uint32_t value = 0;
+    const char* begin = piece.data() + start;
+    const char* end = piece.data() + comma;
+    while (begin < end && *begin == ' ') ++begin;
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || (ptr != end && *ptr != ' '))
+      throw ParseError("cannot parse " + what + " list: '" + piece + "'");
+    out.push_back(value);
+    if (comma == piece.size()) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+PgftSpec parse_pgft(const std::string& text) {
+  const auto open = text.find('(');
+  const auto close = text.rfind(')');
+  if (open == std::string::npos || close == std::string::npos || close < open)
+    throw ParseError("PGFT text must look like 'PGFT(h; m...; w...; p...)'");
+  const std::string kind = text.substr(0, open);
+  const std::string body = text.substr(open + 1, close - open - 1);
+
+  std::vector<std::string> pieces;
+  std::size_t start = 0;
+  while (start <= body.size()) {
+    auto semi = body.find(';', start);
+    if (semi == std::string::npos) semi = body.size();
+    pieces.push_back(body.substr(start, semi - start));
+    if (semi == body.size()) break;
+    start = semi + 1;
+  }
+
+  const bool is_xgft = kind.find("XGFT") != std::string::npos;
+  const std::size_t expected = is_xgft ? 3 : 4;
+  if (pieces.size() != expected)
+    throw ParseError("expected " + std::to_string(expected) +
+                     " ';'-separated groups in '" + text + "'");
+
+  const auto h_list = parse_uint_list(pieces[0], "height");
+  if (h_list.size() != 1) throw ParseError("height group must be one number");
+  auto m = parse_uint_list(pieces[1], "m");
+  auto w = parse_uint_list(pieces[2], "w");
+  if (m.size() != h_list[0] || w.size() != h_list[0])
+    throw ParseError("m/w list length must equal the declared height");
+  if (is_xgft) return PgftSpec::xgft(std::move(m), std::move(w));
+  auto p = parse_uint_list(pieces[3], "p");
+  if (p.size() != h_list[0])
+    throw ParseError("p list length must equal the declared height");
+  return PgftSpec(std::move(m), std::move(w), std::move(p));
+}
+
+}  // namespace ftcf::topo

@@ -1,0 +1,86 @@
+// Fat-tree topology specifications: XGFT -> PGFT -> RLFT (paper §IV).
+//
+// A Parallel-Ports Generalized Fat-Tree is canonically defined by the tuple
+//
+//     PGFT(h; m_1..m_h; w_1..w_h; p_1..p_h)
+//
+// where h is the number of switch levels, m_l the number of distinct
+// lower-level nodes attached to a level-l node, w_l the number of distinct
+// level-l nodes attached to a level-(l-1) node, and p_l the number of
+// parallel links on each such attachment. Level 0 holds the end-ports
+// (hosts); levels 1..h hold switches.
+//
+// Real-Life Fat-Trees (RLFT) are the PGFT subclass the paper studies:
+//   1. constant cross-bisectional bandwidth:  m_l * p_l == w_{l+1} * p_{l+1}
+//   2. single-cable hosts:                    w_1 == p_1 == 1
+//   3. same-radix switches of arity K:        m_l*p_l == K for l = 1..h
+//      (the top level exposes up to 2K down ports: m_h*p_h <= 2K).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftcf::topo {
+
+/// PGFT tuple. Vectors are indexed 0-based: index i-1 stores level-i values.
+class PgftSpec {
+ public:
+  /// Validates basic well-formedness (h >= 1, all entries >= 1, matching
+  /// vector lengths); throws util::SpecError otherwise.
+  PgftSpec(std::vector<std::uint32_t> m, std::vector<std::uint32_t> w,
+           std::vector<std::uint32_t> p);
+
+  /// XGFT(h; m...; w...) is the special case with all p_l == 1.
+  static PgftSpec xgft(std::vector<std::uint32_t> m,
+                       std::vector<std::uint32_t> w);
+
+  [[nodiscard]] std::uint32_t height() const noexcept {
+    return static_cast<std::uint32_t>(m_.size());
+  }
+  /// m_l, w_l, p_l for level l in [1, h].
+  [[nodiscard]] std::uint32_t m(std::uint32_t level) const;
+  [[nodiscard]] std::uint32_t w(std::uint32_t level) const;
+  [[nodiscard]] std::uint32_t p(std::uint32_t level) const;
+
+  /// Number of end-ports: N = prod m_l.
+  [[nodiscard]] std::uint64_t num_hosts() const noexcept;
+
+  /// Number of nodes at a level in [0, h]:
+  ///   prod_{i<=l} w_i * prod_{i>l} m_i.
+  [[nodiscard]] std::uint64_t nodes_at_level(std::uint32_t level) const;
+
+  /// Up-going ports of a level-l node (0 for l == h): w_{l+1} * p_{l+1}.
+  [[nodiscard]] std::uint32_t up_ports_at_level(std::uint32_t level) const;
+  /// Down-going ports of a level-l node (l >= 1): m_l * p_l.
+  [[nodiscard]] std::uint32_t down_ports_at_level(std::uint32_t level) const;
+
+  /// prod_{i=1..level} w_i  (W_0 == 1). Divisor used by D-Mod-K.
+  [[nodiscard]] std::uint64_t w_prefix_product(std::uint32_t level) const;
+  /// prod_{i=1..level} m_i  (M_0 == 1).
+  [[nodiscard]] std::uint64_t m_prefix_product(std::uint32_t level) const;
+
+  /// RLFT checks (paper §IV.C). `arity` is meaningful only when is_rlft().
+  [[nodiscard]] bool has_constant_cbb() const noexcept;
+  [[nodiscard]] bool has_single_cable_hosts() const noexcept;
+  [[nodiscard]] bool has_constant_arity() const noexcept;
+  [[nodiscard]] bool is_rlft() const noexcept;
+  /// Switch arity K = m_1 * p_1 (valid for RLFTs).
+  [[nodiscard]] std::uint32_t arity() const noexcept;
+
+  /// Canonical text form: "PGFT(2; 4,4; 1,2; 1,2)".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const PgftSpec&, const PgftSpec&) = default;
+
+ private:
+  std::vector<std::uint32_t> m_;
+  std::vector<std::uint32_t> w_;
+  std::vector<std::uint32_t> p_;
+};
+
+/// Parse the canonical text form produced by PgftSpec::to_string().
+/// Accepts both "PGFT(...)" and "XGFT(h; m...; w...)".
+PgftSpec parse_pgft(const std::string& text);
+
+}  // namespace ftcf::topo

@@ -1,0 +1,150 @@
+#include "topology/topo_io.hpp"
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ftcf::topo {
+
+using util::ParseError;
+using util::SpecError;
+
+void write_topo(const Fabric& fabric, std::ostream& os) {
+  os << "# ftcf topology file\n";
+  os << "pgft " << fabric.spec().to_string() << '\n';
+  for (NodeId id = 0; id < fabric.num_nodes(); ++id) {
+    const Node& n = fabric.node(id);
+    os << "node " << fabric.node_name(id)
+       << (n.kind == NodeKind::kHost ? " kind=host" : " kind=switch")
+       << " level=" << n.level
+       << " ports=" << n.num_down_ports + n.num_up_ports << '\n';
+  }
+  // Emit each cable once, from its lower (up-going) endpoint.
+  for (PortId pid = 0; pid < fabric.num_ports(); ++pid) {
+    const Port& pt = fabric.port(pid);
+    const Node& n = fabric.node(pt.node);
+    if (pt.index < n.num_down_ports) continue;  // only from up-going side
+    const Port& peer = fabric.port(pt.peer);
+    os << "link " << fabric.node_name(pt.node) << ':' << pt.index << ' '
+       << fabric.node_name(peer.node) << ':' << peer.index << '\n';
+  }
+}
+
+std::string to_topo_string(const Fabric& fabric) {
+  std::ostringstream oss;
+  write_topo(fabric, oss);
+  return oss.str();
+}
+
+namespace {
+
+struct Endpoint {
+  std::string node;
+  std::uint32_t port = 0;
+};
+
+Endpoint parse_endpoint(const std::string& token) {
+  const auto colon = token.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= token.size())
+    throw ParseError("link endpoint must be NAME:PORT, got '" + token + "'");
+  Endpoint ep;
+  ep.node = token.substr(0, colon);
+  try {
+    ep.port = static_cast<std::uint32_t>(std::stoul(token.substr(colon + 1)));
+  } catch (const std::exception&) {
+    throw ParseError("bad port number in endpoint '" + token + "'");
+  }
+  return ep;
+}
+
+}  // namespace
+
+Fabric read_topo(std::istream& is) {
+  std::optional<PgftSpec> spec;
+  std::vector<std::pair<Endpoint, Endpoint>> links;
+  std::map<std::string, std::uint32_t> node_ports;
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;  // blank/comment line
+
+    if (keyword == "pgft") {
+      std::string rest;
+      std::getline(ls, rest);
+      // Strip leading spaces.
+      rest.erase(0, rest.find_first_not_of(' '));
+      spec = parse_pgft(rest);
+    } else if (keyword == "node") {
+      std::string name;
+      if (!(ls >> name))
+        throw ParseError("line " + std::to_string(lineno) + ": node needs a name");
+      std::string attr;
+      std::uint32_t ports = 0;
+      while (ls >> attr) {
+        if (attr.rfind("ports=", 0) == 0)
+          ports = static_cast<std::uint32_t>(std::stoul(attr.substr(6)));
+      }
+      node_ports[name] = ports;
+    } else if (keyword == "link") {
+      std::string a, b;
+      if (!(ls >> a >> b))
+        throw ParseError("line " + std::to_string(lineno) +
+                         ": link needs two endpoints");
+      links.emplace_back(parse_endpoint(a), parse_endpoint(b));
+    } else {
+      throw ParseError("line " + std::to_string(lineno) +
+                       ": unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (!spec)
+    throw ParseError("topo file lacks the mandatory 'pgft PGFT(...)' header");
+  Fabric fabric(*spec);
+
+  // Cross-check: names -> ids, declared port counts, and every listed cable.
+  std::map<std::string, NodeId> by_name;
+  for (NodeId id = 0; id < fabric.num_nodes(); ++id)
+    by_name[fabric.node_name(id)] = id;
+
+  for (const auto& [name, ports] : node_ports) {
+    const auto it = by_name.find(name);
+    if (it == by_name.end())
+      throw SpecError("topo file names unknown node '" + name + "'");
+    const Node& n = fabric.node(it->second);
+    if (ports != n.num_down_ports + n.num_up_ports)
+      throw SpecError("node '" + name + "' declares " + std::to_string(ports) +
+                      " ports; fabric has " +
+                      std::to_string(n.num_down_ports + n.num_up_ports));
+  }
+  for (const auto& [a, b] : links) {
+    const auto ia = by_name.find(a.node);
+    const auto ib = by_name.find(b.node);
+    if (ia == by_name.end() || ib == by_name.end())
+      throw SpecError("link references unknown node(s) " + a.node + " / " +
+                      b.node);
+    const PortId pa = fabric.port_id(ia->second, a.port);
+    const Port& pt = fabric.port(pa);
+    const Port& peer = fabric.port(pt.peer);
+    if (peer.node != ib->second || peer.index != b.port)
+      throw SpecError("cable " + a.node + ":" + std::to_string(a.port) +
+                      " -> " + b.node + ":" + std::to_string(b.port) +
+                      " contradicts the PGFT wiring rule");
+  }
+  return fabric;
+}
+
+Fabric from_topo_string(const std::string& text) {
+  std::istringstream iss(text);
+  return read_topo(iss);
+}
+
+}  // namespace ftcf::topo

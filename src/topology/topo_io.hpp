@@ -1,0 +1,37 @@
+// Topology file I/O, modelled on the ibdm/ibutils topo-file workflow the
+// paper's §VII tooling builds on: a text file listing every node and cable.
+//
+// Format (line-oriented, '#' comments):
+//
+//   pgft PGFT(2; 4,4; 1,2; 1,2)
+//   node S1_0 kind=switch level=1 ports=8
+//   node H0   kind=host   level=0 ports=1
+//   link S1_0:4 S2_0:0
+//
+// The `pgft` header makes round-tripping trivial; the explicit node/link
+// lines exist so externally-produced files can be cross-checked against the
+// generated fabric (import verifies the cable list matches the wiring rule).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/fabric.hpp"
+
+namespace ftcf::topo {
+
+/// Write the fabric in the text format above.
+void write_topo(const Fabric& fabric, std::ostream& os);
+
+/// Convenience: render to a string.
+std::string to_topo_string(const Fabric& fabric);
+
+/// Parse a topo file. The `pgft` header is used to rebuild the fabric; the
+/// node and link lines (when present) are verified against it. Throws
+/// util::ParseError on malformed input or util::SpecError on mismatches.
+Fabric read_topo(std::istream& is);
+
+/// Convenience: parse from a string.
+Fabric from_topo_string(const std::string& text);
+
+}  // namespace ftcf::topo

@@ -1,0 +1,35 @@
+// Structural validation of an instantiated Fabric against its spec —
+// the executable form of the PGFT definition (paper §IV.B) and the RLFT
+// restrictions (§IV.C). Used by tests and by topo-file import.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/fabric.hpp"
+
+namespace ftcf::topo {
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> problems;
+
+  void fail(std::string problem) {
+    ok = false;
+    problems.push_back(std::move(problem));
+  }
+};
+
+/// Full structural audit:
+///  * level populations match  prod_{i<=l} w_i * prod_{i>l} m_i
+///  * every port is wired, peers are mutual, up-ports meet down-ports
+///  * each (child, parent) pair with matching digits has exactly p parallel
+///    links at the indices required by the wiring rule
+///  * every host reaches every other host going up then down (tree property)
+ValidationReport validate_fabric(const Fabric& fabric);
+
+/// Cross-bisectional-bandwidth audit: at each level boundary the number of
+/// up-going cables equals the number of host cables (constant-CBB RLFTs).
+ValidationReport validate_constant_cbb(const Fabric& fabric);
+
+}  // namespace ftcf::topo

@@ -1,0 +1,28 @@
+// Library error type for recoverable, user-facing failures
+// (malformed topology specs, unparsable files, impossible requests).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ftcf::util {
+
+/// Base class of all recoverable ftcf errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A topology/routing/CPS specification is structurally invalid.
+class SpecError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A file or stream could not be parsed.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace ftcf::util

@@ -1,0 +1,22 @@
+#include "util/expects.hpp"
+
+namespace ftcf::util::detail {
+
+[[noreturn]] void fail_contract(std::string_view kind, std::string_view msg,
+                                const std::source_location& loc) {
+  std::string what;
+  what.reserve(msg.size() + 128);
+  what.append(kind);
+  what.append(" failed at ");
+  what.append(loc.file_name());
+  what.push_back(':');
+  what.append(std::to_string(loc.line()));
+  what.append(" (");
+  what.append(loc.function_name());
+  what.append("): ");
+  what.append(msg);
+  if (kind == "Expects") throw PreconditionError(what);
+  throw InvariantError(what);
+}
+
+}  // namespace ftcf::util::detail

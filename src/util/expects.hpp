@@ -1,0 +1,45 @@
+// Contract checking in the spirit of the C++ Core Guidelines' Expects/Ensures.
+//
+// These checks are *always on* (including Release builds): the library's
+// correctness claims (congestion-freedom theorems) are only as strong as its
+// invariants, and the cost of the checks is negligible next to the
+// simulations they guard.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ftcf::util {
+
+/// Thrown when a precondition (caller error) is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a postcondition or internal invariant (library bug) is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void fail_contract(std::string_view kind, std::string_view msg,
+                                const std::source_location& loc);
+}  // namespace detail
+
+/// Check a precondition; throws PreconditionError with source location on failure.
+inline void expects(bool cond, std::string_view msg = "precondition violated",
+                    const std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::fail_contract("Expects", msg, loc);
+}
+
+/// Check a postcondition/invariant; throws InvariantError on failure.
+inline void ensures(bool cond, std::string_view msg = "invariant violated",
+                    const std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::fail_contract("Ensures", msg, loc);
+}
+
+}  // namespace ftcf::util

@@ -1,0 +1,48 @@
+// Lightweight leveled logging to stderr.
+//
+// The library itself never logs in hot paths; logging is for the bench
+// harnesses and examples to narrate progress of long sweeps.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace ftcf::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit one line "[level] message" to stderr (thread-safe via stderr locking).
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, Args&&... args) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  log_line(level, oss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log_fmt(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log_fmt(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log_fmt(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log_fmt(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace ftcf::util

@@ -1,0 +1,85 @@
+// Streaming statistics and simple histograms for experiment reporting.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ftcf::util {
+
+/// Streaming accumulator: count / min / max / mean / variance (Welford).
+class Accumulator {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept {
+    return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const noexcept {
+    return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// Merge another accumulator into this one (parallel-friendly).
+  void merge(const Accumulator& other) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact integer-valued histogram (value -> occurrence count).
+/// Used for link-load distributions, where values are small integers.
+class IntHistogram {
+ public:
+  void add(std::int64_t value, std::uint64_t weight = 1) {
+    bins_[value] += weight;
+    total_ += weight;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t count_of(std::int64_t value) const {
+    const auto it = bins_.find(value);
+    return it == bins_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::int64_t max_value() const noexcept {
+    return bins_.empty() ? 0 : bins_.rbegin()->first;
+  }
+  [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& bins() const noexcept {
+    return bins_;
+  }
+
+  /// Render as "v:count v:count ..." for logs and tests.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact percentile of a sample (linear interpolation between closest ranks).
+/// q in [0, 1]. The sample is copied and sorted; fine for experiment sizes.
+[[nodiscard]] double percentile(std::vector<double> sample, double q);
+
+}  // namespace ftcf::util

@@ -1,0 +1,97 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/expects.hpp"
+
+namespace ftcf::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  expects(!header_.empty(), "table must have at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  expects(cells.size() == header_.size(),
+          "row cell count must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << ' ' << std::setw(static_cast<int>(width[c])) << std::left << row[c]
+         << " |";
+    os << '\n';
+  };
+  const auto print_rule = [&] {
+    os << '+';
+    for (const std::size_t w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  const auto print_cells = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  print_cells(header_);
+  for (const auto& row : rows_) print_cells(row);
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  constexpr std::uint64_t kib = 1024;
+  constexpr std::uint64_t mib = kib * 1024;
+  constexpr std::uint64_t gib = mib * 1024;
+  std::ostringstream oss;
+  if (bytes >= gib && bytes % gib == 0) oss << bytes / gib << " GiB";
+  else if (bytes >= mib && bytes % mib == 0) oss << bytes / mib << " MiB";
+  else if (bytes >= kib && bytes % kib == 0) oss << bytes / kib << " KiB";
+  else oss << bytes << " B";
+  return oss.str();
+}
+
+std::string fmt_ratio_percent(double ratio, int precision) {
+  return fmt_double(ratio * 100.0, precision) + "%";
+}
+
+}  // namespace ftcf::util

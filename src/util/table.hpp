@@ -1,0 +1,50 @@
+// Console table and CSV rendering for benchmark/experiment output.
+//
+// Every bench binary prints its paper table/figure as an aligned console
+// table (human diffing against the paper) and optionally as CSV.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftcf::util {
+
+/// A simple column-aligned text table with an optional title.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row. Cell count must match the header.
+  void add_row(std::vector<std::string> cells);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& row_data()
+      const noexcept {
+    return rows_;
+  }
+
+  /// Render with box-drawing-free ASCII (pipe/dash) alignment.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (quotes cells containing separators).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used across benches.
+[[nodiscard]] std::string fmt_double(double v, int precision = 3);
+[[nodiscard]] std::string fmt_bytes(std::uint64_t bytes);
+[[nodiscard]] std::string fmt_ratio_percent(double ratio, int precision = 1);
+
+}  // namespace ftcf::util

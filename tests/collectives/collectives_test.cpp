@@ -1,0 +1,195 @@
+#include "collectives/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+#include "collectives/oracle.hpp"
+#include "cps/classify.hpp"
+#include "util/rng.hpp"
+
+namespace ftcf::coll {
+namespace {
+
+/// Deterministic per-rank inputs with `count` elements each.
+std::vector<Buffer> make_inputs(std::uint64_t ranks, std::uint64_t count,
+                                std::uint64_t seed = 1) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Buffer> inputs(ranks);
+  for (auto& buf : inputs) {
+    buf.resize(count);
+    for (auto& e : buf) e = static_cast<Element>(rng.below(1000)) - 500;
+  }
+  return inputs;
+}
+
+class RankSweep : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, RankSweep,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 12, 16, 31, 32));
+
+TEST_P(RankSweep, BcastBinomialInformsEveryone) {
+  const std::uint64_t ranks = GetParam();
+  const Buffer data{1, 2, 3, 42};
+  const auto result = bcast_binomial(ranks, data);
+  ASSERT_EQ(result.outputs.size(), ranks);
+  for (const Buffer& out : result.outputs) EXPECT_EQ(out, data);
+  EXPECT_EQ(result.trace.sequence.name, "binomial");
+}
+
+TEST_P(RankSweep, ReduceBinomialMatchesOracle) {
+  const std::uint64_t ranks = GetParam();
+  const auto inputs = make_inputs(ranks, 9);
+  const auto result = reduce_binomial(ReduceOp::kSum, inputs);
+  EXPECT_EQ(result.outputs[0], oracle::reduce(ReduceOp::kSum, inputs));
+}
+
+TEST_P(RankSweep, ReduceTournamentMatchesOracle) {
+  const std::uint64_t ranks = GetParam();
+  const auto inputs = make_inputs(ranks, 5, 7);
+  const auto result = reduce_tournament(ReduceOp::kMax, inputs);
+  EXPECT_EQ(result.outputs[0], oracle::reduce(ReduceOp::kMax, inputs));
+}
+
+TEST_P(RankSweep, ScatterBinomialDealsBlocks) {
+  const std::uint64_t ranks = GetParam();
+  Buffer root(ranks * 3);
+  for (std::size_t i = 0; i < root.size(); ++i)
+    root[i] = static_cast<Element>(i);
+  const auto result = scatter_binomial(ranks, root);
+  for (std::uint64_t r = 0; r < ranks; ++r) {
+    const Buffer expect{static_cast<Element>(3 * r),
+                        static_cast<Element>(3 * r + 1),
+                        static_cast<Element>(3 * r + 2)};
+    EXPECT_EQ(result.outputs[r], expect) << "rank " << r;
+  }
+}
+
+TEST_P(RankSweep, GatherBinomialAssemblesAtRoot) {
+  const std::uint64_t ranks = GetParam();
+  const auto inputs = make_inputs(ranks, 4, 11);
+  const auto result = gather_binomial(inputs);
+  EXPECT_EQ(result.outputs[0], oracle::gather(inputs));
+}
+
+TEST_P(RankSweep, GatherLinearAssemblesAtRoot) {
+  const std::uint64_t ranks = GetParam();
+  const auto inputs = make_inputs(ranks, 2, 13);
+  const auto result = gather_linear(inputs);
+  EXPECT_EQ(result.outputs[0], oracle::gather(inputs));
+  EXPECT_EQ(result.trace.sequence.num_stages(), ranks - 1);
+}
+
+TEST_P(RankSweep, AllgatherRingMatchesOracle) {
+  const std::uint64_t ranks = GetParam();
+  const auto inputs = make_inputs(ranks, 3, 17);
+  const auto result = allgather_ring(inputs);
+  const auto expect = oracle::allgather(inputs);
+  for (std::uint64_t r = 0; r < ranks; ++r)
+    EXPECT_EQ(result.outputs[r], expect[r]) << "rank " << r;
+  EXPECT_EQ(result.trace.sequence.num_stages(), ranks - 1);
+}
+
+TEST_P(RankSweep, AllgatherBruckMatchesOracle) {
+  const std::uint64_t ranks = GetParam();
+  const auto inputs = make_inputs(ranks, 2, 19);
+  const auto result = allgather_bruck(inputs);
+  const auto expect = oracle::allgather(inputs);
+  for (std::uint64_t r = 0; r < ranks; ++r)
+    EXPECT_EQ(result.outputs[r], expect[r]) << "rank " << r;
+}
+
+TEST_P(RankSweep, AllreduceRecursiveDoublingMatchesOracle) {
+  const std::uint64_t ranks = GetParam();
+  const auto inputs = make_inputs(ranks, 6, 23);
+  const auto result = allreduce_recursive_doubling(ReduceOp::kSum, inputs);
+  const Buffer expect = oracle::reduce(ReduceOp::kSum, inputs);
+  for (std::uint64_t r = 0; r < ranks; ++r)
+    EXPECT_EQ(result.outputs[r], expect) << "rank " << r;
+}
+
+TEST_P(RankSweep, AlltoallPairwiseMatchesOracle) {
+  const std::uint64_t ranks = GetParam();
+  const std::uint64_t count = 2;
+  const auto inputs = make_inputs(ranks, ranks * count, 29);
+  const auto result = alltoall_pairwise(inputs, count);
+  const auto expect = oracle::alltoall(inputs, count);
+  for (std::uint64_t r = 0; r < ranks; ++r)
+    EXPECT_EQ(result.outputs[r], expect[r]) << "rank " << r;
+  EXPECT_EQ(result.trace.sequence.name, "shift");
+  EXPECT_EQ(result.trace.sequence.num_stages(), ranks - 1);
+}
+
+TEST_P(RankSweep, BarrierReachesEveryRankEveryRound) {
+  const std::uint64_t ranks = GetParam();
+  const auto result = barrier_dissemination(ranks);
+  const std::uint64_t rounds = result.trace.sequence.num_stages();
+  for (const std::uint64_t r : result.outputs) EXPECT_EQ(r, rounds);
+}
+
+TEST(ReduceScatterHalving, MatchesOracleOnPowersOfTwo) {
+  for (const std::uint64_t ranks : {2ull, 4ull, 8ull, 16ull}) {
+    const std::uint64_t count = 3;
+    const auto inputs = make_inputs(ranks, ranks * count, 31);
+    const auto result = reduce_scatter_halving(ReduceOp::kSum, inputs);
+    const auto expect = oracle::reduce_scatter(ReduceOp::kSum, inputs, count);
+    for (std::uint64_t r = 0; r < ranks; ++r)
+      EXPECT_EQ(result.outputs[r], expect[r]) << "rank " << r;
+  }
+}
+
+TEST(ReduceScatterHalving, RejectsNonPowerOfTwo) {
+  const auto inputs = make_inputs(6, 6);
+  EXPECT_THROW(reduce_scatter_halving(ReduceOp::kSum, inputs),
+               util::PreconditionError);
+}
+
+TEST(AllreduceOverSequence, RunsThePapersGroupedSequence) {
+  // Content correctness of the §VI construction is exercised via
+  // core::grouped_recursive_doubling in the integration tests; here check
+  // the engine against the plain sequence for a non-power-of-two count.
+  const auto inputs = make_inputs(11, 4, 37);
+  const auto seq = cps::recursive_doubling(11);
+  const auto result = allreduce_over_sequence(ReduceOp::kSum, inputs, seq);
+  const Buffer expect = oracle::reduce(ReduceOp::kSum, inputs);
+  for (const Buffer& out : result.outputs) EXPECT_EQ(out, expect);
+}
+
+TEST(Traces, MatchTheClaimedCpsShapes) {
+  // Cross-check of Table 1: the traffic each algorithm emits classifies the
+  // way §III claims.
+  const auto inputs = make_inputs(16, 2);
+  EXPECT_TRUE(cps::shift_contains(allgather_ring(inputs).trace.sequence));
+  EXPECT_TRUE(cps::shift_contains(bcast_binomial(16, {1}).trace.sequence));
+  EXPECT_TRUE(
+      cps::shift_contains(alltoall_pairwise(make_inputs(8, 16), 2)
+                              .trace.sequence));
+  EXPECT_EQ(cps::sequence_direction(
+                allreduce_recursive_doubling(ReduceOp::kSum, inputs)
+                    .trace.sequence),
+            cps::Direction::kBidirectional);
+}
+
+TEST(ReduceOps, AllOpsApplyElementwise) {
+  EXPECT_EQ(apply(ReduceOp::kSum, 3, 4), 7);
+  EXPECT_EQ(apply(ReduceOp::kMax, 3, 4), 4);
+  EXPECT_EQ(apply(ReduceOp::kMin, 3, 4), 3);
+  EXPECT_EQ(apply(ReduceOp::kProd, 3, 4), 12);
+  EXPECT_EQ(apply(ReduceOp::kBxor, 6, 3), 5);
+  for (const ReduceOp op : {ReduceOp::kMin, ReduceOp::kProd, ReduceOp::kBxor}) {
+    const auto inputs = make_inputs(8, 3, 41);
+    const auto result = allreduce_recursive_doubling(op, inputs);
+    EXPECT_EQ(result.outputs[5], oracle::reduce(op, inputs));
+  }
+}
+
+TEST(Collectives, RejectDegenerateInputs) {
+  EXPECT_THROW(bcast_binomial(1, {1}), util::PreconditionError);
+  EXPECT_THROW(reduce_binomial(ReduceOp::kSum, {}), util::PreconditionError);
+  EXPECT_THROW(scatter_binomial(3, {1, 2}), util::PreconditionError);
+  std::vector<Buffer> ragged{{1, 2}, {3}};
+  EXPECT_THROW(reduce_binomial(ReduceOp::kSum, ragged),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ftcf::coll

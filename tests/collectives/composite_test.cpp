@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+#include "collectives/collectives.hpp"
+#include "collectives/oracle.hpp"
+#include "cps/classify.hpp"
+#include "util/rng.hpp"
+
+namespace ftcf::coll {
+namespace {
+
+std::vector<Buffer> make_inputs(std::uint64_t ranks, std::uint64_t count,
+                                std::uint64_t seed = 1) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Buffer> inputs(ranks);
+  for (auto& buf : inputs) {
+    buf.resize(count);
+    for (auto& e : buf) e = static_cast<Element>(rng.below(1000)) - 500;
+  }
+  return inputs;
+}
+
+TEST(ScatterLinear, DealsBlocksFromRoot) {
+  for (const std::uint64_t ranks : {2ull, 5ull, 9ull}) {
+    Buffer root(ranks * 2);
+    for (std::size_t i = 0; i < root.size(); ++i)
+      root[i] = static_cast<Element>(i * 10);
+    const auto result = scatter_linear(ranks, root);
+    for (std::uint64_t r = 0; r < ranks; ++r) {
+      EXPECT_EQ(result.outputs[r],
+                (Buffer{static_cast<Element>(20 * r),
+                        static_cast<Element>(20 * r + 10)}));
+    }
+    // N-1 single-pair stages, all from the root.
+    EXPECT_EQ(result.trace.sequence.num_stages(), ranks - 1);
+    EXPECT_TRUE(cps::shift_contains(result.trace.sequence));
+  }
+}
+
+TEST(AllgatherRecursiveDoubling, MatchesOracleOnPowersOfTwo) {
+  for (const std::uint64_t ranks : {2ull, 4ull, 8ull, 16ull, 32ull}) {
+    const auto inputs = make_inputs(ranks, 3, ranks);
+    const auto result = allgather_recursive_doubling(inputs);
+    const auto expect = oracle::allgather(inputs);
+    for (std::uint64_t r = 0; r < ranks; ++r)
+      ASSERT_EQ(result.outputs[r], expect[r]) << "ranks " << ranks;
+    EXPECT_EQ(result.trace.sequence.num_stages(),
+              static_cast<std::size_t>(std::countr_zero(ranks)));
+    // At ranks == 2 the single XOR exchange coincides with shift-by-1 and
+    // classifies unidirectional; beyond that it is properly bidirectional.
+    if (ranks >= 4) {
+      EXPECT_EQ(cps::sequence_direction(result.trace.sequence),
+                cps::Direction::kBidirectional);
+    }
+  }
+}
+
+TEST(AllgatherRecursiveDoubling, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(allgather_recursive_doubling(make_inputs(6, 2)),
+               util::PreconditionError);
+}
+
+TEST(AllreduceRabenseifner, MatchesOracle) {
+  for (const std::uint64_t ranks : {2ull, 4ull, 8ull, 16ull}) {
+    const auto inputs = make_inputs(ranks, ranks * 4, ranks + 7);
+    const auto result = allreduce_rabenseifner(ReduceOp::kSum, inputs);
+    const Buffer expect = oracle::reduce(ReduceOp::kSum, inputs);
+    for (std::uint64_t r = 0; r < ranks; ++r)
+      ASSERT_EQ(result.outputs[r], expect) << "ranks " << ranks;
+    // Halving phase + doubling phase.
+    EXPECT_EQ(result.trace.sequence.num_stages(),
+              2 * static_cast<std::size_t>(std::countr_zero(ranks)));
+  }
+}
+
+TEST(AllreduceRabenseifner, WorksForAllOps) {
+  const auto inputs = make_inputs(8, 16, 99);
+  for (const ReduceOp op :
+       {ReduceOp::kSum, ReduceOp::kMax, ReduceOp::kMin, ReduceOp::kBxor}) {
+    const auto result = allreduce_rabenseifner(op, inputs);
+    EXPECT_EQ(result.outputs[3], oracle::reduce(op, inputs));
+  }
+}
+
+TEST(BcastScatterRing, DeliversEverywhere) {
+  for (const std::uint64_t ranks : {2ull, 4ull, 6ull, 9ull, 16ull}) {
+    Buffer root(ranks * 3);
+    for (std::size_t i = 0; i < root.size(); ++i)
+      root[i] = static_cast<Element>(i) - 7;
+    const auto result = bcast_scatter_ring(ranks, root);
+    for (std::uint64_t r = 0; r < ranks; ++r)
+      ASSERT_EQ(result.outputs[r], root) << "ranks " << ranks << " rank " << r;
+  }
+}
+
+TEST(BcastScatterRing, TraceConcatenatesPhases) {
+  const auto result = bcast_scatter_ring(8, Buffer(16, 1));
+  // 3 scatter stages + 7 ring stages.
+  EXPECT_EQ(result.trace.sequence.num_stages(), 3u + 7u);
+  EXPECT_EQ(result.trace.bytes_per_pair.size(),
+            result.trace.sequence.num_stages());
+}
+
+}  // namespace
+}  // namespace ftcf::coll

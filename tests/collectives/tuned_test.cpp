@@ -1,0 +1,120 @@
+#include "collectives/tuned.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+#include "collectives/oracle.hpp"
+#include "core/plan.hpp"
+#include "topology/presets.hpp"
+#include "util/rng.hpp"
+
+namespace ftcf::coll {
+namespace {
+
+std::vector<Buffer> make_inputs(std::uint64_t ranks, std::uint64_t count,
+                                std::uint64_t seed = 3) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Buffer> inputs(ranks);
+  for (auto& buf : inputs) {
+    buf.resize(count);
+    for (auto& e : buf) e = static_cast<Element>(rng.below(1000));
+  }
+  return inputs;
+}
+
+TEST(Tuned, AllreduceSelectsBySizeAndRankCount) {
+  const TunedCollectives pow2(16);
+  // Small: recursive doubling.
+  auto s = pow2.allreduce(ReduceOp::kSum, make_inputs(16, 16));
+  EXPECT_EQ(s.algorithm, "recursive doubling");
+  // Large on power-of-two ranks: Rabenseifner.
+  auto l = pow2.allreduce(ReduceOp::kSum, make_inputs(16, 4096));
+  EXPECT_EQ(l.algorithm, "rabenseifner (reduce-scatter + allgather)");
+  // Large on non-power-of-two ranks: falls back to recursive doubling.
+  const TunedCollectives odd(12);
+  auto f = odd.allreduce(ReduceOp::kSum, make_inputs(12, 4096));
+  EXPECT_EQ(f.algorithm, "recursive doubling");
+}
+
+TEST(Tuned, AllgatherSelectsRingForLargeBruckForSmallOdd) {
+  const TunedCollectives odd(12);
+  EXPECT_EQ(odd.allgather(make_inputs(12, 8)).algorithm,
+            "bruck (dissemination)");
+  EXPECT_EQ(odd.allgather(make_inputs(12, 4096)).algorithm, "ring");
+  const TunedCollectives pow2(16);
+  EXPECT_EQ(pow2.allgather(make_inputs(16, 8)).algorithm,
+            "recursive doubling");
+}
+
+TEST(Tuned, EveryPathComputesTheRightAnswer) {
+  for (const std::uint64_t ranks : {8ull, 12ull}) {
+    for (const std::uint64_t count : {16ull, 4096ull}) {
+      const TunedCollectives tuned(ranks);
+      const auto inputs = make_inputs(ranks, count, ranks + count);
+      const Buffer sum = oracle::reduce(ReduceOp::kSum, inputs);
+      const auto ar = tuned.allreduce(ReduceOp::kSum, inputs);
+      for (const Buffer& out : ar.result.outputs) ASSERT_EQ(out, sum);
+
+      const auto ag = tuned.allgather(inputs);
+      ASSERT_EQ(ag.result.outputs[ranks - 1], oracle::gather(inputs));
+
+      Buffer root(ranks * 4);
+      for (std::size_t i = 0; i < root.size(); ++i)
+        root[i] = static_cast<Element>(i);
+      const auto bc = tuned.bcast(root);
+      ASSERT_EQ(bc.result.outputs[1], root);
+
+      const auto rd = tuned.reduce(ReduceOp::kMax, inputs);
+      ASSERT_EQ(rd.result.outputs[0], oracle::reduce(ReduceOp::kMax, inputs));
+
+      const auto sc = tuned.scatter(root);
+      ASSERT_EQ(sc.result.outputs[ranks - 1],
+                Buffer(root.end() - 4, root.end()));
+
+      const auto ga = tuned.gather(inputs);
+      ASSERT_EQ(ga.result.outputs[0], oracle::gather(inputs));
+    }
+  }
+}
+
+TEST(Tuned, BarrierAndAlltoallAlwaysUseTheirOneAlgorithm) {
+  const TunedCollectives tuned(9);
+  EXPECT_EQ(tuned.barrier().algorithm, "dissemination");
+  const auto inputs = make_inputs(9, 18);
+  EXPECT_EQ(tuned.alltoall(inputs, 2).algorithm, "pairwise exchange (shift)");
+}
+
+TEST(Tuned, SelectedTracesAreCongestionFreeUnderThePlan) {
+  // The point of the whole exercise: whatever the tuned layer picks, its
+  // traffic is clean on an RLFT under D-Mod-K + topology order.
+  const topo::Fabric fabric(topo::paper_cluster(128));
+  const core::CollectivePlan plan(fabric);
+  const TunedCollectives tuned(fabric.num_hosts());
+  const auto inputs = make_inputs(fabric.num_hosts(), 2048, 9);
+
+  const auto ar = tuned.allreduce(ReduceOp::kSum, inputs);
+  const auto ag = tuned.allgather(inputs);
+  const auto bc = tuned.bcast(Buffer(fabric.num_hosts() * 4, 1));
+  for (const Trace* trace :
+       {&ar.result.trace, &ag.result.trace, &bc.result.trace}) {
+    const auto audit = plan.audit(trace->sequence);
+    EXPECT_TRUE(audit.congestion_free)
+        << trace->sequence.name << " worst HSD "
+        << audit.metrics.worst_stage_hsd;
+  }
+}
+
+TEST(Tuned, ThresholdIsConfigurable) {
+  TunedConfig config;
+  config.small_threshold_bytes = 1;  // everything is "large"
+  const TunedCollectives tuned(16, config);
+  EXPECT_EQ(tuned.allgather(make_inputs(16, 2)).algorithm, "ring");
+}
+
+TEST(Tuned, RejectsDegenerateRankCounts) {
+  EXPECT_THROW(TunedCollectives(1), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ftcf::coll

@@ -1,0 +1,75 @@
+#include "core/jobs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+#include <set>
+
+#include "routing/dmodk.hpp"
+#include "topology/presets.hpp"
+#include "util/error.hpp"
+
+namespace ftcf::core {
+namespace {
+
+using topo::Fabric;
+
+TEST(Jobs, AllocatesDisjointResidues) {
+  const Fabric fabric(topo::paper_cluster(128));  // 16 classes of 8 hosts
+  const auto jobs = allocate_jobs(fabric, {32, 64, 8});
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].ordering.num_ranks(), 32u);
+  EXPECT_EQ(jobs[1].ordering.num_ranks(), 64u);
+  EXPECT_EQ(jobs[2].ordering.num_ranks(), 8u);
+
+  std::set<std::uint32_t> residues;
+  std::set<std::uint64_t> hosts;
+  for (const JobPlacement& job : jobs) {
+    for (const std::uint32_t r : job.residues)
+      EXPECT_TRUE(residues.insert(r).second) << "residue reused";
+    for (const std::uint64_t h : job.ordering.hosts())
+      EXPECT_TRUE(hosts.insert(h).second) << "host reused";
+  }
+  EXPECT_EQ(hosts.size(), 104u);
+}
+
+TEST(Jobs, RejectsBadSizes) {
+  const Fabric fabric(topo::paper_cluster(128));
+  EXPECT_THROW(allocate_jobs(fabric, {12}), util::SpecError);   // not multiple
+  EXPECT_THROW(allocate_jobs(fabric, {0}), util::SpecError);
+  EXPECT_THROW(allocate_jobs(fabric, {96, 64}), util::SpecError);  // > fabric
+}
+
+TEST(Jobs, EachJobIsCongestionFreeAlone) {
+  const Fabric fabric(topo::paper_cluster(128));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const auto jobs = allocate_jobs(fabric, {32, 32, 64});
+  const auto report = analyze_job_interference(fabric, tables, jobs);
+  EXPECT_EQ(report.worst_single_job_hsd, 1u);
+}
+
+TEST(Jobs, ConcurrentJobsStayIsolated) {
+  // The extension's headline: sub-allocation placement keeps concurrent
+  // shifts of independent jobs from sharing any link.
+  const Fabric fabric(topo::paper_cluster(128));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const auto jobs = allocate_jobs(fabric, {64, 32, 16, 16});
+  const auto report = analyze_job_interference(fabric, tables, jobs);
+  EXPECT_EQ(report.worst_combined_hsd, 1u) << "cross-job interference";
+  EXPECT_TRUE(report.isolated);
+}
+
+TEST(Jobs, WorksOnThreeLevelFabrics) {
+  const Fabric fabric(topo::rlft3_top(4, 4));  // 64 hosts, 16 classes? N/prod(w)
+  const std::uint64_t unit =
+      fabric.num_hosts() / order::num_sub_allocations(fabric);
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const auto jobs = allocate_jobs(fabric, {unit * 2, unit});
+  const auto report = analyze_job_interference(fabric, tables, jobs);
+  EXPECT_EQ(report.worst_single_job_hsd, 1u);
+  EXPECT_TRUE(report.isolated);
+}
+
+}  // namespace
+}  // namespace ftcf::core

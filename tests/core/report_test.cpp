@@ -1,0 +1,54 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.hpp"
+
+namespace ftcf::core {
+namespace {
+
+TEST(Report, ContainsAllSections) {
+  const topo::Fabric fabric(topo::fig4b_pgft16());
+  const std::string text = fabric_report(fabric);
+  EXPECT_NE(text.find("PGFT(2; 4,4; 1,2; 1,2)"), std::string::npos);
+  EXPECT_NE(text.find("structure: ok"), std::string::npos);
+  EXPECT_NE(text.find("Theorem 1"), std::string::npos);
+  EXPECT_NE(text.find("Theorem 3"), std::string::npos);
+  EXPECT_NE(text.find("grouped-recursive-doubling"), std::string::npos);
+  EXPECT_NE(text.find("shift"), std::string::npos);
+}
+
+TEST(Report, SectionsCanBeDisabled) {
+  const topo::Fabric fabric(topo::fig4b_pgft16());
+  ReportOptions options;
+  options.check_theorems = false;
+  options.audit_cps = false;
+  const std::string text = fabric_report(fabric, options);
+  EXPECT_EQ(text.find("Theorem"), std::string::npos);
+  EXPECT_EQ(text.find("| CPS"), std::string::npos);
+  EXPECT_NE(text.find("structure: ok"), std::string::npos);
+}
+
+TEST(Report, FlagsArityOnRlfts) {
+  const topo::Fabric fabric(topo::paper_cluster(128));
+  EXPECT_NE(fabric_report(fabric, {.check_theorems = false,
+                                   .audit_cps = false,
+                                   .random_trials = 1,
+                                   .seed = 1})
+                .find("RLFT of arity K = 8"),
+            std::string::npos);
+}
+
+TEST(Report, PlanColumnsAreCongestionFree) {
+  const topo::Fabric fabric(topo::fig4b_pgft16());
+  const std::string text = fabric_report(fabric);
+  // Every CPS row shows plan HSD 1.00.
+  std::size_t ones = 0;
+  for (std::size_t pos = text.find("| 1.00"); pos != std::string::npos;
+       pos = text.find("| 1.00", pos + 1))
+    ++ones;
+  EXPECT_GE(ones, 8u);
+}
+
+}  // namespace
+}  // namespace ftcf::core

@@ -1,0 +1,97 @@
+#include "cps/classify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cps/generators.hpp"
+
+namespace ftcf::cps {
+namespace {
+
+TEST(Classify, PartialPermutationChecks) {
+  EXPECT_TRUE(is_partial_permutation(Stage{{{0, 1}, {1, 2}}, {}}, 3));
+  EXPECT_FALSE(is_partial_permutation(Stage{{{0, 1}, {0, 2}}, {}}, 3));  // dup src
+  EXPECT_FALSE(is_partial_permutation(Stage{{{0, 2}, {1, 2}}, {}}, 3));  // dup dst
+  EXPECT_FALSE(is_partial_permutation(Stage{{{1, 1}}, {}}, 3));          // self
+  EXPECT_FALSE(is_partial_permutation(Stage{{{0, 5}}, {}}, 3));          // range
+}
+
+TEST(Classify, EveryGeneratedStageIsAPartialPermutation) {
+  for (const CpsKind kind : kAllCpsKinds) {
+    for (const std::uint64_t n : {2ull, 5ull, 8ull, 13ull, 16ull}) {
+      const Sequence seq = generate(kind, n);
+      for (const Stage& st : seq.stages)
+        EXPECT_TRUE(is_partial_permutation(st, n))
+            << cps_name(kind) << " n=" << n;
+    }
+  }
+}
+
+TEST(Classify, UnidirectionalKindsHaveConstantDisplacement) {
+  // §III observation 1: constant displacement per stage.
+  for (const CpsKind kind :
+       {CpsKind::kRing, CpsKind::kShift, CpsKind::kBinomial,
+        CpsKind::kDissemination, CpsKind::kTournament, CpsKind::kLinear}) {
+    for (const std::uint64_t n : {4ull, 7ull, 16ull, 21ull}) {
+      const Sequence seq = generate(kind, n);
+      for (const Stage& st : seq.stages) {
+        if (st.empty()) continue;
+        EXPECT_TRUE(constant_displacement(st, n).has_value())
+            << cps_name(kind) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Classify, BidirectionalStagesHaveTwoDisplacementClasses) {
+  const Sequence seq = recursive_doubling(8);
+  for (const Stage& st : seq.stages) {
+    const auto classes = displacement_classes(st, 8);
+    if (classes.size() == 2) {
+      EXPECT_EQ(classes[0] + classes[1], 8u);  // d and N-d
+    } else {
+      // The half-way exchange (d == N/2) folds onto a single class.
+      ASSERT_EQ(classes.size(), 1u);
+      EXPECT_EQ(classes[0], 4u);
+    }
+  }
+}
+
+TEST(Classify, DirectionClassification) {
+  // §III observation 2: exactly two families.
+  for (const CpsKind kind :
+       {CpsKind::kRing, CpsKind::kShift, CpsKind::kBinomial,
+        CpsKind::kDissemination, CpsKind::kTournament, CpsKind::kLinear}) {
+    EXPECT_EQ(sequence_direction(generate(kind, 9)),
+              Direction::kUnidirectional)
+        << cps_name(kind);
+  }
+  EXPECT_EQ(sequence_direction(recursive_doubling(8)),
+            Direction::kBidirectional);
+  EXPECT_EQ(sequence_direction(recursive_halving(16)),
+            Direction::kBidirectional);
+  // With folds (non-power-of-two) the sequence mixes directions.
+  EXPECT_EQ(sequence_direction(recursive_doubling(6)), Direction::kMixed);
+}
+
+TEST(Classify, ShiftContainsEveryUnidirectionalCps) {
+  // §III observation 3: Shift is the superset of all unidirectional CPS.
+  for (const CpsKind kind :
+       {CpsKind::kRing, CpsKind::kBinomial, CpsKind::kDissemination,
+        CpsKind::kTournament, CpsKind::kLinear, CpsKind::kShift}) {
+    for (const std::uint64_t n : {5ull, 8ull, 12ull}) {
+      EXPECT_TRUE(shift_contains(generate(kind, n)))
+          << cps_name(kind) << " n=" << n;
+    }
+  }
+  EXPECT_FALSE(shift_contains(recursive_doubling(8)));
+}
+
+TEST(Classify, DisplacementOfMixedStageIsNullopt) {
+  const Stage mixed{{{0, 1}, {1, 3}}, {}};
+  EXPECT_FALSE(constant_displacement(mixed, 4).has_value());
+  EXPECT_EQ(displacement_classes(mixed, 4),
+            (std::vector<std::uint64_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace ftcf::cps

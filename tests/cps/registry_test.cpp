@@ -1,0 +1,71 @@
+#include "cps/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cps/classify.hpp"
+
+namespace ftcf::cps {
+namespace {
+
+TEST(Registry, CoversThePapersNineCollectives) {
+  const auto collectives = table1_collectives();
+  const std::set<std::string> names(collectives.begin(), collectives.end());
+  for (const char* expected :
+       {"AllGather", "AllReduce", "AlltoAll", "Barrier", "Bcast", "Gather",
+        "Reduce", "ReduceScatter", "Scatter"}) {
+    EXPECT_TRUE(names.contains(expected)) << expected;
+  }
+}
+
+TEST(Registry, UsesOnlyTheEightCps) {
+  std::set<CpsKind> used;
+  for (const UsageEntry& entry : table1_usage()) used.insert(entry.cps);
+  EXPECT_LE(used.size(), 8u);
+  EXPECT_GE(used.size(), 6u);  // the paper's core kinds all appear
+}
+
+TEST(Registry, BothLibrariesRepresented) {
+  bool mvapich = false, openmpi = false;
+  for (const UsageEntry& entry : table1_usage()) {
+    mvapich = mvapich || entry.library == MpiLibrary::kMvapich;
+    openmpi = openmpi || entry.library == MpiLibrary::kOpenMpi;
+  }
+  EXPECT_TRUE(mvapich);
+  EXPECT_TRUE(openmpi);
+}
+
+TEST(Registry, MarkersFollowPaperLegend) {
+  const UsageEntry small_mvapich{"X", "a", CpsKind::kRing,
+                                 MpiLibrary::kMvapich, MsgClass::kSmall, false};
+  EXPECT_EQ(usage_marker(small_mvapich), "m");
+  const UsageEntry large_openmpi{"X", "a", CpsKind::kRing,
+                                 MpiLibrary::kOpenMpi, MsgClass::kLarge, false};
+  EXPECT_EQ(usage_marker(large_openmpi), "O");
+  const UsageEntry pow2{"X", "a", CpsKind::kRecursiveDoubling,
+                        MpiLibrary::kOpenMpi, MsgClass::kSmall, true};
+  EXPECT_EQ(usage_marker(pow2), "o2");
+  const UsageEntry both{"X", "a", CpsKind::kDissemination,
+                        MpiLibrary::kMvapich, MsgClass::kBoth, false};
+  EXPECT_EQ(usage_marker(both), "mM");
+}
+
+TEST(Registry, RecursiveDoublingEntriesAreBidirectionalCps) {
+  // Cross-check the registry against the CPS algebra: every algorithm tagged
+  // recursive-doubling/halving generates a bidirectional (or mixed, for
+  // non-power-of-two) sequence; everything else is unidirectional.
+  for (const UsageEntry& entry : table1_usage()) {
+    const Sequence seq = generate(entry.cps, 16);
+    const Direction dir = sequence_direction(seq);
+    if (entry.cps == CpsKind::kRecursiveDoubling ||
+        entry.cps == CpsKind::kRecursiveHalving) {
+      EXPECT_EQ(dir, Direction::kBidirectional) << entry.algorithm;
+    } else {
+      EXPECT_EQ(dir, Direction::kUnidirectional) << entry.algorithm;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftcf::cps

@@ -1,0 +1,123 @@
+// Deeper content checks of the generated sequences: exact pair sets, stage
+// counts as closed-form functions of N, and information-flow arguments
+// (everyone informed exactly once by a broadcast-shaped CPS, etc.).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "cps/generators.hpp"
+
+namespace ftcf::cps {
+namespace {
+
+std::uint64_t ceil_log2(std::uint64_t n) {
+  return static_cast<std::uint64_t>(std::bit_width(n - 1));
+}
+
+class SizeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Ns, SizeSweep,
+                         ::testing::Values(2, 3, 4, 6, 8, 9, 16, 27, 33, 64));
+
+TEST_P(SizeSweep, StageCountsMatchClosedForms) {
+  const std::uint64_t n = GetParam();
+  EXPECT_EQ(ring(n).num_stages(), 1u);
+  EXPECT_EQ(shift(n).num_stages(), n - 1);
+  EXPECT_EQ(linear(n).num_stages(), n - 1);
+  EXPECT_EQ(binomial(n).num_stages(), ceil_log2(n));
+  EXPECT_EQ(dissemination(n).num_stages(), ceil_log2(n));
+  EXPECT_EQ(tournament(n).num_stages(), ceil_log2(n));
+  const std::uint64_t folds = std::has_single_bit(n) ? 0 : 2;
+  EXPECT_EQ(recursive_doubling(n).num_stages(),
+            static_cast<std::size_t>(std::bit_width(n) - 1) + folds);
+}
+
+TEST_P(SizeSweep, BinomialInformsEveryRankExactlyOnce) {
+  const std::uint64_t n = GetParam();
+  const Sequence seq = binomial(n);
+  std::set<Rank> informed{0};
+  for (const Stage& st : seq.stages) {
+    for (const Pair& pr : st.pairs) {
+      EXPECT_TRUE(informed.contains(pr.src)) << "uninformed sender " << pr.src;
+      EXPECT_TRUE(informed.insert(pr.dst).second)
+          << "rank " << pr.dst << " informed twice";
+    }
+  }
+  EXPECT_EQ(informed.size(), n);
+  EXPECT_EQ(seq.total_pairs(), n - 1);  // a spanning tree
+}
+
+TEST_P(SizeSweep, TournamentEliminatesDownToOne) {
+  const std::uint64_t n = GetParam();
+  const Sequence seq = tournament(n);
+  std::set<Rank> alive;
+  for (Rank i = 0; i < n; ++i) alive.insert(i);
+  for (const Stage& st : seq.stages) {
+    for (const Pair& pr : st.pairs) {
+      EXPECT_TRUE(alive.contains(pr.src));
+      EXPECT_TRUE(alive.contains(pr.dst));
+      alive.erase(pr.src);  // the sender retires after handing off
+    }
+  }
+  EXPECT_EQ(alive, std::set<Rank>{0});
+  EXPECT_EQ(seq.total_pairs(), n - 1);
+}
+
+TEST_P(SizeSweep, DisseminationCoversAllRanksEveryStage) {
+  const std::uint64_t n = GetParam();
+  for (const Stage& st : dissemination(n).stages) {
+    EXPECT_EQ(st.pairs.size(), n);
+    std::set<Rank> sources, sinks;
+    for (const Pair& pr : st.pairs) {
+      sources.insert(pr.src);
+      sinks.insert(pr.dst);
+    }
+    EXPECT_EQ(sources.size(), n);
+    EXPECT_EQ(sinks.size(), n);
+  }
+}
+
+TEST_P(SizeSweep, ShiftStagesAreExactlyTheRotations) {
+  const std::uint64_t n = GetParam();
+  const Sequence seq = shift(n);
+  for (std::uint64_t s = 1; s < n; ++s) {
+    const Stage& st = seq.stages[s - 1];
+    ASSERT_EQ(st.pairs.size(), n);
+    for (Rank i = 0; i < n; ++i) {
+      EXPECT_EQ(st.pairs[i].src, i);
+      EXPECT_EQ(st.pairs[i].dst, (i + s) % n);
+    }
+  }
+}
+
+TEST_P(SizeSweep, RecursiveDoublingReachesFullExchangeClosure) {
+  // After all stages, information seeded at any rank must have reached every
+  // rank of the power-of-two core (and, via folds, the extras).
+  const std::uint64_t n = GetParam();
+  const Sequence seq = recursive_doubling(n);
+  // knowledge[i] = set of ranks whose data i holds; simulate union-exchange.
+  std::vector<std::set<Rank>> knowledge(n);
+  for (Rank i = 0; i < n; ++i) knowledge[i] = {i};
+  for (const Stage& st : seq.stages) {
+    std::vector<std::pair<Rank, std::set<Rank>>> incoming;
+    for (const Pair& pr : st.pairs) incoming.emplace_back(pr.dst, knowledge[pr.src]);
+    for (auto& [dst, data] : incoming) {
+      if (st.role == StageRole::kUnfold) knowledge[dst] = data;
+      else knowledge[dst].insert(data.begin(), data.end());
+    }
+  }
+  for (Rank i = 0; i < n; ++i)
+    EXPECT_EQ(knowledge[i].size(), n) << "rank " << i << " missed data";
+}
+
+TEST(SequenceContent, GenerateMatchesNamedFunctions) {
+  for (const std::uint64_t n : {5ull, 8ull, 13ull}) {
+    EXPECT_EQ(generate(CpsKind::kRing, n).stages[0].pairs, ring(n).stages[0].pairs);
+    EXPECT_EQ(generate(CpsKind::kShift, n).num_stages(), shift(n).num_stages());
+    EXPECT_EQ(generate(CpsKind::kRecursiveDoubling, n).num_stages(),
+              recursive_doubling(n).num_stages());
+  }
+}
+
+}  // namespace
+}  // namespace ftcf::cps

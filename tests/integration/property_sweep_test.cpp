@@ -1,0 +1,101 @@
+// Property tests over randomized RLFT tuples: the paper's guarantees are not
+// about a handful of presets but about the whole topology family, so we
+// sample it. Every generated tuple satisfies the RLFT restrictions by
+// construction (constant CBB via w*p factorizations of K, single-cable
+// hosts, partial top level), then the full pipeline is asserted on it.
+#include <gtest/gtest.h>
+
+#include "core/grouped_rd.hpp"
+#include "core/theorems.hpp"
+#include "cps/classify.hpp"
+#include "routing/dmodk.hpp"
+#include "routing/validate.hpp"
+#include "topology/validate.hpp"
+#include "util/rng.hpp"
+
+namespace ftcf {
+namespace {
+
+/// A random RLFT with height 2 or 3 and at most ~200 hosts (keeps the
+/// exhaustive shift check fast).
+topo::PgftSpec random_rlft(util::Xoshiro256& rng) {
+  // Pick K with several divisors so parallel-port variants appear.
+  constexpr std::uint32_t arities[] = {2, 3, 4, 6, 8, 12};
+  const std::uint32_t k =
+      arities[rng.below(std::size(arities))];
+  const bool three_levels = k <= 4 && rng.below(2) == 0;
+
+  // Factor K = w * p for each upper level.
+  const auto pick_wp = [&](std::uint32_t& w, std::uint32_t& p) {
+    std::vector<std::uint32_t> divisors;
+    for (std::uint32_t d = 1; d <= k; ++d)
+      if (k % d == 0) divisors.push_back(d);
+    p = divisors[rng.below(divisors.size())];
+    w = k / p;
+  };
+
+  if (!three_levels) {
+    std::uint32_t w2 = 1, p2 = 1;
+    pick_wp(w2, p2);
+    // Top level: m2*p2 <= 2K, m2 >= 1 leaf columns.
+    const auto max_m2 = std::max<std::uint32_t>(1, 2 * k / p2);
+    const auto m2 =
+        static_cast<std::uint32_t>(1 + rng.below(max_m2));
+    return topo::PgftSpec({k, m2}, {1, w2}, {1, p2});
+  }
+  std::uint32_t w2 = 1, p2 = 1, w3 = 1, p3 = 1;
+  pick_wp(w2, p2);
+  pick_wp(w3, p3);
+  // Constant arity forces m2 * p2 == K at the middle level.
+  const std::uint32_t m2 = k / p2;
+  const auto max_m3 = std::max<std::uint32_t>(1, 2 * k / p3);
+  const auto m3 = static_cast<std::uint32_t>(
+      1 + rng.below(std::min<std::uint32_t>(max_m3, 4)));
+  return topo::PgftSpec({k, m2, m3}, {1, w2, w3}, {1, p2, p3});
+}
+
+class RlftPropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, RlftPropertySweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST_P(RlftPropertySweep, WholePipelineHoldsOnRandomRlft) {
+  util::Xoshiro256 rng(GetParam() * 7919);
+  const topo::PgftSpec spec = random_rlft(rng);
+  ASSERT_TRUE(spec.has_constant_cbb()) << spec.to_string();
+  ASSERT_TRUE(spec.has_single_cable_hosts()) << spec.to_string();
+
+  const topo::Fabric fabric(spec);
+  // Structure.
+  const auto structure = topo::validate_fabric(fabric);
+  ASSERT_TRUE(structure.ok) << spec.to_string() << ": "
+                            << structure.problems.front();
+  // Routing sanity.
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const auto routes = route::validate_routing(fabric, tables, 256);
+  ASSERT_TRUE(routes.ok) << spec.to_string() << ": "
+                         << routes.problems.front();
+  // Theorems 1 and 2 (exhaustive over shift stages).
+  const auto t1 = core::check_theorem1(fabric);
+  EXPECT_TRUE(t1.holds) << spec.to_string() << ": " << t1.detail;
+  const auto t2 = core::check_theorem2(fabric);
+  EXPECT_TRUE(t2.holds) << spec.to_string() << ": " << t2.detail;
+  // Theorem 3 (grouped recursive doubling).
+  const auto t3 = core::check_theorem3(fabric);
+  EXPECT_TRUE(t3.holds) << spec.to_string() << ": " << t3.detail;
+}
+
+TEST_P(RlftPropertySweep, GroupedRdStagesAreWellFormed) {
+  util::Xoshiro256 rng(GetParam() * 104729);
+  const topo::PgftSpec spec = random_rlft(rng);
+  const topo::Fabric fabric(spec);
+  const cps::Sequence seq = core::grouped_recursive_doubling(fabric);
+  for (const cps::Stage& st : seq.stages) {
+    EXPECT_TRUE(cps::is_partial_permutation(st, fabric.num_hosts()))
+        << spec.to_string();
+    EXPECT_LE(cps::displacement_classes(st, fabric.num_hosts()).size(), 2u)
+        << spec.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace ftcf

@@ -1,0 +1,76 @@
+#include "routing/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/validate.hpp"
+#include "topology/presets.hpp"
+
+namespace ftcf::route {
+namespace {
+
+using topo::Fabric;
+
+TEST(UpDown, TablesCompleteAndValid) {
+  const Fabric fabric(topo::paper_cluster(128));
+  const ForwardingTables tables = UpDownMinHopRouter{}.compute(fabric);
+  EXPECT_TRUE(tables.complete());
+  const auto report = validate_routing(fabric, tables);
+  EXPECT_TRUE(report.ok) << (report.problems.empty() ? ""
+                                                     : report.problems.front());
+}
+
+TEST(UpDown, BalancesUpPortLoadEvenly) {
+  const Fabric fabric(topo::paper_cluster(128));
+  const ForwardingTables tables = UpDownMinHopRouter{}.compute(fabric);
+  // At any leaf, destinations spread over up-ports within +/-1 of each other.
+  const topo::NodeId leaf = fabric.switch_node(1, 0);
+  const topo::Node& n = fabric.node(leaf);
+  std::vector<std::uint32_t> load(n.num_up_ports, 0);
+  for (std::uint64_t d = 0; d < fabric.num_hosts(); ++d) {
+    if (fabric.is_ancestor_of_host(leaf, d)) continue;
+    ++load[tables.out_port(leaf, d) - n.num_down_ports];
+  }
+  const auto [lo, hi] = std::minmax_element(load.begin(), load.end());
+  EXPECT_LE(*hi - *lo, 1u);
+}
+
+TEST(RandomRouter, DeterministicPerSeed) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  const ForwardingTables a = RandomRouter{7}.compute(fabric);
+  const ForwardingTables b = RandomRouter{7}.compute(fabric);
+  const ForwardingTables c = RandomRouter{8}.compute(fabric);
+  bool all_equal_ab = true, all_equal_ac = true;
+  for (const topo::NodeId sw : fabric.switch_ids()) {
+    for (std::uint64_t d = 0; d < fabric.num_hosts(); ++d) {
+      all_equal_ab &= a.out_port(sw, d) == b.out_port(sw, d);
+      all_equal_ac &= a.out_port(sw, d) == c.out_port(sw, d);
+    }
+  }
+  EXPECT_TRUE(all_equal_ab);
+  EXPECT_FALSE(all_equal_ac);
+}
+
+TEST(RandomRouter, RoutesAreValid) {
+  const Fabric fabric(topo::paper_cluster(128));
+  const ForwardingTables tables = RandomRouter{3}.compute(fabric);
+  const auto report = validate_routing(fabric, tables);
+  EXPECT_TRUE(report.ok) << (report.problems.empty() ? ""
+                                                     : report.problems.front());
+}
+
+TEST(Baselines, DownDirectionIsAlwaysMinimal) {
+  // Both baselines must still descend directly to the destination subtree.
+  const Fabric fabric(topo::fig4b_pgft16());
+  for (const auto& tables : {UpDownMinHopRouter{}.compute(fabric),
+                             ForwardingTables(RandomRouter{1}.compute(fabric))}) {
+    for (std::uint64_t s = 0; s < fabric.num_hosts(); ++s)
+      for (std::uint64_t d = 0; d < fabric.num_hosts(); ++d) {
+        if (s == d) continue;
+        const std::size_t links = trace_route(fabric, tables, s, d).size();
+        EXPECT_EQ(links, s / 4 == d / 4 ? 2u : 4u);
+      }
+  }
+}
+
+}  // namespace
+}  // namespace ftcf::route

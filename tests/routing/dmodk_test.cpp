@@ -1,0 +1,125 @@
+#include "routing/dmodk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "routing/trace.hpp"
+#include "topology/presets.hpp"
+
+namespace ftcf::route {
+namespace {
+
+using topo::Fabric;
+using topo::PgftSpec;
+
+TEST(DModK, UpPortFormulaMatchesEq1AtLeafLevel) {
+  // At a leaf (level 1) of an RLFT (w1 = 1): q = j mod (w2 * p2).
+  const PgftSpec spec = topo::paper_cluster(324);  // w2*p2 = 18
+  for (std::uint64_t j = 0; j < spec.num_hosts(); ++j)
+    EXPECT_EQ(DModKRouter::up_port_formula(spec, 1, j), j % 18);
+}
+
+TEST(DModK, UpPortFormulaDividesAtHigherLevels) {
+  const PgftSpec spec({2, 2, 4}, {1, 2, 2}, {1, 1, 1});  // tiny 3-level RLFT
+  // Level 2: q = floor(j / (w1*w2)) mod (w3*p3) = floor(j/2) mod 2.
+  for (std::uint64_t j = 0; j < spec.num_hosts(); ++j)
+    EXPECT_EQ(DModKRouter::up_port_formula(spec, 2, j), (j / 2) % 2);
+}
+
+TEST(DModK, DownRailIsConsistentWithUpRail) {
+  // The rail used descending level l must equal the rail the up-path picks
+  // ascending into level l, so theorem 2's one-destination-per-down-port
+  // argument goes through.
+  const PgftSpec spec = topo::fig4b_pgft16();  // p2 = 2: rails exist
+  for (std::uint64_t j = 0; j < spec.num_hosts(); ++j) {
+    const std::uint32_t q = DModKRouter::up_port_formula(spec, 1, j);
+    EXPECT_EQ(DModKRouter::down_rail_formula(spec, 2, j), q / spec.w(2));
+  }
+}
+
+TEST(DModK, TablesAreCompleteOnPresets) {
+  for (const std::uint64_t n : {16ull, 128ull, 324ull}) {
+    const Fabric fabric(topo::paper_cluster(n));
+    const ForwardingTables tables = DModKRouter{}.compute(fabric);
+    EXPECT_TRUE(tables.complete());
+  }
+}
+
+TEST(DModK, EveryPairIsRouted) {
+  const Fabric fabric(topo::paper_cluster(128));
+  const ForwardingTables tables = DModKRouter{}.compute(fabric);
+  for (std::uint64_t s = 0; s < fabric.num_hosts(); s += 7) {
+    for (std::uint64_t d = 0; d < fabric.num_hosts(); ++d) {
+      if (s == d) continue;
+      const auto links = trace_route(fabric, tables, s, d);
+      ASSERT_FALSE(links.empty());
+      // Last link must deliver into the destination host.
+      const topo::Port& last = fabric.port(links.back());
+      EXPECT_EQ(fabric.port(last.peer).node, fabric.host_node(d));
+    }
+  }
+}
+
+TEST(DModK, IntraLeafRoutesStayTwoHops) {
+  const Fabric fabric(topo::paper_cluster(324));
+  const ForwardingTables tables = DModKRouter{}.compute(fabric);
+  // Hosts 0 and 1 share a leaf: host -> leaf -> host = 2 links.
+  EXPECT_EQ(trace_route(fabric, tables, 0, 1).size(), 2u);
+  // Hosts 0 and 323 are in different leaves: 4 links on a 2-level tree.
+  EXPECT_EQ(trace_route(fabric, tables, 0, 323).size(), 4u);
+}
+
+TEST(DModK, SingleTopSwitchPerDestination) {
+  // Lemma 5: all traffic towards a destination crosses one top switch.
+  const Fabric fabric(topo::rlft3_top(2, 2));  // 8 hosts, 3 levels
+  const ForwardingTables tables = DModKRouter{}.compute(fabric);
+  for (std::uint64_t d = 0; d < fabric.num_hosts(); ++d) {
+    std::set<topo::NodeId> tops;
+    for (std::uint64_t s = 0; s < fabric.num_hosts(); ++s) {
+      if (s == d) continue;
+      for (const topo::PortId pid : trace_route(fabric, tables, s, d)) {
+        const topo::NodeId node = fabric.port(pid).node;
+        if (fabric.node(node).level == fabric.height()) tops.insert(node);
+      }
+    }
+    EXPECT_LE(tops.size(), 1u) << "destination " << d;
+  }
+}
+
+TEST(DModK, DownPortsServeOneDestinationEach) {
+  // Theorem 2's static form: among the destinations whose traffic actually
+  // descends through a switch (one peak top switch per destination, lemma 5),
+  // each uses a distinct down-going port. Destinations routed through *other*
+  // peaks never descend here, so only realized down-chains are compared.
+  for (const auto& spec :
+       {topo::fig4b_pgft16(), topo::paper_cluster(128),
+        PgftSpec({2, 2, 4}, {1, 2, 2}, {1, 1, 1})}) {
+    const Fabric fabric(spec);
+    const ForwardingTables tables = DModKRouter{}.compute(fabric);
+    // down_users[port] = destination observed descending through that port.
+    std::vector<std::uint64_t> down_users(fabric.num_ports(),
+                                          static_cast<std::uint64_t>(-1));
+    for (std::uint64_t d = 0; d < fabric.num_hosts(); ++d) {
+      for (std::uint64_t s = 0; s < fabric.num_hosts(); s += 5) {
+        if (s == d) continue;
+        for (const topo::PortId pid : trace_route(fabric, tables, s, d)) {
+          const topo::Port& pt = fabric.port(pid);
+          const topo::Node& n = fabric.node(pt.node);
+          const bool down = n.kind == topo::NodeKind::kSwitch &&
+                            pt.index < n.num_down_ports;
+          if (!down) continue;
+          auto& user = down_users[pid];
+          EXPECT_TRUE(user == static_cast<std::uint64_t>(-1) || user == d)
+              << "down port of " << fabric.node_name(pt.node)
+              << " shared by destinations " << user << " and " << d << " ("
+              << spec.to_string() << ")";
+          user = d;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftcf::route

@@ -1,0 +1,73 @@
+#include "routing/lft_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+#include "routing/dmodk.hpp"
+#include "topology/presets.hpp"
+#include "util/error.hpp"
+
+namespace ftcf::route {
+namespace {
+
+using topo::Fabric;
+
+TEST(LftIo, RoundTripsDModKTables) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  const ForwardingTables original = DModKRouter{}.compute(fabric);
+  const ForwardingTables parsed =
+      from_lft_string(fabric, to_lft_string(fabric, original));
+  for (const topo::NodeId sw : fabric.switch_ids())
+    for (std::uint64_t d = 0; d < fabric.num_hosts(); ++d)
+      EXPECT_EQ(parsed.out_port(sw, d), original.out_port(sw, d));
+}
+
+TEST(LftIo, DumpHasOneBlockPerSwitch) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  const std::string text =
+      to_lft_string(fabric, DModKRouter{}.compute(fabric));
+  std::size_t blocks = 0;
+  for (std::size_t pos = text.find("switch "); pos != std::string::npos;
+       pos = text.find("switch ", pos + 1))
+    ++blocks;
+  EXPECT_EQ(blocks, fabric.num_switches());
+}
+
+TEST(LftIo, EntryBeforeHeaderFails) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  EXPECT_THROW(from_lft_string(fabric, "0 : 1\n"), util::ParseError);
+}
+
+TEST(LftIo, UnknownSwitchFails) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  EXPECT_THROW(from_lft_string(fabric, "switch S9_9\n0 : 1\n"),
+               util::SpecError);
+}
+
+TEST(LftIo, IncompleteTableFails) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  EXPECT_THROW(from_lft_string(fabric, "switch S1_0\n0 : 0\n"),
+               util::SpecError);
+}
+
+TEST(LftIo, MalformedEntryFails) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  EXPECT_THROW(from_lft_string(fabric, "switch S1_0\nzero : 0\n"),
+               util::ParseError);
+  EXPECT_THROW(from_lft_string(fabric, "switch S1_0\n0 = 0\n"),
+               util::ParseError);
+  EXPECT_THROW(from_lft_string(fabric, "switch S1_0\n99 : 0\n"),
+               util::SpecError);
+}
+
+TEST(LftIo, CommentsAreIgnored) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  const ForwardingTables original = DModKRouter{}.compute(fabric);
+  std::string text = to_lft_string(fabric, original);
+  text = "# leading comment\n" + text + "# trailing\n";
+  EXPECT_NO_THROW((void)from_lft_string(fabric, text));
+}
+
+}  // namespace
+}  // namespace ftcf::route

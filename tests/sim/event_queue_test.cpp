@@ -1,0 +1,81 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/typed_queue.hpp"
+#include "util/expects.hpp"
+
+namespace ftcf::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  EXPECT_TRUE(q.run());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+  EXPECT_EQ(q.events_processed(), 3u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule(7, [&order, i] { order.push_back(i); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1, [&] {
+    ++fired;
+    q.schedule_in(5, [&] { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 6);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.schedule(10, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule(5, [] {}), util::PreconditionError);
+}
+
+TEST(EventQueue, RunWithLimitStopsEarly) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.schedule(i, [] {});
+  EXPECT_FALSE(q.run(4));
+  EXPECT_EQ(q.events_processed(), 4u);
+}
+
+TEST(TypedQueue, PopsInOrderWithStableTies) {
+  TypedEventQueue<int> q;
+  q.push(5, 50);
+  q.push(1, 10);
+  q.push(5, 51);
+  q.push(3, 30);
+  std::vector<int> order;
+  while (!q.empty()) order.push_back(q.pop());
+  EXPECT_EQ(order, (std::vector<int>{10, 30, 50, 51}));
+  EXPECT_EQ(q.now(), 5);
+}
+
+TEST(TypedQueue, PopFromEmptyThrows) {
+  TypedEventQueue<int> q;
+  EXPECT_THROW(q.pop(), util::PreconditionError);
+}
+
+TEST(Time, TransferTimeRoundsUpToOneNs) {
+  EXPECT_EQ(transfer_time(0, 4000e6), 1);
+  EXPECT_EQ(transfer_time(4000, 4000e6), 1000);  // 4000 B at 4 GB/s = 1 us
+  EXPECT_EQ(transfer_time(2048, 3250e6), 630);
+}
+
+}  // namespace
+}  // namespace ftcf::sim

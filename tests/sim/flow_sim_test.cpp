@@ -1,0 +1,123 @@
+#include "sim/flow_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+#include "cps/generators.hpp"
+#include "routing/dmodk.hpp"
+#include "sim/packet_sim.hpp"
+#include "topology/presets.hpp"
+
+namespace ftcf::sim {
+namespace {
+
+using topo::Fabric;
+
+struct Rig {
+  explicit Rig(topo::PgftSpec spec = topo::fig4b_pgft16())
+      : fabric(std::move(spec)),
+        tables(route::DModKRouter{}.compute(fabric)),
+        sim(fabric, tables) {}
+  Fabric fabric;
+  route::ForwardingTables tables;
+  FlowSim sim;
+};
+
+TEST(FlowSim, DeliversEveryByte) {
+  Rig rig;
+  StageTraffic st(16);
+  st.add(0, 5, 1 << 20);
+  st.add(7, 2, 12345);
+  const RunResult result = rig.sim.run({st}, Progression::kAsync);
+  EXPECT_EQ(result.bytes_delivered, (1u << 20) + 12345u);
+  EXPECT_EQ(result.messages_delivered, 2u);
+}
+
+TEST(FlowSim, SingleFlowRunsAtHostRate) {
+  Rig rig;
+  StageTraffic st(16);
+  st.add(0, 12, 64 << 20);
+  const RunResult result = rig.sim.run({st}, Progression::kAsync);
+  EXPECT_NEAR(result.normalized_bw, 1.0, 0.01);
+}
+
+TEST(FlowSim, MaxMinSharesTheBottleneck) {
+  Rig rig;
+  StageTraffic st(16);
+  st.add(4, 0, 8 << 20);
+  st.add(8, 1, 8 << 20);
+  st.add(12, 2, 8 << 20);
+  // Under D-Mod-K all three cross distinct links: full rate each.
+  const RunResult spread = rig.sim.run({st}, Progression::kAsync);
+  EXPECT_NEAR(spread.normalized_bw, 1.0, 0.02);
+
+  StageTraffic hot(16);
+  hot.add(4, 0, 8 << 20);
+  hot.add(8, 0, 8 << 20);   // same destination: halve
+  const RunResult shared = rig.sim.run({hot}, Progression::kAsync);
+  EXPECT_NEAR(shared.normalized_bw, 0.5, 0.03);
+}
+
+TEST(FlowSim, AgreesWithPacketSimOnCleanShift) {
+  // The two simulators model different mechanisms but must agree on
+  // congestion-free workloads (no HoL blocking to diverge on).
+  Rig rig;
+  const auto ordering = order::NodeOrdering::topology(rig.fabric);
+  const auto stages =
+      traffic_from_cps(cps::shift(16), ordering, 16, 128 * 1024);
+  const RunResult flow = rig.sim.run(stages, Progression::kSynchronized);
+  PacketSim psim(rig.fabric, rig.tables);
+  const RunResult pkt = psim.run(stages, Progression::kSynchronized);
+  EXPECT_EQ(flow.bytes_delivered, pkt.bytes_delivered);
+  EXPECT_NEAR(flow.normalized_bw, pkt.normalized_bw, 0.1);
+}
+
+TEST(FlowSim, StartupOverheadHurtsSmallMessages) {
+  Rig rig;
+  const auto ordering = order::NodeOrdering::topology(rig.fabric);
+  const auto small =
+      traffic_from_cps(cps::shift(16), ordering, 16, 1024);
+  const auto large =
+      traffic_from_cps(cps::shift(16), ordering, 16, 1 << 20);
+  const double bw_small =
+      rig.sim.run(small, Progression::kAsync).normalized_bw;
+  const double bw_large =
+      rig.sim.run(large, Progression::kAsync).normalized_bw;
+  EXPECT_LT(bw_small, 0.8);
+  EXPECT_GT(bw_large, 0.95);
+}
+
+TEST(FlowSim, SynchronizedBarriersBetweenStages) {
+  Rig rig;
+  // Stage 1 has one slow big flow; stage 2 a fast one. With a barrier the
+  // total time is the sum; async overlaps them.
+  StageTraffic s1(16), s2(16);
+  s1.add(0, 5, 32 << 20);
+  s2.add(8, 12, 32 << 20);
+  const auto sync = rig.sim.run({s1, s2}, Progression::kSynchronized);
+  const auto async = rig.sim.run({s1, s2}, Progression::kAsync);
+  EXPECT_GT(static_cast<double>(sync.makespan),
+            1.8 * static_cast<double>(async.makespan));
+}
+
+TEST(FlowSim, AdversarialRingOversubscribes) {
+  Rig rig(topo::paper_cluster(128));
+  const auto ordering = order::NodeOrdering::adversarial_ring(rig.fabric);
+  const auto stages =
+      traffic_from_cps(cps::ring(128), ordering, 128, 4 << 20);
+  const RunResult result = rig.sim.run(stages, Progression::kSynchronized);
+  // K = 8 flows per hot leaf up-link.
+  EXPECT_LT(result.normalized_bw, 0.25);
+}
+
+TEST(FlowSim, EventLimitGuards) {
+  Rig rig;
+  StageTraffic st(16);
+  st.add(0, 9, 1 << 20);
+  EXPECT_THROW(rig.sim.run({st}, Progression::kAsync, /*event_limit=*/1),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ftcf::sim

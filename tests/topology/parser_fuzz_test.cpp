@@ -1,0 +1,95 @@
+// Robustness of the text parsers: random garbage and random mutations of
+// valid inputs must produce clean exceptions (never crashes, hangs or
+// silently wrong fabrics).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "routing/dmodk.hpp"
+#include "routing/lft_io.hpp"
+#include "topology/presets.hpp"
+#include "topology/topo_io.hpp"
+#include "util/error.hpp"
+#include "util/expects.hpp"
+#include "util/rng.hpp"
+
+namespace ftcf::topo {
+namespace {
+
+std::string random_text(util::Xoshiro256& rng, std::size_t length) {
+  static constexpr char alphabet[] =
+      "PGFTXpgftx0123456789;,() :\n-#abcdefSH_";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i)
+    out.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+  return out;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST_P(FuzzSeeds, PgftParserThrowsOrParsesRandomText) {
+  util::Xoshiro256 rng(GetParam() * 31 + 7);
+  for (int i = 0; i < 200; ++i) {
+    const std::string text = random_text(rng, 1 + rng.below(60));
+    try {
+      const PgftSpec spec = parse_pgft(text);
+      EXPECT_GE(spec.height(), 1u);  // accidentally-valid input is fine
+    } catch (const util::Error&) {
+      // expected for garbage
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, TopoParserSurvivesMutation) {
+  util::Xoshiro256 rng(GetParam() * 131 + 5);
+  const Fabric fabric(fig4b_pgft16());
+  const std::string good = to_topo_string(fabric);
+  for (int i = 0; i < 40; ++i) {
+    std::string mutated = good;
+    // Flip a handful of characters.
+    for (int k = 0; k < 5; ++k) {
+      const std::size_t pos = rng.below(mutated.size());
+      mutated[pos] = static_cast<char>('0' + rng.below(10));
+    }
+    try {
+      const Fabric parsed = from_topo_string(mutated);
+      // If it still parses, it must be a structurally sound fabric.
+      EXPECT_GE(parsed.num_hosts(), 1u);
+    } catch (const util::Error&) {
+    } catch (const util::PreconditionError&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, LftParserSurvivesMutation) {
+  util::Xoshiro256 rng(GetParam() * 977 + 3);
+  const Fabric fabric(fig4b_pgft16());
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const std::string good = route::to_lft_string(fabric, tables);
+  for (int i = 0; i < 40; ++i) {
+    std::string mutated = good;
+    for (int k = 0; k < 3; ++k) {
+      const std::size_t pos = rng.below(mutated.size());
+      mutated[pos] = static_cast<char>('0' + rng.below(10));
+    }
+    try {
+      (void)route::from_lft_string(fabric, mutated);
+    } catch (const util::Error&) {
+    } catch (const util::PreconditionError&) {
+    }
+  }
+}
+
+TEST(ParserFuzz, EmptyAndHugeInputs) {
+  EXPECT_THROW((void)parse_pgft(""), util::Error);
+  EXPECT_THROW((void)from_topo_string(""), util::Error);
+  EXPECT_THROW((void)parse_pgft(std::string(100000, 'P')), util::Error);
+  // A PGFT tuple with absurd sizes must be rejected, not allocated.
+  EXPECT_THROW((void)parse_pgft("PGFT(3; 100000,100000,100000; 1,1,1; 1,1,1)"),
+               util::Error);
+}
+
+}  // namespace
+}  // namespace ftcf::topo

@@ -1,0 +1,79 @@
+#include "topology/topo_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topology/presets.hpp"
+#include "util/error.hpp"
+
+namespace ftcf::topo {
+namespace {
+
+TEST(TopoIo, RoundTripsFig4b) {
+  const Fabric fabric(fig4b_pgft16());
+  const std::string text = to_topo_string(fabric);
+  const Fabric parsed = from_topo_string(text);
+  EXPECT_EQ(parsed.spec(), fabric.spec());
+  EXPECT_EQ(parsed.num_ports(), fabric.num_ports());
+}
+
+TEST(TopoIo, EmitsOneLinePerCable) {
+  const Fabric fabric(fig4b_pgft16());
+  const std::string text = to_topo_string(fabric);
+  std::size_t links = 0;
+  std::istringstream iss(text);
+  std::string line;
+  while (std::getline(iss, line))
+    if (line.rfind("link ", 0) == 0) ++links;
+  // 16 host cables + 4 leaves * 4 up cables.
+  EXPECT_EQ(links, 16u + 16u);
+}
+
+TEST(TopoIo, HeaderOnlyIsEnough) {
+  const Fabric parsed = from_topo_string("pgft PGFT(2; 4,4; 1,2; 1,2)\n");
+  EXPECT_EQ(parsed.num_hosts(), 16u);
+}
+
+TEST(TopoIo, MissingHeaderFails) {
+  EXPECT_THROW(from_topo_string("node H0 kind=host level=0 ports=1\n"),
+               util::ParseError);
+}
+
+TEST(TopoIo, WrongPortCountFails) {
+  EXPECT_THROW(
+      from_topo_string("pgft PGFT(2; 4,4; 1,2; 1,2)\n"
+                       "node H0 kind=host level=0 ports=3\n"),
+      util::SpecError);
+}
+
+TEST(TopoIo, ContradictoryCableFails) {
+  // H0 connects to S1_0:0, not S1_1:0.
+  EXPECT_THROW(
+      from_topo_string("pgft PGFT(2; 4,4; 1,2; 1,2)\n"
+                       "link H0:0 S1_1:0\n"),
+      util::SpecError);
+}
+
+TEST(TopoIo, UnknownNodeInLinkFails) {
+  EXPECT_THROW(
+      from_topo_string("pgft PGFT(2; 4,4; 1,2; 1,2)\n"
+                       "link H99:0 S1_0:0\n"),
+      util::SpecError);
+}
+
+TEST(TopoIo, CommentsAndBlanksIgnored) {
+  const Fabric parsed = from_topo_string(
+      "# banner\n\n"
+      "pgft PGFT(2; 4,4; 1,2; 1,2)  # inline comment\n"
+      "\n# trailing\n");
+  EXPECT_EQ(parsed.num_hosts(), 16u);
+}
+
+TEST(TopoIo, UnknownKeywordFails) {
+  EXPECT_THROW(from_topo_string("pgft PGFT(2; 4,4; 1,2; 1,2)\nswitch S1\n"),
+               util::ParseError);
+}
+
+}  // namespace
+}  // namespace ftcf::topo

@@ -1,0 +1,44 @@
+#include "util/expects.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftcf::util {
+namespace {
+
+TEST(Expects, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(expects(true));
+  EXPECT_NO_THROW(ensures(true));
+}
+
+TEST(Expects, ThrowsPreconditionError) {
+  EXPECT_THROW(expects(false, "bad arg"), PreconditionError);
+}
+
+TEST(Expects, ThrowsInvariantError) {
+  EXPECT_THROW(ensures(false, "broken"), InvariantError);
+}
+
+TEST(Expects, MessageCarriesLocationAndText) {
+  try {
+    expects(false, "the answer was not 42");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& ex) {
+    const std::string what = ex.what();
+    EXPECT_NE(what.find("the answer was not 42"), std::string::npos);
+    EXPECT_NE(what.find("expects_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Expects, InvariantIsNotAPrecondition) {
+  try {
+    ensures(false, "x");
+    FAIL();
+  } catch (const PreconditionError&) {
+    FAIL() << "ensures must not throw PreconditionError";
+  } catch (const InvariantError&) {
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace ftcf::util

@@ -1,0 +1,84 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+namespace ftcf::util {
+namespace {
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyIsSafe) {
+  const Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_TRUE(std::isnan(acc.min()));
+  EXPECT_TRUE(std::isnan(acc.max()));
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(IntHistogram, CountsAndMax) {
+  IntHistogram hist;
+  hist.add(1, 5);
+  hist.add(2);
+  hist.add(2);
+  hist.add(7);
+  EXPECT_EQ(hist.total(), 8u);
+  EXPECT_EQ(hist.count_of(1), 5u);
+  EXPECT_EQ(hist.count_of(2), 2u);
+  EXPECT_EQ(hist.count_of(3), 0u);
+  EXPECT_EQ(hist.max_value(), 7);
+  EXPECT_EQ(hist.to_string(), "1:5 2:2 7:1");
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> sample{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.1), 1.4);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 0.5), PreconditionError);
+  EXPECT_THROW(percentile({1.0}, 1.5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ftcf::util

@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/expects.hpp"
+
+namespace ftcf::util {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, TitleIsPrinted) {
+  Table t({"x"});
+  t.set_title("Table 3");
+  std::ostringstream oss;
+  t.print(oss);
+  EXPECT_EQ(oss.str().rfind("Table 3\n", 0), 0u);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "he said \"hi\""});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_EQ(oss.str(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Format, Doubles) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(2048), "2 KiB");
+  EXPECT_EQ(fmt_bytes(1024ull * 1024), "1 MiB");
+  EXPECT_EQ(fmt_bytes(3ull * 1024 * 1024 * 1024), "3 GiB");
+  EXPECT_EQ(fmt_bytes(1500), "1500 B");
+}
+
+TEST(Format, RatioPercent) {
+  EXPECT_EQ(fmt_ratio_percent(0.071), "7.1%");
+  EXPECT_EQ(fmt_ratio_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace ftcf::util

@@ -1,0 +1,272 @@
+// ftcf_tool — command-line front end for the library, in the spirit of the
+// ibutils/ibdm workflow the paper's §VII builds on:
+//
+//   ftcf_tool topo     --spec "PGFT(2; 18,18; 1,9; 1,2)" [--out cluster.topo]
+//   ftcf_tool route    --topo cluster.topo --router dmodk [--lft-out lfts.txt]
+//   ftcf_tool hsd      --topo cluster.topo --cps shift --order topology
+//   ftcf_tool simulate --topo cluster.topo --cps ring --order random
+//                      --kib 256 [--sync] [--adaptive]
+//   ftcf_tool theorems --spec "PGFT(3; 6,6,4; 1,6,6; 1,1,1)"
+//
+// `--topo` reads a topology file; `--spec` builds from a PGFT tuple; the
+// preset shorthand `--nodes 324` uses the paper's cluster catalog.
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "analysis/hsd.hpp"
+#include "core/grouped_rd.hpp"
+#include "core/report.hpp"
+#include "core/theorems.hpp"
+#include "cps/generators.hpp"
+#include "routing/lft_io.hpp"
+#include "routing/router.hpp"
+#include "routing/validate.hpp"
+#include "sim/packet_sim.hpp"
+#include "topology/presets.hpp"
+#include "topology/topo_io.hpp"
+#include "topology/validate.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftcf;
+
+void add_fabric_options(util::Cli& cli) {
+  cli.add_option("spec", "PGFT tuple, e.g. 'PGFT(2; 4,4; 1,2; 1,2)'", "");
+  cli.add_option("topo", "topology file to read", "");
+  cli.add_option("nodes", "paper preset size (e.g. 324)", "0");
+}
+
+topo::Fabric load_fabric(const util::Cli& cli) {
+  const std::string spec = cli.str("spec");
+  const std::string topo_file = cli.str("topo");
+  const std::uint64_t nodes = cli.uinteger("nodes");
+  if (!spec.empty()) return topo::Fabric(topo::parse_pgft(spec));
+  if (!topo_file.empty()) {
+    std::ifstream is(topo_file);
+    if (!is) throw util::Error("cannot open topo file '" + topo_file + "'");
+    return topo::read_topo(is);
+  }
+  if (nodes != 0) return topo::Fabric(topo::paper_cluster(nodes));
+  throw util::Error("need one of --spec, --topo or --nodes");
+}
+
+order::NodeOrdering load_ordering(const std::string& name,
+                                  const topo::Fabric& fabric,
+                                  std::uint64_t seed) {
+  if (name == "topology") return order::NodeOrdering::topology(fabric);
+  if (name == "random") return order::NodeOrdering::random(fabric, seed);
+  if (name == "adversarial")
+    return order::NodeOrdering::adversarial_ring(fabric);
+  if (name == "leaf-random")
+    return order::NodeOrdering::leaf_random(fabric, seed);
+  if (name == "interleaved")
+    return order::NodeOrdering::leaf_interleaved(fabric);
+  throw util::Error(
+      "unknown order '" + name +
+      "' (topology|random|adversarial|leaf-random|interleaved)");
+}
+
+int cmd_topo(int argc, const char* const* argv) {
+  util::Cli cli("ftcf_tool topo", "build, validate and export a topology");
+  add_fabric_options(cli);
+  cli.add_option("out", "topo file to write ('-' = stdout summary only)", "-");
+  if (!cli.parse(argc, argv)) return 0;
+  const topo::Fabric fabric = load_fabric(cli);
+
+  const auto audit = topo::validate_fabric(fabric);
+  const auto cbb = topo::validate_constant_cbb(fabric);
+  std::cout << fabric.spec().to_string() << ": " << fabric.num_hosts()
+            << " hosts, " << fabric.num_switches() << " switches, "
+            << fabric.num_ports() << " ports\n"
+            << "RLFT: " << (fabric.spec().is_rlft() ? "yes" : "no")
+            << ", structure: " << (audit.ok ? "ok" : audit.problems.front())
+            << ", constant CBB: " << (cbb.ok ? "yes" : "no") << '\n';
+  if (cli.str("out") != "-") {
+    std::ofstream os(cli.str("out"));
+    topo::write_topo(fabric, os);
+    std::cout << "wrote " << cli.str("out") << '\n';
+  }
+  return audit.ok ? 0 : 1;
+}
+
+int cmd_route(int argc, const char* const* argv) {
+  util::Cli cli("ftcf_tool route", "compute and validate forwarding tables");
+  add_fabric_options(cli);
+  cli.add_option("router", "dmodk|ftree|updown|random", "dmodk");
+  cli.add_option("seed", "random-router seed", "1");
+  cli.add_option("lft-out", "LFT dump file ('-' = skip)", "-");
+  if (!cli.parse(argc, argv)) return 0;
+  const topo::Fabric fabric = load_fabric(cli);
+
+  const auto router = route::make_router(
+      route::parse_router_kind(cli.str("router")), cli.uinteger("seed"));
+  const auto tables = router->compute(fabric);
+  const auto report = route::validate_routing(fabric, tables);
+  std::cout << "router " << router->name() << ": tables "
+            << (tables.complete() ? "complete" : "INCOMPLETE")
+            << ", up*/down* audit "
+            << (report.ok ? "ok" : report.problems.front()) << '\n';
+  if (cli.str("lft-out") != "-") {
+    std::ofstream os(cli.str("lft-out"));
+    route::write_lfts(fabric, tables, os);
+    std::cout << "wrote " << cli.str("lft-out") << '\n';
+  }
+  return report.ok ? 0 : 1;
+}
+
+int cmd_hsd(int argc, const char* const* argv) {
+  util::Cli cli("ftcf_tool hsd", "hot-spot-degree analysis of a CPS");
+  add_fabric_options(cli);
+  cli.add_option("router", "dmodk|ftree|updown|random", "dmodk");
+  cli.add_option("cps", "ring|shift|binomial|dissemination|tournament|linear|"
+                 "recursive-doubling|recursive-halving|grouped-rd", "shift");
+  cli.add_option("order", "topology|random|adversarial|leaf-random|interleaved",
+                 "topology");
+  cli.add_option("seed", "seed for randomized choices", "1");
+  if (!cli.parse(argc, argv)) return 0;
+  const topo::Fabric fabric = load_fabric(cli);
+
+  const auto tables =
+      route::make_router(route::parse_router_kind(cli.str("router")),
+                         cli.uinteger("seed"))
+          ->compute(fabric);
+  const auto ordering =
+      load_ordering(cli.str("order"), fabric, cli.uinteger("seed"));
+  const cps::Sequence seq =
+      cli.str("cps") == "grouped-rd"
+          ? core::grouped_recursive_doubling(fabric)
+          : cps::generate(cps::parse_cps(cli.str("cps")), fabric.num_hosts());
+
+  const analysis::HsdAnalyzer analyzer(fabric, tables);
+  const auto metrics = analyzer.analyze_sequence(seq, ordering);
+  util::Table table({"metric", "value"});
+  table.add_row({"stages", std::to_string(seq.num_stages())});
+  table.add_row({"avg max HSD", util::fmt_double(metrics.avg_max_hsd, 3)});
+  table.add_row({"worst stage HSD", std::to_string(metrics.worst_stage_hsd)});
+  table.add_row({"worst up HSD", std::to_string(metrics.worst_up_hsd)});
+  table.add_row({"worst down HSD", std::to_string(metrics.worst_down_hsd)});
+  table.add_row({"congestion-free",
+                 metrics.worst_stage_hsd <= 1 ? "yes" : "no"});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_simulate(int argc, const char* const* argv) {
+  util::Cli cli("ftcf_tool simulate", "packet-level simulation of a CPS");
+  add_fabric_options(cli);
+  cli.add_option("router", "dmodk|ftree|updown|random", "dmodk");
+  cli.add_option("cps", "CPS name (see hsd)", "ring");
+  cli.add_option("order", "node ordering (see hsd)", "topology");
+  cli.add_option("kib", "message size in KiB", "128");
+  cli.add_option("seed", "seed for randomized choices", "1");
+  cli.add_option("jitter-us", "synchronized-stage jitter bound", "0");
+  cli.add_flag("sync", "barrier between stages");
+  cli.add_flag("adaptive", "adaptive up-port selection");
+  if (!cli.parse(argc, argv)) return 0;
+  const topo::Fabric fabric = load_fabric(cli);
+
+  const auto tables =
+      route::make_router(route::parse_router_kind(cli.str("router")),
+                         cli.uinteger("seed"))
+          ->compute(fabric);
+  const auto ordering =
+      load_ordering(cli.str("order"), fabric, cli.uinteger("seed"));
+  const cps::Sequence seq =
+      cli.str("cps") == "grouped-rd"
+          ? core::grouped_recursive_doubling(fabric)
+          : cps::generate(cps::parse_cps(cli.str("cps")), fabric.num_hosts());
+  const auto traffic = sim::traffic_from_cps(
+      seq, ordering, fabric.num_hosts(), cli.uinteger("kib") * 1024);
+
+  sim::PacketSim psim(fabric, tables);
+  if (cli.flag("adaptive"))
+    psim.set_up_selection(sim::UpSelection::kAdaptive);
+  if (cli.uinteger("jitter-us") > 0)
+    psim.set_stage_jitter(
+        static_cast<sim::SimTime>(cli.uinteger("jitter-us") * 1000),
+        cli.uinteger("seed"));
+  const auto result =
+      psim.run(traffic, cli.flag("sync") ? sim::Progression::kSynchronized
+                                         : sim::Progression::kAsync);
+
+  util::Table table({"metric", "value"});
+  table.add_row({"makespan", util::fmt_double(sim::to_us(result.makespan), 1) +
+                                 " us"});
+  table.add_row({"bytes delivered", util::fmt_bytes(result.bytes_delivered)});
+  table.add_row({"normalized BW",
+                 util::fmt_ratio_percent(result.normalized_bw)});
+  table.add_row({"avg msg latency",
+                 util::fmt_double(result.message_latency_us.mean(), 1) + " us"});
+  table.add_row({"out-of-order packets",
+                 std::to_string(result.out_of_order_packets)});
+  table.add_row({"events", std::to_string(result.events)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_report(int argc, const char* const* argv) {
+  util::Cli cli("ftcf_tool report",
+                "full structural/routing/congestion report for a fabric");
+  add_fabric_options(cli);
+  cli.add_option("trials", "random-order baseline trials", "3");
+  cli.add_flag("no-theorems", "skip the exhaustive theorem checks");
+  if (!cli.parse(argc, argv)) return 0;
+  const topo::Fabric fabric = load_fabric(cli);
+  core::ReportOptions options;
+  options.check_theorems = !cli.flag("no-theorems");
+  options.random_trials = static_cast<std::uint32_t>(cli.uinteger("trials"));
+  core::write_fabric_report(fabric, std::cout, options);
+  return 0;
+}
+
+int cmd_theorems(int argc, const char* const* argv) {
+  util::Cli cli("ftcf_tool theorems",
+                "check Theorems 1-3 computationally on a fabric");
+  add_fabric_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const topo::Fabric fabric = load_fabric(cli);
+
+  const auto t1 = core::check_theorem1(fabric);
+  const auto t2 = core::check_theorem2(fabric);
+  const auto t3 = core::check_theorem3(fabric);
+  const auto show = [](const char* name, const core::TheoremReport& r) {
+    std::cout << name << ": " << (r.holds ? "holds" : "VIOLATED") << " ("
+              << r.stages_checked << " stages";
+    if (!r.holds) std::cout << "; " << r.detail;
+    std::cout << ")\n";
+  };
+  show("Theorem 1 (shift, up-going ports)", t1);
+  show("Theorem 2 (shift, down-going ports)", t2);
+  show("Theorem 3 (grouped recursive doubling)", t3);
+  return t1.holds && t2.holds && t3.holds ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "usage: ftcf_tool <topo|route|hsd|simulate|theorems|report> [options]\n"
+      "       ftcf_tool <command> --help for per-command options\n";
+  if (argc < 2) {
+    std::cerr << usage;
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "topo") return cmd_topo(argc - 1, argv + 1);
+    if (command == "route") return cmd_route(argc - 1, argv + 1);
+    if (command == "hsd") return cmd_hsd(argc - 1, argv + 1);
+    if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (command == "theorems") return cmd_theorems(argc - 1, argv + 1);
+    if (command == "report") return cmd_report(argc - 1, argv + 1);
+    std::cerr << "unknown command '" << command << "'\n" << usage;
+    return 2;
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << '\n';
+    return 1;
+  }
+}
