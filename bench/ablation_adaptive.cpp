@@ -13,8 +13,10 @@
 #include <iostream>
 
 #include "cps/generators.hpp"
+#include "obs/cli.hpp"
 #include "routing/dmodk.hpp"
 #include "sim/packet_sim.hpp"
+#include "topology/obs_names.hpp"
 #include "topology/presets.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -29,7 +31,9 @@ int main(int argc, char** argv) {
   cli.add_option("stages", "shift stages sampled", "24");
   cli.add_option("seed", "random-order seed", "2011");
   cli.add_flag("csv", "CSV output");
+  obs::ObsCli::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  obs::ObsCli obs_cli(cli);
 
   const topo::Fabric fabric(topo::paper_cluster(cli.uinteger("nodes")));
   const auto tables = route::DModKRouter{}.compute(fabric);
@@ -74,6 +78,7 @@ int main(int argc, char** argv) {
 
   for (const Config& config : configs) {
     sim::PacketSim psim(fabric, tables);
+    psim.set_observer(obs_cli.observer());
     psim.set_up_selection(config.selection);
     const auto result =
         psim.run(*config.traffic, sim::Progression::kAsync);
@@ -105,5 +110,6 @@ int main(int argc, char** argv) {
   std::cout << "Jitter, not contention, is what remains once routing and "
                "ordering are right —\nthe paper points to clock "
                "synchronization protocols for exactly this.\n";
+  obs_cli.finish(topo::trace_naming(fabric));
   return 0;
 }

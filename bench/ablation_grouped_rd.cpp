@@ -13,6 +13,7 @@
 #include "collectives/cost_model.hpp"
 #include "core/grouped_rd.hpp"
 #include "cps/generators.hpp"
+#include "obs/profile.hpp"
 #include "routing/dmodk.hpp"
 #include "topology/presets.hpp"
 #include "util/cli.hpp"
@@ -26,7 +27,12 @@ int main(int argc, char** argv) {
                 "topology order");
   cli.add_option("kib", "allreduce payload per rank in KiB", "64");
   cli.add_flag("csv", "CSV output");
+  cli.add_flag("profile", "time fabric/routing-table construction");
   if (!cli.parse(argc, argv)) return 0;
+  if (cli.flag("profile")) {
+    obs::Profiler::instance().reset();
+    obs::Profiler::instance().set_enabled(true);
+  }
 
   util::Table table({"fabric", "sequence", "stages", "worst HSD",
                      "est. allreduce time", "vs naive"});
@@ -76,5 +82,6 @@ int main(int argc, char** argv) {
                "stages; on the power-of-two K=8 fabric both\nare clean and "
                "naive is (marginally) cheaper — grouping costs nothing it "
                "does not repay.\n";
+  if (cli.flag("profile")) obs::Profiler::instance().report(std::cerr);
   return 0;
 }

@@ -9,8 +9,10 @@
 
 #include "analysis/hsd.hpp"
 #include "cps/generators.hpp"
+#include "obs/cli.hpp"
 #include "routing/dmodk.hpp"
 #include "sim/packet_sim.hpp"
+#include "topology/obs_names.hpp"
 #include "topology/presets.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -24,12 +26,15 @@ int main(int argc, char** argv) {
   cli.add_option("kib", "ring message size in KiB", "256");
   cli.add_option("seed", "randomized-placement seed", "17");
   cli.add_flag("csv", "CSV output");
+  obs::ObsCli::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  obs::ObsCli obs_cli(cli);
 
   const topo::Fabric fabric(topo::paper_cluster(cli.uinteger("nodes")));
   const auto tables = route::DModKRouter{}.compute(fabric);
   const analysis::HsdAnalyzer analyzer(fabric, tables);
   sim::PacketSim psim(fabric, tables);
+  psim.set_observer(obs_cli.observer());
   const std::uint64_t n = fabric.num_hosts();
   const std::uint64_t seed = cli.uinteger("seed");
   const cps::Sequence shift_seq = cps::shift(n);
@@ -74,5 +79,6 @@ int main(int argc, char** argv) {
          "survives because it is itself a rotation of the tree order,\n"
          "preserving the cyclic arithmetic D-Mod-K spreads. Random and "
          "adversarial ranks lose\n4-14x of the bandwidth.\n";
+  obs_cli.finish(topo::trace_naming(fabric));
   return 0;
 }

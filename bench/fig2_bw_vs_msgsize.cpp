@@ -18,8 +18,10 @@
 #include <iostream>
 
 #include "cps/generators.hpp"
+#include "obs/cli.hpp"
 #include "routing/dmodk.hpp"
 #include "sim/packet_sim.hpp"
+#include "topology/obs_names.hpp"
 #include "topology/presets.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
@@ -56,12 +58,15 @@ int main(int argc, char** argv) {
   cli.add_option("seed", "random-order seed", "2011");
   cli.add_flag("full", "use the paper's 1944-node topology");
   cli.add_flag("csv", "CSV output");
+  obs::ObsCli::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  obs::ObsCli obs_cli(cli);
 
   const std::uint64_t nodes = cli.flag("full") ? 1944 : cli.uinteger("nodes");
   const topo::Fabric fabric(topo::paper_cluster(nodes));
   const auto tables = route::DModKRouter{}.compute(fabric);
   sim::PacketSim psim(fabric, tables);
+  psim.set_observer(obs_cli.observer());
 
   const std::uint64_t n = fabric.num_hosts();
   const auto random_order = order::NodeOrdering::random(fabric, cli.uinteger("seed"));
@@ -112,5 +117,6 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper shape check: both random-order series fall with "
                "message size;\nRecursive-Doubling lies below Shift; the "
                "ordered series stays near 1.0.\n";
+  obs_cli.finish(topo::trace_naming(fabric));
   return 0;
 }

@@ -9,8 +9,10 @@
 #include <iostream>
 
 #include "cps/generators.hpp"
+#include "obs/cli.hpp"
 #include "routing/dmodk.hpp"
 #include "sim/packet_sim.hpp"
+#include "topology/obs_names.hpp"
 #include "topology/presets.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -25,11 +27,14 @@ int main(int argc, char** argv) {
   cli.add_option("kib", "message size in KiB", "1024");
   cli.add_option("seed", "random-order seed", "7");
   cli.add_flag("csv", "CSV output");
+  obs::ObsCli::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  obs::ObsCli obs_cli(cli);
 
   const topo::Fabric fabric(topo::paper_cluster(cli.uinteger("nodes")));
   const auto tables = route::DModKRouter{}.compute(fabric);
   sim::PacketSim psim(fabric, tables);
+  psim.set_observer(obs_cli.observer());
   const std::uint64_t n = fabric.num_hosts();
   const std::uint64_t bytes = cli.uinteger("kib") * 1024;
   const cps::Sequence ring = cps::ring(n);
@@ -73,5 +78,6 @@ int main(int argc, char** argv) {
             << "(4000 MB/s link / " << fabric.spec().arity() << " = "
             << util::fmt_double(4000.0 / fabric.spec().arity(), 1)
             << " MB/s per flow; the paper reports 231.5 MB/s).\n";
+  obs_cli.finish(topo::trace_naming(fabric));
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "collectives/simulate.hpp"
 
+#include "obs/profile.hpp"
 #include "util/expects.hpp"
 
 namespace ftcf::coll {
@@ -7,7 +8,9 @@ namespace ftcf::coll {
 SimulatedCost simulate_trace(const Trace& trace, const topo::Fabric& fabric,
                              const route::ForwardingTables& tables,
                              const order::NodeOrdering& ordering,
-                             const sim::Calibration& calib) {
+                             const sim::Calibration& calib,
+                             const obs::SimObserver& observer) {
+  FTCF_PROF_SCOPE("collective_replay");
   util::expects(trace.bytes_per_pair.size() == trace.sequence.stages.size(),
                 "trace bytes must align with stages");
 
@@ -27,6 +30,7 @@ SimulatedCost simulate_trace(const Trace& trace, const topo::Fabric& fabric,
   }
 
   sim::PacketSim psim(fabric, tables, calib);
+  psim.set_observer(observer);
   SimulatedCost cost;
   cost.run = psim.run(stages, sim::Progression::kSynchronized);
   cost.seconds = sim::to_seconds(cost.run.makespan);

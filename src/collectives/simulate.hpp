@@ -8,6 +8,7 @@
 #pragma once
 
 #include "collectives/collectives.hpp"
+#include "obs/sim_hooks.hpp"
 #include "ordering/ordering.hpp"
 #include "routing/lft.hpp"
 #include "sim/packet_sim.hpp"
@@ -21,10 +22,12 @@ struct SimulatedCost {
 
 /// Replay `trace` under `ordering` on the fabric with synchronized stages.
 /// Zero-byte stages (barrier notifications) are charged one MTU so they
-/// still traverse the network.
+/// still traverse the network. `observer` (optional) captures the replay in
+/// the observability layer — stage spans then map 1:1 to the trace's stages.
 [[nodiscard]] SimulatedCost simulate_trace(
     const Trace& trace, const topo::Fabric& fabric,
     const route::ForwardingTables& tables, const order::NodeOrdering& ordering,
-    const sim::Calibration& calib = sim::Calibration::qdr_pcie_gen2());
+    const sim::Calibration& calib = sim::Calibration::qdr_pcie_gen2(),
+    const obs::SimObserver& observer = {});
 
 }  // namespace ftcf::coll

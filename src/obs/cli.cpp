@@ -1,0 +1,71 @@
+#include "obs/cli.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "obs/profile.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace ftcf::obs {
+
+void ObsCli::add_options(util::Cli& cli) {
+  cli.add_option("trace", "write a Chrome trace-event JSON ('' = off)", "");
+  cli.add_option("trace-csv", "write the raw event CSV ('' = off)", "");
+  cli.add_option("trace-cap",
+                 "trace buffer capacity in events (overflow keeps the first "
+                 "N and counts drops)",
+                 std::to_string(TraceRecorder::kDefaultCapacity));
+  cli.add_option("metrics", "write the metrics-registry JSON ('' = off)", "");
+  cli.add_option("sample-us",
+                 "link-utilization/queue sampling period (sim microseconds)",
+                 "10");
+  cli.add_flag("profile", "time construction/sim phases, report at exit");
+}
+
+ObsCli::ObsCli(const util::Cli& cli)
+    : trace_path_(cli.str("trace")),
+      trace_csv_path_(cli.str("trace-csv")),
+      metrics_path_(cli.str("metrics")),
+      profile_(cli.flag("profile")) {
+  if (!trace_path_.empty() || !trace_csv_path_.empty())
+    trace_ = std::make_unique<TraceRecorder>(
+        static_cast<std::size_t>(cli.uinteger("trace-cap")));
+  if (!metrics_path_.empty()) metrics_ = std::make_unique<MetricsRegistry>();
+  obs_.trace = trace_.get();
+  obs_.metrics = metrics_.get();
+  obs_.sample_period_ns =
+      static_cast<sim::SimTime>(cli.uinteger("sample-us")) * 1000;
+  if (profile_) {
+    Profiler::instance().reset();
+    Profiler::instance().set_enabled(true);
+  }
+}
+
+void ObsCli::finish(const TraceNaming& naming) {
+  const auto write_file = [](const std::string& path, const auto& writer) {
+    std::ofstream os(path);
+    if (!os) throw util::Error("cannot open '" + path + "' for writing");
+    writer(os);
+    if (!os) throw util::Error("write to '" + path + "' failed");
+  };
+  if (trace_ && !trace_path_.empty()) {
+    write_file(trace_path_,
+               [&](std::ostream& os) { write_chrome_trace(*trace_, os, naming); });
+    util::log_info("wrote trace ", trace_path_, " (", trace_->size(),
+                   " events, ", trace_->dropped(), " dropped)");
+  }
+  if (trace_ && !trace_csv_path_.empty()) {
+    write_file(trace_csv_path_,
+               [&](std::ostream& os) { write_trace_csv(*trace_, os); });
+    util::log_info("wrote trace CSV ", trace_csv_path_);
+  }
+  if (metrics_ && !metrics_path_.empty()) {
+    write_file(metrics_path_,
+               [&](std::ostream& os) { metrics_->write_json(os); });
+    util::log_info("wrote metrics ", metrics_path_);
+  }
+  if (profile_) Profiler::instance().report(std::cerr);
+}
+
+}  // namespace ftcf::obs

@@ -1,0 +1,195 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/expects.hpp"
+
+namespace ftcf::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no NaN/Inf literals; shortest round-trippable double otherwise.
+void print_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << (std::isnan(v) ? "null" : (v > 0 ? "1e308" : "-1e308"));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+/// Comma management for "key": value sequences inside one object.
+struct FieldJoiner {
+  std::ostream& os;
+  bool first = true;
+  std::ostream& key(const std::string& k) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(k) << "\":";
+    return os;
+  }
+};
+
+}  // namespace
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)) {
+  util::expects(hi > lo && buckets > 0, "histogram needs hi > lo, buckets > 0");
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::add(double v) noexcept {
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+  if (v < lo_) {
+    ++underflow_;
+  } else if (v >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((v - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge at hi
+    ++counts_[idx];
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, std::size_t buckets) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(lo, hi, buckets);
+  return *slot;
+}
+
+TimeSeries& MetricsRegistry::series(const std::string& name) {
+  return series_[name];
+}
+
+void MetricsRegistry::set_meta(const std::string& key,
+                               const std::string& value) {
+  meta_[key] = value;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+const TimeSeries* MetricsRegistry::find_series(const std::string& name) const {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\n \"meta\":{";
+  {
+    FieldJoiner j{os};
+    for (const auto& [k, v] : meta_)
+      j.key(k) << '"' << json_escape(v) << '"';
+  }
+  os << "},\n \"counters\":{";
+  {
+    FieldJoiner j{os};
+    for (const auto& [k, c] : counters_) j.key(k) << c.value();
+  }
+  os << "},\n \"gauges\":{";
+  {
+    FieldJoiner j{os};
+    for (const auto& [k, g] : gauges_) print_double(j.key(k), g.value());
+  }
+  os << "},\n \"histograms\":{";
+  {
+    FieldJoiner j{os};
+    for (const auto& [k, h] : histograms_) {
+      auto& s = j.key(k);
+      s << "{\"lo\":";
+      print_double(s, h->lo());
+      s << ",\"hi\":";
+      print_double(s, h->hi());
+      s << ",\"count\":" << h->count() << ",\"sum\":";
+      print_double(s, h->sum());
+      s << ",\"min\":";
+      print_double(s, h->count() ? h->min() : 0.0);
+      s << ",\"max\":";
+      print_double(s, h->count() ? h->max() : 0.0);
+      s << ",\"underflow\":" << h->underflow()
+        << ",\"overflow\":" << h->overflow() << ",\"buckets\":[";
+      bool first = true;
+      for (const std::uint64_t n : h->buckets()) {
+        if (!first) s << ',';
+        first = false;
+        s << n;
+      }
+      s << "]}";
+    }
+  }
+  os << "},\n \"series\":{";
+  {
+    FieldJoiner j{os};
+    for (const auto& [k, ts] : series_) {
+      auto& s = j.key(k);
+      s << "{\"t_ns\":[";
+      bool first = true;
+      for (const sim::SimTime t : ts.times()) {
+        if (!first) s << ',';
+        first = false;
+        s << t;
+      }
+      s << "],\"v\":[";
+      first = true;
+      for (const double v : ts.values()) {
+        if (!first) s << ',';
+        first = false;
+        print_double(s, v);
+      }
+      s << "]}";
+    }
+  }
+  os << "}\n}\n";
+}
+
+}  // namespace ftcf::obs

@@ -1,0 +1,138 @@
+// Metrics registry: named counters, gauges, fixed-bucket histograms and
+// time series, with a JSON exporter.
+//
+// This is the aggregate side of the observability layer (trace.hpp is the
+// event side): the simulators register what they measure under stable dotted
+// names ("packet_sim.link_util.max", "flow_sim.live_flows", ...) and periodic
+// sampling turns end-of-run scalars like RunResult::link_busy_ns into
+// timelines. Instruments are owned by the registry and returned by reference;
+// hot paths resolve an instrument once and touch a plain field afterwards.
+//
+// Naming convention: lowercase dotted paths, "<subsystem>.<measure>[.<agg>]".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ftcf::obs {
+
+/// Monotonically increasing integer.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins scalar.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [lo, hi): `buckets` equal-width bins plus
+/// explicit underflow/overflow counts; tracks count/sum/min/max exactly.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double v) noexcept;
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// (sim-time, value) samples in recording order.
+class TimeSeries {
+ public:
+  void sample(sim::SimTime at, double v) {
+    at_.push_back(at);
+    values_.push_back(v);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return at_.size(); }
+  [[nodiscard]] const std::vector<sim::SimTime>& times() const noexcept {
+    return at_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  std::vector<sim::SimTime> at_;
+  std::vector<double> values_;
+};
+
+/// Owner of named instruments. Lookup creates on first use; the reference
+/// stays valid for the registry's lifetime (node-based map storage).
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  /// lo/hi/buckets are fixed on first creation; later calls with the same
+  /// name return the existing histogram unchanged.
+  [[nodiscard]] Histogram& histogram(const std::string& name, double lo,
+                                     double hi, std::size_t buckets);
+  [[nodiscard]] TimeSeries& series(const std::string& name);
+
+  /// Free-form run metadata carried into the JSON export.
+  void set_meta(const std::string& key, const std::string& value);
+
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+  [[nodiscard]] const TimeSeries* find_series(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+
+  /// One JSON object: {"meta":{...},"counters":{...},"gauges":{...},
+  /// "histograms":{...},"series":{...}} — keys sorted (map order), so two
+  /// identical runs export byte-identical files.
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::map<std::string, std::string> meta_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace ftcf::obs

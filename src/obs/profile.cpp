@@ -1,0 +1,86 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace ftcf::obs {
+
+namespace {
+
+struct Slot {
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+// Keyed by name text (not pointer): the same scope name may appear at
+// several call sites and should aggregate into one row.
+std::mutex g_mutex;
+std::map<std::string, Slot>& slots() {
+  static std::map<std::string, Slot> s;
+  return s;
+}
+
+std::string fmt_ns(double ns) {
+  if (ns >= 1e9) return util::fmt_double(ns / 1e9, 2) + " s";
+  if (ns >= 1e6) return util::fmt_double(ns / 1e6, 2) + " ms";
+  if (ns >= 1e3) return util::fmt_double(ns / 1e3, 2) + " us";
+  return util::fmt_double(ns, 0) + " ns";
+}
+
+}  // namespace
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::add(const char* name, std::uint64_t ns) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  Slot& slot = slots()[name];
+  ++slot.calls;
+  slot.total_ns += ns;
+  slot.max_ns = std::max(slot.max_ns, ns);
+}
+
+std::vector<Profiler::Entry> Profiler::entries() const {
+  std::vector<Entry> out;
+  {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    for (const auto& [name, slot] : slots())
+      out.push_back(Entry{name, slot.calls, slot.total_ns, slot.max_ns});
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+void Profiler::reset() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  slots().clear();
+}
+
+void Profiler::report(std::ostream& os) const {
+  const std::vector<Entry> rows = entries();
+  util::Table table({"scope", "calls", "total", "mean", "max"});
+  table.set_title("profiling scopes (wall clock)");
+  for (const Entry& e : rows) {
+    const double mean =
+        e.calls ? static_cast<double>(e.total_ns) / static_cast<double>(e.calls)
+                : 0.0;
+    table.add_row({e.name, std::to_string(e.calls),
+                   fmt_ns(static_cast<double>(e.total_ns)), fmt_ns(mean),
+                   fmt_ns(static_cast<double>(e.max_ns))});
+  }
+  if (rows.empty())
+    table.add_row({"(no scopes recorded)", "0", "-", "-", "-"});
+  table.print(os);
+}
+
+}  // namespace ftcf::obs

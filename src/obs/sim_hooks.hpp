@@ -1,0 +1,32 @@
+// The handle a simulator holds on the observability layer.
+//
+// A SimObserver bundles the (optional) trace recorder and metrics registry a
+// run should feed, plus the sim-time sampling period for link-utilization /
+// queue-depth timelines. Both simulators take one by value via
+// `set_observer`; all fields null/zero (the default) means fully off, and the
+// simulators guard every hook behind `if (obs_.trace)` / `if (obs_.metrics)`
+// so a disabled run pays only untaken branches.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace ftcf::obs {
+
+struct SimObserver {
+  TraceRecorder* trace = nullptr;      ///< event capture (not owned)
+  MetricsRegistry* metrics = nullptr;  ///< aggregates/series (not owned)
+  /// Sim-time distance between link samples; <= 0 disables sampling even
+  /// when a metrics registry is attached.
+  sim::SimTime sample_period_ns = 10'000;
+
+  [[nodiscard]] bool active() const noexcept {
+    return trace != nullptr || metrics != nullptr;
+  }
+  [[nodiscard]] bool sampling() const noexcept {
+    return sample_period_ns > 0 && (trace != nullptr || metrics != nullptr);
+  }
+};
+
+}  // namespace ftcf::obs

@@ -1,0 +1,253 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+namespace ftcf::obs {
+
+namespace {
+
+/// Minimal JSON string escaper (names may contain quotes/backslashes).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string port_name(const TraceNaming& naming, std::uint32_t port) {
+  if (port < naming.port_names.size()) return naming.port_names[port];
+  return "port " + std::to_string(port);
+}
+
+std::string host_name(const TraceNaming& naming, std::uint32_t host) {
+  if (host < naming.host_names.size()) return naming.host_names[host];
+  return "host " + std::to_string(host);
+}
+
+/// Chrome trace "ts" is in microseconds; fractional values are allowed, so
+/// print ns as us with three decimals to keep full integer-ns fidelity.
+void print_ts(std::ostream& os, sim::SimTime ns) {
+  os << ns / 1000 << '.' << static_cast<char>('0' + (ns / 100) % 10)
+     << static_cast<char>('0' + (ns / 10) % 10)
+     << static_cast<char>('0' + ns % 10);
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& os) : os_(os) {}
+
+  /// Begin one event object; the caller appends fields via raw() and calls
+  /// close(). Emits the separating comma between events.
+  std::ostream& open() {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+    os_ << "  {";
+    return os_;
+  }
+  void close() { os_ << '}'; }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+void write_metadata(EventWriter& w, int pid, const std::string& name) {
+  w.open() << "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(name) << "\"}";
+  w.close();
+}
+
+void write_thread_name(EventWriter& w, int pid, std::uint32_t tid,
+                       const std::string& name) {
+  w.open() << "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+           << json_escape(name) << "\"}";
+  w.close();
+}
+
+constexpr int kPidStages = 1;
+constexpr int kPidLinks = 2;
+constexpr int kPidSamples = 3;
+constexpr int kPidHosts = 4;
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kPacketInjected: return "packet_injected";
+    case EventKind::kPacketForwarded: return "packet_forwarded";
+    case EventKind::kPacketDelivered: return "packet_delivered";
+    case EventKind::kQueueDepth: return "queue_depth";
+    case EventKind::kCreditStall: return "credit_stall";
+    case EventKind::kStageBegin: return "stage_begin";
+    case EventKind::kStageEnd: return "stage_end";
+    case EventKind::kLinkSample: return "link_sample";
+    case EventKind::kFlowStart: return "flow_start";
+    case EventKind::kFlowEnd: return "flow_end";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  events_.reserve(capacity_);
+}
+
+void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os,
+                        const TraceNaming& naming) {
+  const auto& events = recorder.events();
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  EventWriter w(os);
+
+  write_metadata(w, kPidStages, "CPS stages");
+  write_metadata(w, kPidLinks, "links (per-packet busy spans)");
+  write_metadata(w, kPidSamples, "link samples (util %, queue depth)");
+  write_metadata(w, kPidHosts, "hosts");
+
+  // Name every track that will appear (ports/hosts referenced by events).
+  std::map<std::uint32_t, bool> link_tracks;  // port -> has samples too
+  std::map<std::uint32_t, bool> host_tracks;
+  for (const TraceEvent& ev : events) {
+    switch (ev.kind) {
+      case EventKind::kPacketForwarded:
+      case EventKind::kQueueDepth:
+      case EventKind::kCreditStall:
+        link_tracks.emplace(ev.a, false);
+        break;
+      case EventKind::kLinkSample:
+        link_tracks[ev.a] = true;
+        break;
+      case EventKind::kPacketInjected:
+      case EventKind::kPacketDelivered:
+      case EventKind::kFlowStart:
+      case EventKind::kFlowEnd:
+        host_tracks.emplace(ev.a, false);
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& [port, _] : link_tracks)
+    write_thread_name(w, kPidLinks, port, port_name(naming, port));
+  for (const auto& [host, _] : host_tracks)
+    write_thread_name(w, kPidHosts, host, host_name(naming, host));
+
+  // Pair stage begin/end into "X" spans; unmatched begins stay markers only.
+  std::map<std::uint32_t, sim::SimTime> stage_begun;
+
+  for (const TraceEvent& ev : events) {
+    switch (ev.kind) {
+      case EventKind::kStageBegin: {
+        stage_begun[ev.a] = ev.at;
+        auto& s = w.open();
+        s << "\"name\":\"stage " << ev.a
+          << " begin\",\"ph\":\"i\",\"s\":\"g\",\"pid\":" << kPidStages
+          << ",\"tid\":0,\"ts\":";
+        print_ts(s, ev.at);
+        w.close();
+        break;
+      }
+      case EventKind::kStageEnd: {
+        const auto it = stage_begun.find(ev.a);
+        if (it == stage_begun.end()) break;
+        auto& s = w.open();
+        s << "\"name\":\"CPS stage " << ev.a << "\",\"ph\":\"X\",\"pid\":"
+          << kPidStages << ",\"tid\":0,\"ts\":";
+        print_ts(s, it->second);
+        s << ",\"dur\":";
+        print_ts(s, ev.at - it->second);
+        w.close();
+        stage_begun.erase(it);
+        break;
+      }
+      case EventKind::kPacketForwarded: {
+        auto& s = w.open();
+        s << "\"name\":\"m" << ev.b << "#" << ev.c << "\",\"ph\":\"X\",\"pid\":"
+          << kPidLinks << ",\"tid\":" << ev.a << ",\"ts\":";
+        print_ts(s, ev.at);
+        s << ",\"dur\":";
+        print_ts(s, ev.dur);
+        w.close();
+        break;
+      }
+      case EventKind::kLinkSample: {
+        auto& s = w.open();
+        s << "\"name\":\"" << json_escape(port_name(naming, ev.a))
+          << "\",\"ph\":\"C\",\"pid\":" << kPidSamples << ",\"tid\":0,\"ts\":";
+        print_ts(s, ev.at);
+        s << ",\"args\":{\"util%\":" << ev.b / 10 << '.' << ev.b % 10
+          << ",\"queue\":" << ev.c << '}';
+        w.close();
+        break;
+      }
+      case EventKind::kQueueDepth: {
+        auto& s = w.open();
+        s << "\"name\":\"queue depth " << ev.b
+          << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << kPidLinks
+          << ",\"tid\":" << ev.a << ",\"ts\":";
+        print_ts(s, ev.at);
+        w.close();
+        break;
+      }
+      case EventKind::kCreditStall: {
+        auto& s = w.open();
+        s << "\"name\":\"credit stall\",\"ph\":\"i\",\"s\":\"t\",\"pid\":"
+          << kPidLinks << ",\"tid\":" << ev.a << ",\"ts\":";
+        print_ts(s, ev.at);
+        w.close();
+        break;
+      }
+      case EventKind::kPacketInjected:
+      case EventKind::kPacketDelivered: {
+        auto& s = w.open();
+        s << "\"name\":\""
+          << (ev.kind == EventKind::kPacketInjected ? "inject" : "deliver")
+          << " m" << ev.b << "#" << ev.c
+          << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << kPidHosts
+          << ",\"tid\":" << ev.a << ",\"ts\":";
+        print_ts(s, ev.at);
+        w.close();
+        break;
+      }
+      case EventKind::kFlowStart:
+      case EventKind::kFlowEnd: {
+        auto& s = w.open();
+        s << "\"name\":\"flow to "
+          << json_escape(host_name(naming, ev.b)) << "\",\"ph\":\""
+          << (ev.kind == EventKind::kFlowStart ? 'B' : 'E')
+          << "\",\"pid\":" << kPidHosts << ",\"tid\":" << ev.a << ",\"ts\":";
+        print_ts(s, ev.at);
+        w.close();
+        break;
+      }
+    }
+  }
+  os << "\n],\"otherData\":{\"dropped_events\":" << recorder.dropped()
+     << "}}\n";
+}
+
+void write_trace_csv(const TraceRecorder& recorder, std::ostream& os) {
+  os << "ts_ns,kind,a,b,c,dur_ns\n";
+  for (const TraceEvent& ev : recorder.events()) {
+    os << ev.at << ',' << event_kind_name(ev.kind) << ',' << ev.a << ','
+       << ev.b << ',' << ev.c << ',' << ev.dur << '\n';
+  }
+}
+
+}  // namespace ftcf::obs

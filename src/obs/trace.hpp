@@ -1,0 +1,124 @@
+// Simulation trace capture (the BigSim/OTF-style recorder of ROADMAP's
+// observability step).
+//
+// The simulators feed a TraceRecorder with compact typed events — packet
+// injected/forwarded/delivered, queue-depth high-watermark crossings, credit
+// stalls, CPS stage boundaries, periodic link samples — into a pre-sized
+// buffer (no allocation after construction; overflow drops-and-counts, it
+// never reallocates under a hot loop). Exporters turn the buffer into
+//   * Chrome trace-event JSON (chrome://tracing / Perfetto loadable), with
+//     one duration track per directed link, per-link utilization counter
+//     tracks and CPS stage markers;
+//   * a compact CSV for ad-hoc scripting.
+//
+// Recording costs one branch and one bounds-checked append per event; with no
+// recorder attached the simulators skip the hooks entirely, and compiling
+// with -DFTCF_OBS_DISABLED removes the profiling macros too (see profile.hpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ftcf::obs {
+
+/// Typed trace events. Field meaning per kind (a/b/c are kind-specific):
+///   kPacketInjected   a=host        b=msg id      c=seq
+///   kPacketForwarded  a=src port    b=msg id      c=seq       dur=serialization
+///   kPacketDelivered  a=host        b=msg id      c=seq
+///   kQueueDepth       a=input port  b=new high-watermark
+///   kCreditStall      a=out port (blocked by zero credits)
+///   kStageBegin       a=stage index
+///   kStageEnd         a=stage index
+///   kLinkSample       a=src port    b=util permille (window)  c=queue depth
+///   kFlowStart        a=src host    b=dst host    c=KiB (flow sim)
+///   kFlowEnd          a=src host    b=dst host
+enum class EventKind : std::uint8_t {
+  kPacketInjected,
+  kPacketForwarded,
+  kPacketDelivered,
+  kQueueDepth,
+  kCreditStall,
+  kStageBegin,
+  kStageEnd,
+  kLinkSample,
+  kFlowStart,
+  kFlowEnd,
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;
+
+struct TraceEvent {
+  sim::SimTime at = 0;   ///< simulation time (ns)
+  sim::SimTime dur = 0;  ///< duration (ns) for span-like kinds, else 0
+  EventKind kind = EventKind::kPacketInjected;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+};
+
+/// Fixed-capacity event buffer. Overflow policy: keep the first `capacity`
+/// events, count the rest in `dropped()` (the head of a run is where routing
+/// decisions happen; the tail is usually drain).
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  explicit TraceRecorder(std::size_t capacity = kDefaultCapacity);
+
+  /// Append one event; drops (and counts) once the buffer is full.
+  void record(const TraceEvent& ev) noexcept {
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(ev);
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Forget all events (capacity is kept); for per-run reuse.
+  void clear() noexcept {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+/// Human-readable track names for the exporter. Leave vectors empty to fall
+/// back to "port N" / "host N". topology/obs_names.hpp builds one from a
+/// Fabric (obs itself stays topology-agnostic to keep the dependency DAG).
+struct TraceNaming {
+  std::vector<std::string> port_names;  ///< indexed by source PortId
+  std::vector<std::string> host_names;  ///< indexed by host linear index
+};
+
+/// Write the recorded events as Chrome trace-event JSON ("traceEvents"
+/// object form, displayTimeUnit ns). Track layout:
+///   pid 1 "CPS stages"   — one "X" span per begin/end stage pair plus an
+///                          instant marker per stage begin;
+///   pid 2 "links"        — tid per source port, one "X" span per forwarded
+///                          packet (the per-link busy timeline);
+///   pid 3 "link samples" — one counter track per port: util % and queue
+///                          depth from kLinkSample events;
+///   pid 4 "hosts"        — tid per host, instants for inject/deliver and
+///                          flow start/end, plus credit-stall instants.
+void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os,
+                        const TraceNaming& naming = {});
+
+/// Write "ts_ns,kind,a,b,c,dur_ns" CSV (header line first).
+void write_trace_csv(const TraceRecorder& recorder, std::ostream& os);
+
+}  // namespace ftcf::obs

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "util/expects.hpp"
 #include "util/rng.hpp"
 
@@ -33,6 +34,7 @@ void program_down(const Fabric& fabric, ForwardingTables& tables,
 }  // namespace
 
 ForwardingTables UpDownMinHopRouter::compute(const Fabric& fabric) const {
+  FTCF_PROF_SCOPE("updown_build");
   const PgftSpec& spec = fabric.spec();
   ForwardingTables tables(fabric);
 
@@ -63,6 +65,7 @@ ForwardingTables UpDownMinHopRouter::compute(const Fabric& fabric) const {
 }
 
 ForwardingTables RandomRouter::compute(const Fabric& fabric) const {
+  FTCF_PROF_SCOPE("random_build");
   const PgftSpec& spec = fabric.spec();
   ForwardingTables tables(fabric);
   const auto pick = [this](topo::NodeId sw, std::uint64_t j,

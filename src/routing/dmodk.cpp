@@ -1,5 +1,6 @@
 #include "routing/dmodk.hpp"
 
+#include "obs/profile.hpp"
 #include "util/expects.hpp"
 
 namespace ftcf::route {
@@ -31,6 +32,7 @@ std::uint32_t DModKRouter::down_rail_formula(const PgftSpec& spec,
 }
 
 ForwardingTables DModKRouter::compute(const Fabric& fabric) const {
+  FTCF_PROF_SCOPE("dmodk_build");
   const PgftSpec& spec = fabric.spec();
   ForwardingTables tables(fabric);
   const std::uint64_t n = fabric.num_hosts();

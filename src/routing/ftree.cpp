@@ -3,6 +3,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "util/expects.hpp"
 
 namespace ftcf::route {
@@ -32,6 +33,7 @@ std::uint32_t least_loaded(const std::vector<std::uint64_t>& counters,
 }  // namespace
 
 ForwardingTables FtreeRouter::compute(const Fabric& fabric) const {
+  FTCF_PROF_SCOPE("ftree_build");
   const PgftSpec& spec = fabric.spec();
   ForwardingTables tables(fabric);
   const std::uint64_t n = fabric.num_hosts();

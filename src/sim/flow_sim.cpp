@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "routing/trace.hpp"
 #include "util/expects.hpp"
 
@@ -18,6 +19,7 @@ namespace {
 
 struct Flow {
   std::uint64_t host = 0;         ///< source host (one active flow per host)
+  std::uint64_t dst = 0;          ///< destination host (trace labelling)
   std::uint64_t total_bytes = 0;  ///< message size
   double remaining = 0.0;         ///< bytes left
   double rate = 0.0;              ///< current bytes/s (0 while starting up)
@@ -30,8 +32,8 @@ struct Flow {
 class Engine {
  public:
   Engine(const Fabric& fabric, const route::ForwardingTables& tables,
-         const Calibration& calib)
-      : fabric_(fabric), tables_(tables), calib_(calib) {
+         const Calibration& calib, const obs::SimObserver& obs)
+      : fabric_(fabric), tables_(tables), calib_(calib), obs_(obs) {
     capacity_.reserve(fabric.num_ports());
     for (PortId pid = 0; pid < fabric.num_ports(); ++pid) {
       const topo::Port& pt = fabric.port(pid);
@@ -48,16 +50,21 @@ class Engine {
 
   RunResult run(const std::vector<StageTraffic>& stages,
                 Progression progression, std::uint64_t event_limit) {
+    FTCF_PROF_SCOPE("flow_sim_run");
     progression_ = progression;
     stages_ = &stages;
 
     if (progression == Progression::kAsync) {
-      for (const StageTraffic& st : stages) {
+      for (std::size_t s = 0; s < stages.size(); ++s) {
+        const StageTraffic& st = stages[s];
         expects(st.sends.size() == fabric_.num_hosts(),
                 "stage traffic must cover every host");
         for (std::uint64_t h = 0; h < st.sends.size(); ++h)
           cursors_[h].insert(cursors_[h].end(), st.sends[h].begin(),
                              st.sends[h].end());
+        if (obs_.trace)
+          obs_.trace->record({0, 0, obs::EventKind::kStageBegin,
+                              static_cast<std::uint32_t>(s), 0, 0});
       }
       next_stage_ = stages.size();
       for (std::uint64_t h = 0; h < fabric_.num_hosts(); ++h)
@@ -86,11 +93,24 @@ class Engine {
       result.normalized_bw =
           result.effective_bw_per_host / calib_.host_bw_bytes_per_sec;
     }
+    if (obs_.metrics) {
+      obs::MetricsRegistry& m = *obs_.metrics;
+      m.counter("flow_sim.messages_delivered").inc(messages_delivered_);
+      m.counter("flow_sim.bytes_delivered").inc(bytes_delivered_);
+      m.counter("flow_sim.events").inc(events_);
+      m.gauge("flow_sim.makespan_us").set(to_us(result.makespan));
+      m.gauge("flow_sim.normalized_bw").set(result.normalized_bw);
+    }
     return result;
   }
 
  private:
   void advance_stage() {
+    if (obs_.trace && stage_active_) {
+      obs_.trace->record(
+          {now_, 0, obs::EventKind::kStageEnd, current_stage_, 0, 0});
+      stage_active_ = false;
+    }
     while (next_stage_ < stages_->size()) {
       const StageTraffic& st = (*stages_)[next_stage_++];
       expects(st.sends.size() == fabric_.num_hosts(),
@@ -106,6 +126,12 @@ class Engine {
       }
       if (any) {
         active_hosts_ = std::max(active_hosts_, active);
+        if (obs_.trace) {
+          current_stage_ = static_cast<std::uint32_t>(next_stage_ - 1);
+          stage_active_ = true;
+          obs_.trace->record(
+              {now_, 0, obs::EventKind::kStageBegin, current_stage_, 0, 0});
+        }
         return;
       }
     }
@@ -122,6 +148,7 @@ class Engine {
 
     Flow& flow = flows_[h];
     flow.host = h;
+    flow.dst = msg.dst;
     flow.total_bytes = msg.bytes;
     flow.remaining = static_cast<double>(msg.bytes);
     flow.path = route::trace_route(fabric_, tables_, h, msg.dst);
@@ -135,6 +162,11 @@ class Engine {
     flow.rate = 0.0;
     ++live_flows_;
     rates_dirty_ = true;
+    if (obs_.trace)
+      obs_.trace->record({now_, 0, obs::EventKind::kFlowStart,
+                          static_cast<std::uint32_t>(h),
+                          static_cast<std::uint32_t>(msg.dst),
+                          static_cast<std::uint32_t>(msg.bytes / 1024)});
   }
 
   /// Max-min fair rates for all active flows (progressive filling).
@@ -232,6 +264,13 @@ class Engine {
         bytes_delivered_ += flow.total_bytes;
         ++messages_delivered_;
         latency_.add(to_us(now_ - flow.started));
+        if (obs_.trace)
+          obs_.trace->record({now_, 0, obs::EventKind::kFlowEnd,
+                              static_cast<std::uint32_t>(h),
+                              static_cast<std::uint32_t>(flow.dst), 0});
+        if (obs_.metrics)
+          obs_.metrics->histogram("flow_sim.msg_latency_us", 0.0, 10'000.0, 100)
+              .add(to_us(now_ - flow.started));
         // Hosts walk their own message list in both modes; in synchronized
         // mode the list only holds the current stage, so the barrier is
         // enforced by the stage advance below.
@@ -241,6 +280,15 @@ class Engine {
     if (live_flows_ == 0 && progression_ == Progression::kSynchronized) {
       advance_stage();
       for (std::uint64_t h = 0; h < fabric_.num_hosts(); ++h) start_next(h);
+    }
+    if (obs_.metrics) {
+      double agg_rate = 0.0;
+      for (const Flow& flow : flows_)
+        if (flow.active && flow.remaining > 0.0) agg_rate += flow.rate;
+      obs_.metrics->series("flow_sim.live_flows")
+          .sample(now_, static_cast<double>(live_flows_));
+      obs_.metrics->series("flow_sim.agg_rate_gbs")
+          .sample(now_, agg_rate / 1e9);
     }
   }
 
@@ -253,6 +301,9 @@ class Engine {
   const Fabric& fabric_;
   const route::ForwardingTables& tables_;
   Calibration calib_;
+  obs::SimObserver obs_;
+  std::uint32_t current_stage_ = 0;
+  bool stage_active_ = false;
 
   std::vector<double> capacity_;
   std::vector<std::vector<Message>> cursors_;
@@ -283,7 +334,7 @@ FlowSim::FlowSim(const Fabric& fabric, const route::ForwardingTables& tables,
 
 RunResult FlowSim::run(const std::vector<StageTraffic>& stages,
                        Progression progression, std::uint64_t event_limit) {
-  Engine engine(*fabric_, *tables_, calib_);
+  Engine engine(*fabric_, *tables_, calib_, obs_);
   return engine.run(stages, progression, event_limit);
 }
 

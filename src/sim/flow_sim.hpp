@@ -14,6 +14,7 @@
 // message-size dependence of effective bandwidth.
 #pragma once
 
+#include "obs/sim_hooks.hpp"
 #include "routing/lft.hpp"
 #include "sim/ib_calibration.hpp"
 #include "sim/metrics.hpp"
@@ -26,6 +27,14 @@ class FlowSim {
   FlowSim(const topo::Fabric& fabric, const route::ForwardingTables& tables,
           Calibration calibration = Calibration::qdr_pcie_gen2());
 
+  /// Attach the observability layer; the fluid simulator records flow
+  /// start/end events, stage markers and per-step live-flow/aggregate-rate
+  /// series (it has no queues, so there are no link samples). Observation
+  /// never changes simulation behavior.
+  void set_observer(const obs::SimObserver& observer) noexcept {
+    obs_ = observer;
+  }
+
   [[nodiscard]] RunResult run(const std::vector<StageTraffic>& stages,
                               Progression progression,
                               std::uint64_t event_limit = 100'000'000ULL);
@@ -34,6 +43,7 @@ class FlowSim {
   const topo::Fabric* fabric_;
   const route::ForwardingTables* tables_;
   Calibration calib_;
+  obs::SimObserver obs_;
 };
 
 }  // namespace ftcf::sim

@@ -10,7 +10,10 @@
 namespace ftcf::sim {
 
 struct RunResult {
-  SimTime makespan = 0;                ///< time of last delivery
+  /// Time of the last delivery, in integer nanoseconds of simulation time
+  /// (SimTime *is* nanoseconds; see sim/time.hpp). Same unit as
+  /// link_busy_ns below — the two are directly comparable.
+  SimTime makespan = 0;
   std::uint64_t bytes_delivered = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t packets_delivered = 0; ///< packet sim only
@@ -30,14 +33,23 @@ struct RunResult {
 
   // Per-directed-link observations, indexed by the source PortId
   // (packet sim only; empty for the fluid simulator).
-  std::vector<SimTime> link_busy_ns;          ///< serialization time carried
+  /// Total serialization time carried per link, in nanoseconds of simulation
+  /// time (the same unit as `makespan`). A packet's full serialization time
+  /// is charged when its transfer is granted, so the last grant can overhang
+  /// the final delivery slightly.
+  std::vector<SimTime> link_busy_ns;
   std::vector<std::uint32_t> max_queue_depth; ///< input-queue high-watermark
 
-  /// Fraction of the makespan a link spent transmitting.
+  /// Fraction of the makespan a link spent transmitting, clamped to [0, 1]
+  /// (the grant-time charging above can push the raw ratio of a saturated
+  /// link marginally past 1). For timelines instead of one end-of-run
+  /// scalar, attach an obs::SimObserver and read the
+  /// "packet_sim.link_util.*" series.
   [[nodiscard]] double link_utilization(std::size_t port) const {
     if (makespan <= 0 || port >= link_busy_ns.size()) return 0.0;
-    return static_cast<double>(link_busy_ns[port]) /
-           static_cast<double>(makespan);
+    const double util = static_cast<double>(link_busy_ns[port]) /
+                        static_cast<double>(makespan);
+    return util < 0.0 ? 0.0 : (util > 1.0 ? 1.0 : util);
   }
 };
 

@@ -4,6 +4,7 @@
 #include <deque>
 #include <limits>
 
+#include "obs/profile.hpp"
 #include "sim/typed_queue.hpp"
 #include "util/expects.hpp"
 #include "util/rng.hpp"
@@ -54,13 +55,15 @@ class Engine {
  public:
   Engine(const Fabric& fabric, const route::ForwardingTables& tables,
          const Calibration& calib, UpSelection up_selection,
-         SimTime jitter_max_ns, std::uint64_t jitter_seed)
+         SimTime jitter_max_ns, std::uint64_t jitter_seed,
+         const obs::SimObserver& obs)
       : fabric_(fabric),
         tables_(tables),
         calib_(calib),
         up_selection_(up_selection),
         jitter_max_ns_(jitter_max_ns),
-        jitter_seed_(jitter_seed) {
+        jitter_seed_(jitter_seed),
+        obs_(obs) {
     const std::uint32_t ports = fabric.num_ports();
     busy_.assign(ports, false);
     credits_.assign(ports, 0);
@@ -82,23 +85,34 @@ class Engine {
                                 : calib.link_bw_bytes_per_sec);
     }
     cursors_.resize(fabric.num_hosts());
+    if (obs_.sampling()) {
+      sampling_ = true;
+      next_sample_ = obs_.sample_period_ns;
+      sampled_busy_.assign(ports, 0);
+    }
   }
 
   RunResult run(const std::vector<StageTraffic>& stages,
                 Progression progression, std::uint64_t event_limit) {
+    FTCF_PROF_SCOPE("packet_sim_run");
     progression_ = progression;
     stages_ = &stages;
     next_stage_ = 0;
 
     if (progression == Progression::kAsync) {
-      // Concatenate every stage into one per-host sequence.
+      // Concatenate every stage into one per-host sequence. Stage identity
+      // is lost (hosts free-run), so the trace gets begin markers only.
       std::vector<HostCursor> cursors(fabric_.num_hosts());
-      for (const StageTraffic& st : stages) {
+      for (std::size_t s = 0; s < stages.size(); ++s) {
+        const StageTraffic& st = stages[s];
         expects(st.sends.size() == fabric_.num_hosts(),
                 "stage traffic must cover every host");
         for (std::uint64_t h = 0; h < st.sends.size(); ++h)
           cursors[h].msgs.insert(cursors[h].msgs.end(), st.sends[h].begin(),
                                  st.sends[h].end());
+        if (obs_.trace)
+          obs_.trace->record({0, 0, obs::EventKind::kStageBegin,
+                              static_cast<std::uint32_t>(s), 0, 0});
       }
       load_cursors(std::move(cursors));
       next_stage_ = stages.size();
@@ -111,7 +125,14 @@ class Engine {
     while (!queue_.empty()) {
       expects(queue_.processed() < event_limit,
               "packet simulation exceeded its event limit");
+      if (sampling_ && queue_.next_time() > next_sample_)
+        take_samples(queue_.next_time());
       dispatch(queue_.pop());
+    }
+    if (sampling_) {
+      take_samples(last_delivery_ + 1);
+      // Close the final partial window so short runs still get >= 1 sample.
+      if (last_delivery_ > last_sample_at_) sample_at(last_delivery_);
     }
     expects(outstanding_msgs_ == 0 && next_stage_ >= stages_->size(),
             "simulation drained with undelivered traffic");
@@ -135,6 +156,7 @@ class Engine {
       result.normalized_bw =
           result.effective_bw_per_host / calib_.host_bw_bytes_per_sec;
     }
+    if (obs_.metrics) export_run_metrics(result);
     return result;
   }
 
@@ -162,6 +184,11 @@ class Engine {
 
   /// Load the next synchronized stage (if any) and kick every host.
   void advance_stage() {
+    if (obs_.trace && stage_active_) {
+      obs_.trace->record({queue_.now(), 0, obs::EventKind::kStageEnd,
+                          current_stage_, 0, 0});
+      stage_active_ = false;
+    }
     while (next_stage_ < stages_->size()) {
       const StageTraffic& st = (*stages_)[next_stage_++];
       expects(st.sends.size() == fabric_.num_hosts(),
@@ -170,7 +197,15 @@ class Engine {
       for (std::uint64_t h = 0; h < st.sends.size(); ++h)
         cursors[h].msgs = st.sends[h];
       load_cursors(std::move(cursors));
-      if (outstanding_msgs_ > 0) return;  // non-empty stage loaded
+      if (outstanding_msgs_ > 0) {  // non-empty stage loaded
+        if (obs_.trace) {
+          current_stage_ = static_cast<std::uint32_t>(next_stage_ - 1);
+          stage_active_ = true;
+          obs_.trace->record({queue_.now(), 0, obs::EventKind::kStageBegin,
+                              current_stage_, 0, 0});
+        }
+        return;
+      }
     }
   }
 
@@ -210,8 +245,13 @@ class Engine {
     }
     auto& queue = queues_[in_port];
     queue.push_back(pkt);
-    max_depth_[in_port] = std::max(max_depth_[in_port],
-                                   static_cast<std::uint32_t>(queue.size()));
+    const auto depth = static_cast<std::uint32_t>(queue.size());
+    if (depth > max_depth_[in_port]) {
+      max_depth_[in_port] = depth;
+      if (obs_.trace)
+        obs_.trace->record(
+            {queue_.now(), 0, obs::EventKind::kQueueDepth, in_port, depth, 0});
+    }
     if (queue.size() == 1) kick_head(pt.node, pkt);
   }
 
@@ -256,7 +296,14 @@ class Engine {
   }
 
   void try_forward(PortId out_port) {
-    if (busy_[out_port] || credits_[out_port] == 0) return;
+    if (busy_[out_port]) return;
+    if (credits_[out_port] == 0) {
+      ++credit_stalls_;
+      if (obs_.trace)
+        obs_.trace->record(
+            {queue_.now(), 0, obs::EventKind::kCreditStall, out_port, 0, 0});
+      return;
+    }
     const topo::Port& out = fabric_.port(out_port);
     const topo::NodeId sw = out.node;
     const topo::Node& node = fabric_.node(sw);
@@ -277,6 +324,9 @@ class Engine {
 
       const SimTime ser = transfer_time(pkt.bytes, rate_[out_port]);
       busy_ns_[out_port] += ser;
+      if (obs_.trace)
+        obs_.trace->record({queue_.now(), ser, obs::EventKind::kPacketForwarded,
+                            out_port, pkt.msg, pkt.seq});
       queue_.push(queue_.now() + ser, Ev{EvType::kOutFree, out_port, {}});
       // Return a buffer credit to the upstream sender of the input link.
       queue_.push(queue_.now() + calib_.cable_latency_ns,
@@ -312,7 +362,14 @@ class Engine {
     const topo::Node& node = fabric_.node(node_id);
     expects(node.num_up_ports == 1, "packet sim requires single-cable hosts");
     const PortId up = fabric_.port_id(node_id, node.num_down_ports);
-    if (busy_[up] || credits_[up] == 0) return;
+    if (busy_[up]) return;
+    if (credits_[up] == 0) {
+      ++credit_stalls_;
+      if (obs_.trace)
+        obs_.trace->record(
+            {queue_.now(), 0, obs::EventKind::kCreditStall, up, 0, 0});
+      return;
+    }
 
     const Message& msg = cur.msgs[cur.index];
     const std::uint32_t msg_id =
@@ -335,6 +392,12 @@ class Engine {
     --credits_[up];
     const SimTime ser = transfer_time(chunk, rate_[up]);
     busy_ns_[up] += ser;
+    if (obs_.trace) {
+      obs_.trace->record({queue_.now(), 0, obs::EventKind::kPacketInjected,
+                          static_cast<std::uint32_t>(h), msg_id, seq});
+      obs_.trace->record({queue_.now(), ser, obs::EventKind::kPacketForwarded,
+                          up, msg_id, seq});
+    }
     queue_.push(queue_.now() + ser, Ev{EvType::kOutFree, up, {}});
     queue_.push(
         queue_.now() + ser + calib_.cable_latency_ns,
@@ -347,6 +410,9 @@ class Engine {
     ++packets_delivered_;
     bytes_delivered_ += pkt.bytes;
     last_delivery_ = std::max(last_delivery_, queue_.now());
+    if (obs_.trace)
+      obs_.trace->record({queue_.now(), 0, obs::EventKind::kPacketDelivered,
+                          pkt.dst, pkt.msg, pkt.seq});
     MsgMeta& meta = msgs_[pkt.msg];
     expects(meta.remaining >= pkt.bytes, "over-delivery on a message");
     meta.remaining -= pkt.bytes;
@@ -356,6 +422,9 @@ class Engine {
     if (meta.remaining == 0) {
       ++messages_delivered_;
       latency_.add(to_us(queue_.now() - meta.start));
+      if (obs_.metrics)
+        obs_.metrics->histogram("packet_sim.msg_latency_us", 0.0, 10'000.0, 100)
+            .add(to_us(queue_.now() - meta.start));
       expects(outstanding_msgs_ > 0, "message accounting underflow");
       if (--outstanding_msgs_ == 0 &&
           progression_ == Progression::kSynchronized) {
@@ -363,6 +432,76 @@ class Engine {
         kick_all_hosts();
       }
     }
+  }
+
+  // --- observability --------------------------------------------------------
+
+  /// Emit link samples at every elapsed period boundary strictly before
+  /// `upto`. Pure observation: reads busy_ns_/queues_, schedules nothing, so
+  /// the event sequence (and RunResult) is identical with sampling off.
+  void take_samples(SimTime upto) {
+    while (next_sample_ < upto) {
+      sample_at(next_sample_);
+      // Bound catch-up after long idle gaps (sync-stage barriers): skip to
+      // the last boundary before `upto` once a gap exceeds 1024 periods.
+      const SimTime behind = (upto - 1 - next_sample_) / obs_.sample_period_ns;
+      if (behind > 1024)
+        next_sample_ += (behind - 1) * obs_.sample_period_ns;
+      next_sample_ += obs_.sample_period_ns;
+    }
+  }
+
+  void sample_at(SimTime at) {
+    // Window = time since the previous sample (a full period mid-run, shorter
+    // for the closing end-of-run sample).
+    const auto window = static_cast<double>(at - last_sample_at_);
+    last_sample_at_ = at;
+    if (window <= 0.0) return;
+    double util_sum = 0.0;
+    double util_max = 0.0;
+    std::uint32_t links_active = 0;
+    std::uint64_t depth_total = 0;
+    std::uint32_t depth_max = 0;
+    for (PortId pid = 0; pid < static_cast<PortId>(busy_ns_.size()); ++pid) {
+      const auto depth = static_cast<std::uint32_t>(queues_[pid].size());
+      depth_total += depth;
+      depth_max = std::max(depth_max, depth);
+      if (busy_ns_[pid] == 0 && depth == 0) continue;  // never-used link
+      // Utilization of this window; a packet's full serialization time is
+      // charged at grant time, so clamp spans overhanging the boundary.
+      const double util = std::min(
+          1.0,
+          static_cast<double>(busy_ns_[pid] - sampled_busy_[pid]) / window);
+      sampled_busy_[pid] = busy_ns_[pid];
+      util_sum += util;
+      util_max = std::max(util_max, util);
+      ++links_active;
+      if (obs_.trace)
+        obs_.trace->record({at, 0, obs::EventKind::kLinkSample, pid,
+                            static_cast<std::uint32_t>(util * 1000.0), depth});
+    }
+    if (obs_.metrics) {
+      obs_.metrics->series("packet_sim.link_util.mean")
+          .sample(at, links_active ? util_sum / links_active : 0.0);
+      obs_.metrics->series("packet_sim.link_util.max").sample(at, util_max);
+      obs_.metrics->series("packet_sim.queue_depth.max")
+          .sample(at, static_cast<double>(depth_max));
+      obs_.metrics->series("packet_sim.queue_depth.total")
+          .sample(at, static_cast<double>(depth_total));
+    }
+  }
+
+  void export_run_metrics(const RunResult& result) {
+    obs::MetricsRegistry& m = *obs_.metrics;
+    m.counter("packet_sim.packets_delivered").inc(result.packets_delivered);
+    m.counter("packet_sim.messages_delivered").inc(result.messages_delivered);
+    m.counter("packet_sim.bytes_delivered").inc(result.bytes_delivered);
+    m.counter("packet_sim.events").inc(result.events);
+    m.counter("packet_sim.credit_stalls").inc(credit_stalls_);
+    m.counter("packet_sim.out_of_order_packets")
+        .inc(result.out_of_order_packets);
+    m.gauge("packet_sim.makespan_us").set(to_us(result.makespan));
+    m.gauge("packet_sim.normalized_bw").set(result.normalized_bw);
   }
 
   const Fabric& fabric_;
@@ -388,6 +527,15 @@ class Engine {
   SimTime jitter_max_ns_ = 0;
   std::uint64_t jitter_seed_ = 1;
 
+  obs::SimObserver obs_;
+  bool sampling_ = false;
+  SimTime next_sample_ = 0;
+  SimTime last_sample_at_ = 0;
+  std::vector<SimTime> sampled_busy_;  ///< busy_ns_ at the previous sample
+  std::uint32_t current_stage_ = 0;
+  bool stage_active_ = false;
+  std::uint64_t credit_stalls_ = 0;
+
   std::uint64_t outstanding_msgs_ = 0;
   std::uint64_t out_of_order_ = 0;
   std::uint64_t bytes_delivered_ = 0;
@@ -408,7 +556,7 @@ PacketSim::PacketSim(const Fabric& fabric,
 RunResult PacketSim::run(const std::vector<StageTraffic>& stages,
                          Progression progression, std::uint64_t event_limit) {
   Engine engine(*fabric_, *tables_, calib_, up_selection_, jitter_max_ns_,
-                jitter_seed_);
+                jitter_seed_, obs_);
   return engine.run(stages, progression, event_limit);
 }
 

@@ -19,6 +19,7 @@
 #include <deque>
 #include <memory>
 
+#include "obs/sim_hooks.hpp"
 #include "routing/lft.hpp"
 #include "sim/ib_calibration.hpp"
 #include "sim/metrics.hpp"
@@ -42,6 +43,14 @@ class PacketSim {
 
   void set_up_selection(UpSelection mode) noexcept { up_selection_ = mode; }
 
+  /// Attach the observability layer (trace recorder / metrics registry /
+  /// sampling period) to subsequent run() calls. Default: fully disabled.
+  /// Observation never changes simulation behavior — event schedules and
+  /// RunResults are identical with and without an observer.
+  void set_observer(const obs::SimObserver& observer) noexcept {
+    obs_ = observer;
+  }
+
   /// Synchronized-mode OS jitter (§VII discussion): each host's entry into
   /// each stage is delayed by an independent uniform [0, max_ns] draw.
   /// Zero (default) disables it.
@@ -63,6 +72,7 @@ class PacketSim {
   UpSelection up_selection_ = UpSelection::kDeterministic;
   SimTime jitter_max_ns_ = 0;
   std::uint64_t jitter_seed_ = 1;
+  obs::SimObserver obs_;
 };
 
 }  // namespace ftcf::sim

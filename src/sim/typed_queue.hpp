@@ -23,6 +23,11 @@ class TypedEventQueue {
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] SimTime now() const noexcept { return now_; }
+  /// Timestamp of the next event to pop; kNever when empty. Lets callers
+  /// interleave bookkeeping (e.g. periodic samplers) at exact boundaries.
+  [[nodiscard]] SimTime next_time() const noexcept {
+    return heap_.empty() ? kNever : heap_.top().at;
+  }
   [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
 
   /// Pop the next event, advancing now(). Precondition: !empty().

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/profile.hpp"
 #include "util/expects.hpp"
 
 namespace ftcf::topo {
@@ -12,6 +13,7 @@ using util::expects;
 Fabric::Fabric(PgftSpec spec) : spec_(std::move(spec)) { build(); }
 
 void Fabric::build() {
+  FTCF_PROF_SCOPE("fabric_build");
   const std::uint32_t h = spec_.height();
   num_hosts_ = spec_.num_hosts();
 

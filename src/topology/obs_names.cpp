@@ -1,0 +1,21 @@
+#include "topology/obs_names.hpp"
+
+namespace ftcf::topo {
+
+obs::TraceNaming trace_naming(const Fabric& fabric) {
+  obs::TraceNaming naming;
+  naming.port_names.reserve(fabric.num_ports());
+  for (PortId pid = 0; pid < fabric.num_ports(); ++pid) {
+    const Port& pt = fabric.port(pid);
+    const Port& peer = fabric.port(pt.peer);
+    naming.port_names.push_back(fabric.node_name(pt.node) + ":" +
+                                std::to_string(pt.index) + " -> " +
+                                fabric.node_name(peer.node));
+  }
+  naming.host_names.reserve(fabric.num_hosts());
+  for (std::uint64_t h = 0; h < fabric.num_hosts(); ++h)
+    naming.host_names.push_back(fabric.node_name(fabric.host_node(h)));
+  return naming;
+}
+
+}  // namespace ftcf::topo

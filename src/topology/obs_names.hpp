@@ -1,0 +1,16 @@
+// Build obs::TraceNaming (human-readable trace track names) from a Fabric.
+//
+// Lives in topology rather than obs so the obs module stays free of a
+// topology dependency (topology itself carries profiling scopes from obs).
+#pragma once
+
+#include "obs/trace.hpp"
+#include "topology/fabric.hpp"
+
+namespace ftcf::topo {
+
+/// Port p is named "<owner>:<index> -> <peer>" (a directed link is identified
+/// with its source port); hosts get their fabric node names ("H0013").
+[[nodiscard]] obs::TraceNaming trace_naming(const Fabric& fabric);
+
+}  // namespace ftcf::topo

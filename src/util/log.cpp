@@ -1,13 +1,31 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace ftcf::util {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+int level_from_env() {
+  const char* env = std::getenv("FTCF_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0)
+    return static_cast<int>(LogLevel::kDebug);
+  if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0)
+    return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "2") == 0)
+    return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(env, "error") == 0 || std::strcmp(env, "3") == 0)
+    return static_cast<int>(LogLevel::kError);
+  return static_cast<int>(LogLevel::kInfo);  // unknown value: keep default
+}
+
+std::atomic<int> g_level{level_from_env()};
 
 constexpr std::string_view level_name(LogLevel level) noexcept {
   switch (level) {
@@ -18,6 +36,26 @@ constexpr std::string_view level_name(LogLevel level) noexcept {
   }
   return "?";
 }
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point process_start() noexcept {
+  static const Clock::time_point start = Clock::now();
+  return start;
+}
+
+/// Small dense thread ids in order of first log call (t0, t1, ...), far more
+/// readable than std::thread::id hashes.
+std::uint32_t thread_ordinal() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+// Touch the start time during static initialization so "elapsed" means
+// elapsed since program start, not since the first log call.
+const Clock::time_point g_start_anchor = process_start();
+
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept {
@@ -29,12 +67,18 @@ LogLevel log_level() noexcept {
 }
 
 void log_line(LogLevel level, std::string_view message) {
-  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  if (!log_enabled(level)) return;
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - process_start()).count();
+  char prefix[64];
+  const int n =
+      std::snprintf(prefix, sizeof prefix, "[%9.3fs t%u %.*s] ", elapsed,
+                    thread_ordinal(),
+                    static_cast<int>(level_name(level).size()),
+                    level_name(level).data());
   std::string line;
-  line.reserve(message.size() + 16);
-  line.push_back('[');
-  line.append(level_name(level));
-  line.append("] ");
+  line.reserve(message.size() + static_cast<std::size_t>(n) + 1);
+  line.append(prefix, static_cast<std::size_t>(n > 0 ? n : 0));
   line.append(message);
   line.push_back('\n');
   std::fwrite(line.data(), 1, line.size(), stderr);

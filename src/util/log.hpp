@@ -2,6 +2,16 @@
 //
 // The library itself never logs in hot paths; logging is for the bench
 // harnesses and examples to narrate progress of long sweeps.
+//
+// Each line carries the elapsed time since process start and a small
+// per-thread id:  "[  12.345s t0 info] message".
+//
+// The threshold can be set before main() runs via the FTCF_LOG_LEVEL
+// environment variable ("debug" | "info" | "warn" | "error", or 0-3);
+// set_log_level() overrides it at runtime. For debug messages whose
+// *arguments* are expensive to build, use the FTCF_LOG_DEBUG call-site guard
+// macro below — plain log_debug() drops the message below threshold but
+// still evaluates its arguments.
 #pragma once
 
 #include <sstream>
@@ -11,11 +21,19 @@ namespace ftcf::util {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global threshold; messages below it are dropped. Default: kInfo.
+/// Global threshold; messages below it are dropped. Default: kInfo, or
+/// FTCF_LOG_LEVEL from the environment when set.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Emit one line "[level] message" to stderr (thread-safe via stderr locking).
+/// True when a message at `level` would currently be emitted.
+[[nodiscard]] inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+/// Emit one line "[<elapsed>s t<tid> <level>] message" to stderr
+/// (thread-safe: one fwrite per line; tids are assigned per thread in order
+/// of first log call).
 void log_line(LogLevel level, std::string_view message);
 
 namespace detail {
@@ -46,3 +64,11 @@ void log_error(Args&&... args) {
 }
 
 }  // namespace ftcf::util
+
+/// Call-site guard: skips argument evaluation AND formatting entirely when
+/// debug logging is below threshold.
+#define FTCF_LOG_DEBUG(...)                                              \
+  do {                                                                   \
+    if (::ftcf::util::log_enabled(::ftcf::util::LogLevel::kDebug))       \
+      ::ftcf::util::log_debug(__VA_ARGS__);                              \
+  } while (0)

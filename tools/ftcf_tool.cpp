@@ -5,7 +5,8 @@
 //   ftcf_tool route    --topo cluster.topo --router dmodk [--lft-out lfts.txt]
 //   ftcf_tool hsd      --topo cluster.topo --cps shift --order topology
 //   ftcf_tool simulate --topo cluster.topo --cps ring --order random
-//                      --kib 256 [--sync] [--adaptive]
+//                      --kib 256 [--sync] [--adaptive] [--trace t.json]
+//                      [--metrics m.json] [--profile]
 //   ftcf_tool theorems --spec "PGFT(3; 6,6,4; 1,6,6; 1,1,1)"
 //
 // `--topo` reads a topology file; `--spec` builds from a PGFT tuple; the
@@ -19,10 +20,13 @@
 #include "core/report.hpp"
 #include "core/theorems.hpp"
 #include "cps/generators.hpp"
+#include "obs/cli.hpp"
+#include "obs/profile.hpp"
 #include "routing/lft_io.hpp"
 #include "routing/router.hpp"
 #include "routing/validate.hpp"
 #include "sim/packet_sim.hpp"
+#include "topology/obs_names.hpp"
 #include "topology/presets.hpp"
 #include "topology/topo_io.hpp"
 #include "topology/validate.hpp"
@@ -99,7 +103,9 @@ int cmd_route(int argc, const char* const* argv) {
   cli.add_option("router", "dmodk|ftree|updown|random", "dmodk");
   cli.add_option("seed", "random-router seed", "1");
   cli.add_option("lft-out", "LFT dump file ('-' = skip)", "-");
+  cli.add_flag("profile", "time fabric/table construction, report at exit");
   if (!cli.parse(argc, argv)) return 0;
+  if (cli.flag("profile")) obs::Profiler::instance().set_enabled(true);
   const topo::Fabric fabric = load_fabric(cli);
 
   const auto router = route::make_router(
@@ -115,6 +121,7 @@ int cmd_route(int argc, const char* const* argv) {
     route::write_lfts(fabric, tables, os);
     std::cout << "wrote " << cli.str("lft-out") << '\n';
   }
+  if (cli.flag("profile")) obs::Profiler::instance().report(std::cerr);
   return report.ok ? 0 : 1;
 }
 
@@ -127,7 +134,9 @@ int cmd_hsd(int argc, const char* const* argv) {
   cli.add_option("order", "topology|random|adversarial|leaf-random|interleaved",
                  "topology");
   cli.add_option("seed", "seed for randomized choices", "1");
+  cli.add_flag("profile", "time fabric/table construction, report at exit");
   if (!cli.parse(argc, argv)) return 0;
+  if (cli.flag("profile")) obs::Profiler::instance().set_enabled(true);
   const topo::Fabric fabric = load_fabric(cli);
 
   const auto tables =
@@ -152,6 +161,7 @@ int cmd_hsd(int argc, const char* const* argv) {
   table.add_row({"congestion-free",
                  metrics.worst_stage_hsd <= 1 ? "yes" : "no"});
   table.print(std::cout);
+  if (cli.flag("profile")) obs::Profiler::instance().report(std::cerr);
   return 0;
 }
 
@@ -166,7 +176,9 @@ int cmd_simulate(int argc, const char* const* argv) {
   cli.add_option("jitter-us", "synchronized-stage jitter bound", "0");
   cli.add_flag("sync", "barrier between stages");
   cli.add_flag("adaptive", "adaptive up-port selection");
+  obs::ObsCli::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  obs::ObsCli obs_cli(cli);
   const topo::Fabric fabric = load_fabric(cli);
 
   const auto tables =
@@ -183,6 +195,7 @@ int cmd_simulate(int argc, const char* const* argv) {
       seq, ordering, fabric.num_hosts(), cli.uinteger("kib") * 1024);
 
   sim::PacketSim psim(fabric, tables);
+  psim.set_observer(obs_cli.observer());
   if (cli.flag("adaptive"))
     psim.set_up_selection(sim::UpSelection::kAdaptive);
   if (cli.uinteger("jitter-us") > 0)
@@ -205,6 +218,13 @@ int cmd_simulate(int argc, const char* const* argv) {
                  std::to_string(result.out_of_order_packets)});
   table.add_row({"events", std::to_string(result.events)});
   table.print(std::cout);
+  if (obs_cli.metrics() != nullptr) {
+    obs_cli.metrics()->set_meta("tool", "ftcf_tool simulate");
+    obs_cli.metrics()->set_meta("topology", fabric.spec().to_string());
+    obs_cli.metrics()->set_meta("cps", cli.str("cps"));
+    obs_cli.metrics()->set_meta("order", cli.str("order"));
+  }
+  obs_cli.finish(topo::trace_naming(fabric));
   return 0;
 }
 
