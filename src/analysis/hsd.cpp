@@ -22,7 +22,11 @@ StageMetrics HsdAnalyzer::analyze_stage(
 
   // Inline route walk (same semantics as route::trace_route, without the
   // per-flow allocation): this loop dominates Fig. 3 / Table 3 runtimes.
+  // Links are buffered per flow and committed only on delivery, so a flow
+  // stranded by a degraded table leaves no partial load behind.
   const std::size_t max_links = 2ull * fabric_->height() + 2;
+  std::vector<topo::PortId> walked;
+  walked.reserve(max_links + 1);
   for (const cps::Pair& flow : host_flows) {
     if (flow.src == flow.dst) continue;
     ++metrics.num_flows;
@@ -30,12 +34,20 @@ StageMetrics HsdAnalyzer::analyze_stage(
     topo::NodeId at = fabric_->host_node(flow.src);
     std::uint32_t out_index = fabric_->node(at).num_down_ports +
                               route::host_up_port(*fabric_, flow.src, flow.dst);
+    walked.clear();
     for (std::size_t hop = 0;; ++hop) {
       util::ensures(hop <= max_links, "forwarding tables loop");
       const topo::PortId out = fabric_->port_id(at, out_index);
-      ++scratch_[out];
+      walked.push_back(out);
       at = fabric_->port(fabric_->port(out).peer).node;
-      if (at == dst_node) break;
+      if (at == dst_node) {
+        for (const topo::PortId pid : walked) ++scratch_[pid];
+        break;
+      }
+      if (tolerate_unroutable_ && !tables_->has_entry(at, flow.dst)) {
+        ++metrics.unroutable_flows;
+        break;
+      }
       out_index = tables_->out_port(at, flow.dst);
     }
   }
@@ -83,6 +95,7 @@ SequenceMetrics HsdAnalyzer::analyze_sequence(
     out.worst_stage_hsd = std::max(out.worst_stage_hsd, metrics.max_hsd);
     out.worst_up_hsd = std::max(out.worst_up_hsd, metrics.max_up_hsd);
     out.worst_down_hsd = std::max(out.worst_down_hsd, metrics.max_down_hsd);
+    out.unroutable_flows += metrics.unroutable_flows;
     sum += metrics.max_hsd;
   }
   const std::size_t counted =

@@ -26,6 +26,7 @@ struct StageMetrics {
   std::uint32_t max_down_hsd = 0;    ///< max over down-going links (Theorem 2)
   std::uint32_t max_host_hsd = 0;    ///< max over NIC injection/delivery links
   std::uint64_t num_flows = 0;       ///< routed flows (src != dst)
+  std::uint64_t unroutable_flows = 0;  ///< flows skipped (degraded tables)
   topo::PortId hottest_port = topo::kInvalidPort;
 };
 
@@ -34,6 +35,7 @@ struct SequenceMetrics {
   std::uint32_t worst_stage_hsd = 0;     ///< max over stages
   std::uint32_t worst_up_hsd = 0;
   std::uint32_t worst_down_hsd = 0;
+  std::uint64_t unroutable_flows = 0;    ///< total over stages (degraded)
   std::vector<std::uint32_t> per_stage_max;
 };
 
@@ -41,6 +43,14 @@ class HsdAnalyzer {
  public:
   HsdAnalyzer(const topo::Fabric& fabric,
               const route::ForwardingTables& tables);
+
+  /// Degraded-fabric mode: flows that hit an unprogrammed LFT entry are
+  /// counted in `unroutable_flows` and contribute no link load, instead of
+  /// raising an error. Default off — on complete tables an unprogrammed
+  /// entry is a bug and should fail loudly.
+  void set_tolerate_unroutable(bool tolerate) noexcept {
+    tolerate_unroutable_ = tolerate;
+  }
 
   /// Analyze one stage given flows already in host-index space.
   /// When `link_loads` is non-null it receives the per-port flow counts
@@ -58,6 +68,7 @@ class HsdAnalyzer {
  private:
   const topo::Fabric* fabric_;
   const route::ForwardingTables* tables_;
+  bool tolerate_unroutable_ = false;
   mutable std::vector<std::uint32_t> scratch_;  ///< per-port counters
 };
 

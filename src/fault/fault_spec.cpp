@@ -1,0 +1,164 @@
+#include "fault/fault_spec.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ftcf::fault {
+
+using util::ParseError;
+
+namespace {
+
+/// Split `text` on `sep`, keeping empty pieces (they are parse errors the
+/// caller reports with context).
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    auto pos = text.find(sep, start);
+    if (pos == std::string::npos) pos = text.size();
+    out.push_back(text.substr(start, pos - start));
+    if (pos == text.size()) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::uint64_t parse_u64_field(const std::string& token, const std::string& ctx) {
+  std::uint64_t value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end)
+    throw ParseError("fault spec: bad " + ctx + " '" + token + "'");
+  return value;
+}
+
+double parse_factor_field(const std::string& token, const std::string& ctx) {
+  double value = 0.0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end)
+    throw ParseError("fault spec: bad " + ctx + " '" + token + "'");
+  return value;
+}
+
+void need_fields(const std::vector<std::string>& f, std::size_t lo,
+                 std::size_t hi, const std::string& token) {
+  if (f.size() < lo || f.size() > hi)
+    throw ParseError("fault spec: malformed fault '" + token + "'");
+  for (const std::string& piece : f)
+    if (piece.empty())
+      throw ParseError("fault spec: empty field in '" + token + "'");
+}
+
+Fault parse_one(const std::string& token) {
+  const auto fields = split(token, ':');
+  const std::string& kind = fields.front();
+  Fault fault;
+  if (kind == "link") {
+    need_fields(fields, 3, 3, token);
+    fault.kind = FaultKind::kLinkDown;
+    fault.node = fields[1];
+    fault.port = static_cast<std::uint32_t>(parse_u64_field(fields[2], "port"));
+  } else if (kind == "switch") {
+    need_fields(fields, 2, 2, token);
+    fault.kind = FaultKind::kSwitchDown;
+    fault.node = fields[1];
+  } else if (kind == "rate") {
+    need_fields(fields, 4, 4, token);
+    fault.kind = FaultKind::kDegradedRate;
+    fault.node = fields[1];
+    fault.port = static_cast<std::uint32_t>(parse_u64_field(fields[2], "port"));
+    fault.rate_factor = parse_factor_field(fields[3], "rate factor");
+    if (!(fault.rate_factor > 0.0) || fault.rate_factor > 1.0)
+      throw ParseError("fault spec: rate factor must be in (0, 1], got '" +
+                       fields[3] + "'");
+  } else if (kind == "flap") {
+    need_fields(fields, 4, 5, token);
+    fault.kind = FaultKind::kLinkFlap;
+    fault.node = fields[1];
+    fault.port = static_cast<std::uint32_t>(parse_u64_field(fields[2], "port"));
+    fault.down_at = static_cast<sim::SimTime>(
+        parse_u64_field(fields[3], "flap down time") * 1000);
+    if (fields.size() == 5) {
+      fault.up_at = static_cast<sim::SimTime>(
+          parse_u64_field(fields[4], "flap up time") * 1000);
+      if (fault.up_at <= fault.down_at)
+        throw ParseError("fault spec: flap revival must come after death in '" +
+                         token + "'");
+    }
+  } else if (kind == "rand-links") {
+    need_fields(fields, 3, 3, token);
+    fault.kind = FaultKind::kRandomLinks;
+    fault.count = parse_u64_field(fields[1], "link count");
+    fault.seed = parse_u64_field(fields[2], "seed");
+    if (fault.count == 0)
+      throw ParseError("fault spec: rand-links count must be positive");
+  } else {
+    throw ParseError("fault spec: unknown fault kind '" + kind +
+                     "' (link|switch|rate|flap|rand-links)");
+  }
+  return fault;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kSwitchDown: return "switch-down";
+    case FaultKind::kDegradedRate: return "degraded-rate";
+    case FaultKind::kLinkFlap: return "link-flap";
+    case FaultKind::kRandomLinks: return "random-links";
+  }
+  return "?";
+}
+
+std::string Fault::to_string() const {
+  std::ostringstream oss;
+  switch (kind) {
+    case FaultKind::kLinkDown:
+      oss << "link:" << node << ':' << port;
+      break;
+    case FaultKind::kSwitchDown:
+      oss << "switch:" << node;
+      break;
+    case FaultKind::kDegradedRate:
+      oss << "rate:" << node << ':' << port << ':' << rate_factor;
+      break;
+    case FaultKind::kLinkFlap:
+      oss << "flap:" << node << ':' << port << ':' << down_at / 1000;
+      if (up_at != sim::kNever) oss << ':' << up_at / 1000;
+      break;
+    case FaultKind::kRandomLinks:
+      oss << "rand-links:" << count << ':' << seed;
+      break;
+  }
+  return oss.str();
+}
+
+std::string FaultSpec::to_string() const {
+  std::string out;
+  for (const Fault& fault : faults) {
+    if (!out.empty()) out += ',';
+    out += fault.to_string();
+  }
+  return out;
+}
+
+FaultSpec parse_faults(const std::string& text) {
+  FaultSpec spec;
+  if (text.empty()) return spec;
+  for (const std::string& token : split(text, ',')) {
+    if (token.empty())
+      throw ParseError("fault spec: empty fault entry in '" + text + "'");
+    spec.faults.push_back(parse_one(token));
+  }
+  return spec;
+}
+
+}  // namespace ftcf::fault

@@ -101,6 +101,10 @@ const char* event_kind_name(EventKind kind) noexcept {
     case EventKind::kLinkSample: return "link_sample";
     case EventKind::kFlowStart: return "flow_start";
     case EventKind::kFlowEnd: return "flow_end";
+    case EventKind::kPacketDropped: return "packet_dropped";
+    case EventKind::kPacketRetransmit: return "packet_retransmit";
+    case EventKind::kLinkDown: return "link_down";
+    case EventKind::kLinkUp: return "link_up";
   }
   return "?";
 }
@@ -128,6 +132,9 @@ void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os,
       case EventKind::kPacketForwarded:
       case EventKind::kQueueDepth:
       case EventKind::kCreditStall:
+      case EventKind::kPacketDropped:
+      case EventKind::kLinkDown:
+      case EventKind::kLinkUp:
         link_tracks.emplace(ev.a, false);
         break;
       case EventKind::kLinkSample:
@@ -137,6 +144,7 @@ void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os,
       case EventKind::kPacketDelivered:
       case EventKind::kFlowStart:
       case EventKind::kFlowEnd:
+      case EventKind::kPacketRetransmit:
         host_tracks.emplace(ev.a, false);
         break;
       default:

@@ -36,6 +36,10 @@ namespace ftcf::obs {
 ///   kLinkSample       a=src port    b=util permille (window)  c=queue depth
 ///   kFlowStart        a=src host    b=dst host    c=KiB (flow sim)
 ///   kFlowEnd          a=src host    b=dst host
+///   kPacketDropped    a=port where dropped          b=msg id  c=seq
+///   kPacketRetransmit a=host        b=msg id      c=seq
+///   kLinkDown         a=src port (cable dies; peer gets its own event)
+///   kLinkUp           a=src port (cable revives)
 enum class EventKind : std::uint8_t {
   kPacketInjected,
   kPacketForwarded,
@@ -47,6 +51,10 @@ enum class EventKind : std::uint8_t {
   kLinkSample,
   kFlowStart,
   kFlowEnd,
+  kPacketDropped,
+  kPacketRetransmit,
+  kLinkDown,
+  kLinkUp,
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;

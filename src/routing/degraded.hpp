@@ -1,0 +1,52 @@
+// Degraded-mode D-Mod-K routing: Eq. (1) with local re-route around faults.
+//
+// On a pristine fabric this reproduces DModKRouter exactly. With a FaultState
+// attached, every up-port choice falls back from the closed-form port to the
+// next surviving parallel rail of the same parent (k+1, k+2, ... mod p), then
+// to the next parent group (b+1, b+2, ... mod w) — the cheapest deviation
+// from the contention-free assignment first. Down-going choices keep the
+// unique child subtree (a tree property, faults cannot change it) and fall
+// back across the p parallel rails the same way.
+//
+// A candidate port is accepted only when its cable is up, its peer switch is
+// alive, *and* the peer can still reach the destination (a per-destination
+// viability sweep over the degraded graph) — so the tables never steer
+// packets into a cul-de-sac. Destinations with no surviving path are left
+// unprogrammed (route::kUnroutedPort) and reported as typed counts, never as
+// crashes; route::validate_lft() surfaces them per pair.
+#pragma once
+
+#include "fault/degraded.hpp"
+#include "routing/router.hpp"
+
+namespace ftcf::route {
+
+/// What the degraded table build did, for reports and tests.
+struct DegradedStats {
+  std::uint64_t entries_programmed = 0;
+  std::uint64_t entries_rerouted = 0;   ///< differ from pristine D-Mod-K
+  std::uint64_t entries_unrouted = 0;   ///< no surviving path (alive switches)
+  std::uint64_t unreachable_hosts = 0;  ///< hosts no alive switch can reach
+};
+
+/// Build degraded D-Mod-K tables for the fault state's fabric. Entries of
+/// dead switches are left unprogrammed (they forward nothing).
+[[nodiscard]] ForwardingTables compute_degraded_dmodk(
+    const fault::FaultState& state, DegradedStats* stats = nullptr);
+
+/// Router-interface adapter over compute_degraded_dmodk. `compute` must be
+/// called with the same fabric the fault state was resolved against.
+class DegradedDModKRouter final : public Router {
+ public:
+  explicit DegradedDModKRouter(const fault::FaultState& state)
+      : state_(&state) {}
+
+  [[nodiscard]] std::string name() const override { return "dmodk-degraded"; }
+  [[nodiscard]] ForwardingTables compute(
+      const topo::Fabric& fabric) const override;
+
+ private:
+  const fault::FaultState* state_;
+};
+
+}  // namespace ftcf::route

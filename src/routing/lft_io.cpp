@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
 
 namespace ftcf::route {
 
@@ -16,8 +17,10 @@ void write_lfts(const topo::Fabric& fabric, const ForwardingTables& tables,
   os << "# ftcf forwarding tables (dest : out-port per switch)\n";
   for (const topo::NodeId sw : fabric.switch_ids()) {
     os << "switch " << fabric.node_name(sw) << '\n';
+    // Unprogrammed entries (degraded tables) are simply omitted; complete
+    // tables emit every destination.
     for (std::uint64_t d = 0; d < fabric.num_hosts(); ++d)
-      os << d << " : " << tables.out_port(sw, d) << '\n';
+      if (tables.has_entry(sw, d)) os << d << " : " << tables.out_port(sw, d) << '\n';
   }
 }
 
@@ -60,22 +63,28 @@ ForwardingTables read_lfts(const topo::Fabric& fabric, std::istream& is) {
     if (current == topo::kInvalidNode)
       throw ParseError("line " + std::to_string(lineno) +
                        ": table entry before any 'switch' header");
-    std::uint64_t dest = 0;
-    std::string colon;
-    std::uint32_t port = 0;
-    try {
-      dest = std::stoull(first);
-    } catch (const std::exception&) {
+    const auto dest = util::parse_u64(first);
+    if (!dest)
       throw ParseError("line " + std::to_string(lineno) +
                        ": expected a destination number, got '" + first + "'");
-    }
-    if (!(ls >> colon >> port) || colon != ":")
+    std::string colon, port_tok;
+    if (!(ls >> colon >> port_tok) || colon != ":")
       throw ParseError("line " + std::to_string(lineno) +
                        ": expected 'DEST : PORT'");
-    if (dest >= fabric.num_hosts())
+    const auto port = util::parse_u32(port_tok);
+    if (!port)
+      throw ParseError("line " + std::to_string(lineno) +
+                       ": expected an out-port number, got '" + port_tok + "'");
+    if (*dest >= fabric.num_hosts())
       throw SpecError("line " + std::to_string(lineno) +
                       ": destination out of range");
-    tables.set_out_port(current, dest, port);
+    const topo::Node& sw = fabric.node(current);
+    if (*port >= sw.num_down_ports + sw.num_up_ports)
+      throw SpecError("line " + std::to_string(lineno) + ": out-port " +
+                      port_tok + " exceeds the switch's " +
+                      std::to_string(sw.num_down_ports + sw.num_up_ports) +
+                      " ports");
+    tables.set_out_port(current, *dest, *port);
   }
   if (!tables.complete())
     throw SpecError("LFT dump does not cover every (switch, destination)");

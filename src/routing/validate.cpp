@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/expects.hpp"
+
 namespace ftcf::route {
 
 using topo::Fabric;
@@ -39,26 +41,136 @@ void check_pair(const Fabric& fabric, const ForwardingTables& tables,
   }
 }
 
+/// Apply `fn(src, dst)` over the pair set validate_routing uses: exhaustive
+/// below the limit, the deterministic strided sample above it.
+template <typename Fn>
+void for_each_pair(std::uint64_t n, std::uint64_t exhaustive_limit, Fn&& fn) {
+  if (n <= exhaustive_limit) {
+    for (std::uint64_t s = 0; s < n; ++s)
+      for (std::uint64_t d = 0; d < n; ++d)
+        if (s != d) fn(s, d);
+    return;
+  }
+  const std::uint64_t stride = n / 64 + 1;
+  for (std::uint64_t s = 0; s < n; ++s)
+    for (std::uint64_t d = s % stride; d < n; d += stride)
+      if (s != d) fn(s, d);
+}
+
 }  // namespace
 
 ValidationReport validate_routing(const Fabric& fabric,
                                   const ForwardingTables& tables,
                                   std::uint64_t exhaustive_limit) {
   ValidationReport report;
-  const std::uint64_t n = fabric.num_hosts();
-  if (n <= exhaustive_limit) {
-    for (std::uint64_t s = 0; s < n; ++s)
-      for (std::uint64_t d = 0; d < n; ++d)
-        if (s != d) check_pair(fabric, tables, s, d, report);
-    return report;
-  }
-  // Deterministic sample: every source against a strided set of
-  // destinations, plus the full matrix for a strided set of sources.
-  const std::uint64_t stride = n / 64 + 1;
-  for (std::uint64_t s = 0; s < n; ++s)
-    for (std::uint64_t d = s % stride; d < n; d += stride)
-      if (s != d) check_pair(fabric, tables, s, d, report);
+  for_each_pair(fabric.num_hosts(), exhaustive_limit,
+                [&](std::uint64_t s, std::uint64_t d) {
+                  check_pair(fabric, tables, s, d, report);
+                });
   return report;
+}
+
+const char* route_status_name(RouteStatus status) noexcept {
+  switch (status) {
+    case RouteStatus::kOk: return "ok";
+    case RouteStatus::kUnrouted: return "unrouted";
+    case RouteStatus::kLoop: return "loop";
+    case RouteStatus::kForeignHost: return "foreign-host";
+    case RouteStatus::kNotUpDown: return "not-up-down";
+    case RouteStatus::kDeadLink: return "dead-link";
+  }
+  return "?";
+}
+
+RouteWalk walk_route(const Fabric& fabric, const ForwardingTables& tables,
+                     std::uint64_t src, std::uint64_t dst,
+                     const fault::FaultState* faults) {
+  util::expects(src < fabric.num_hosts() && dst < fabric.num_hosts(),
+                "walk endpoints must be valid hosts");
+  RouteWalk walk;
+  if (src == dst) return walk;
+
+  const topo::NodeId dst_node = fabric.host_node(dst);
+  topo::NodeId at = fabric.host_node(src);
+  std::uint32_t out_index =
+      fabric.node(at).num_down_ports + host_up_port(fabric, src, dst);
+  const std::size_t max_links = 2ull * fabric.height() + 2;
+  bool descending = false;
+
+  while (true) {
+    if (walk.links.size() > max_links) {
+      walk.status = RouteStatus::kLoop;
+      return walk;
+    }
+    const topo::PortId out = fabric.port_id(at, out_index);
+    walk.links.push_back(out);
+    const bool up = out_index >= fabric.node(at).num_down_ports;
+    if (up && descending) {
+      walk.status = RouteStatus::kNotUpDown;
+      return walk;
+    }
+    if (!up) descending = true;
+    if (faults != nullptr &&
+        (!faults->node_up(at) || !faults->link_up(out))) {
+      walk.status = RouteStatus::kDeadLink;
+      return walk;
+    }
+    at = fabric.port(fabric.port(out).peer).node;
+    if (faults != nullptr && !faults->node_up(at)) {
+      walk.status = RouteStatus::kDeadLink;
+      return walk;
+    }
+    if (at == dst_node) return walk;  // kOk
+    if (fabric.node(at).kind != topo::NodeKind::kSwitch) {
+      walk.status = RouteStatus::kForeignHost;
+      return walk;
+    }
+    if (!tables.has_entry(at, dst)) {
+      walk.status = RouteStatus::kUnrouted;
+      return walk;
+    }
+    out_index = tables.out_port(at, dst);
+  }
+}
+
+LftAudit validate_lft(const Fabric& fabric, const ForwardingTables& tables,
+                      const fault::FaultState* faults,
+                      std::uint64_t exhaustive_limit) {
+  LftAudit audit;
+  // With faults, restrict to surviving hosts: dead hosts cannot take part in
+  // any collective, so their pairs carry no information.
+  std::vector<std::uint64_t> hosts;
+  if (faults != nullptr) {
+    hosts = faults->surviving_hosts();
+  } else {
+    hosts.resize(fabric.num_hosts());
+    for (std::uint64_t j = 0; j < hosts.size(); ++j) hosts[j] = j;
+  }
+
+  for_each_pair(hosts.size(), exhaustive_limit, [&](std::uint64_t si,
+                                                    std::uint64_t di) {
+    const std::uint64_t s = hosts[si];
+    const std::uint64_t d = hosts[di];
+    ++audit.pairs_checked;
+    const RouteWalk walk = walk_route(fabric, tables, s, d, faults);
+    switch (walk.status) {
+      case RouteStatus::kOk:
+        ++audit.pairs_reachable;
+        break;
+      case RouteStatus::kUnrouted:
+        audit.unreachable.emplace_back(s, d);
+        break;
+      default: {
+        std::ostringstream oss;
+        oss << "route " << s << " -> " << d << ": "
+            << route_status_name(walk.status) << " after "
+            << walk.links.size() << " link(s)";
+        audit.problems.push_back(oss.str());
+        break;
+      }
+    }
+  });
+  return audit;
 }
 
 }  // namespace ftcf::route

@@ -1,8 +1,17 @@
 // Routing validation: reachability of every (src, dst) pair and the up*/down*
 // property (a route never turns upward after its first descent), which is
 // what makes fat-tree deterministic routing deadlock-free.
+//
+// Two entry points:
+//   * validate_routing — the historical audit for complete tables; any
+//     failure (including a missing entry) is a problem.
+//   * validate_lft — usable on ANY tables, including degraded ones with
+//     unprogrammed entries: unreachable destinations come back as typed
+//     (src, dst) pairs instead of exceptions, while loops, diversions,
+//     up-after-down turns and routes crossing dead links remain problems.
 #pragma once
 
+#include "fault/degraded.hpp"
 #include "routing/trace.hpp"
 #include "topology/validate.hpp"
 
@@ -13,5 +22,56 @@ namespace ftcf::route {
 topo::ValidationReport validate_routing(const topo::Fabric& fabric,
                                         const ForwardingTables& tables,
                                         std::uint64_t exhaustive_limit = 512);
+
+/// Outcome of walking one (src, dst) pair through the tables.
+enum class RouteStatus : std::uint8_t {
+  kOk,           ///< delivered, up*/down*
+  kUnrouted,     ///< hit an unprogrammed LFT entry (typed unreachability)
+  kLoop,         ///< exceeded the maximal fat-tree route length
+  kForeignHost,  ///< delivered to the wrong host
+  kNotUpDown,    ///< turned upward after descending (deadlock hazard)
+  kDeadLink,     ///< crossed a statically-down link or dead node
+};
+
+[[nodiscard]] const char* route_status_name(RouteStatus status) noexcept;
+
+struct RouteWalk {
+  RouteStatus status = RouteStatus::kOk;
+  std::vector<topo::PortId> links;  ///< links walked (up to the failure)
+};
+
+/// Non-throwing route walk: follows the tables from src towards dst and
+/// classifies the outcome. With `faults`, additionally flags routes that
+/// cross statically-down links or dead switches.
+[[nodiscard]] RouteWalk walk_route(const topo::Fabric& fabric,
+                                   const ForwardingTables& tables,
+                                   std::uint64_t src, std::uint64_t dst,
+                                   const fault::FaultState* faults = nullptr);
+
+/// Full reachability + deadlock-freedom audit of possibly-degraded tables.
+struct LftAudit {
+  std::uint64_t pairs_checked = 0;
+  std::uint64_t pairs_reachable = 0;
+  /// Surviving pairs whose walk hit an unprogrammed entry. Typed data, not
+  /// an error: degraded fabrics legitimately strand host pairs.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> unreachable;
+  /// Hard routing bugs: loops, diversions, up-after-down, dead-link usage.
+  std::vector<std::string> problems;
+
+  /// No loops/diversions/up-after-down/dead links (unreachable pairs OK).
+  [[nodiscard]] bool clean() const noexcept { return problems.empty(); }
+  /// clean() and every checked pair delivered.
+  [[nodiscard]] bool all_reachable() const noexcept {
+    return problems.empty() && unreachable.empty();
+  }
+};
+
+/// Walk every ordered pair of surviving hosts (all hosts when `faults` is
+/// null). Pairs are sampled deterministically above `exhaustive_limit`
+/// hosts, like validate_routing.
+[[nodiscard]] LftAudit validate_lft(const topo::Fabric& fabric,
+                                    const ForwardingTables& tables,
+                                    const fault::FaultState* faults = nullptr,
+                                    std::uint64_t exhaustive_limit = 512);
 
 }  // namespace ftcf::route

@@ -23,6 +23,15 @@ struct RunResult {
   std::uint64_t events = 0;
   std::uint64_t active_hosts = 0;      ///< hosts that injected anything
 
+  // Resilience accounting (packet sim only; all zero on a pristine fabric
+  // with resilience off — the default path has no timeouts or drops).
+  std::uint64_t packets_dropped = 0;        ///< dropped at a dead/unrouted port
+  std::uint64_t packets_retransmitted = 0;  ///< timeout-driven re-injections
+  std::uint64_t duplicate_packets = 0;      ///< late twins of resolved packets
+  std::uint64_t messages_failed = 0;        ///< retries exhausted / host cut off
+  std::uint64_t bytes_failed = 0;           ///< bytes written off as undeliverable
+  std::uint64_t link_down_events = 0;       ///< scripted mid-run cable deaths
+
   /// Mean per-host goodput in bytes/s: bytes / (makespan * active_hosts).
   double effective_bw_per_host = 0.0;
   /// effective_bw_per_host normalized to the host (PCIe) injection rate —

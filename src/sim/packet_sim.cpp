@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <utility>
 
 #include "obs/profile.hpp"
 #include "sim/typed_queue.hpp"
@@ -18,19 +19,32 @@ using util::expects;
 
 namespace {
 
+/// Sentinel: this packet has no pending-table entry (non-resilient runs).
+constexpr std::uint32_t kNoPend = std::numeric_limits<std::uint32_t>::max();
+
 struct Packet {
   std::uint32_t dst = 0;
   std::uint32_t bytes = 0;
   std::uint32_t msg = 0;
   std::uint32_t seq = 0;  ///< position within the message (reorder tracking)
+  std::uint32_t pend = kNoPend;  ///< pending-table slot (resilient runs only)
 };
 
-enum class EvType : std::uint8_t { kArrive, kOutFree, kCredit, kHostKick };
+enum class EvType : std::uint8_t {
+  kArrive,
+  kOutFree,
+  kCredit,
+  kHostKick,
+  kTimeout,   ///< per-packet retransmit timer (resilient runs)
+  kLinkDown,  ///< scripted cable death (both directions)
+  kLinkUp,    ///< scripted cable revival
+};
 
 struct Ev {
   EvType type;
   PortId port;   ///< kArrive: receiving port; kOutFree/kCredit: source port;
-                 ///< kHostKick: host index
+                 ///< kHostKick: host index; kTimeout: pending-table slot;
+                 ///< kLinkDown/kLinkUp: the cable's scheduled endpoint
   Packet pkt;    ///< kArrive only
 };
 
@@ -40,6 +54,7 @@ struct MsgMeta {
   std::uint32_t src = 0;
   std::uint32_t max_seq_seen = 0;
   bool any_delivered = false;
+  bool failed = false;  ///< some bytes were written off (resilient runs)
 };
 
 struct HostCursor {
@@ -51,19 +66,32 @@ struct HostCursor {
   [[nodiscard]] bool done() const noexcept { return index >= msgs.size(); }
 };
 
+/// One in-flight packet awaiting delivery confirmation (resilient runs).
+/// Resolution is single-shot: the first delivery (or the final timeout)
+/// claims the slot; late twins of a retransmitted packet count as duplicates
+/// and touch no message accounting — so bytes are never double-counted.
+struct Pending {
+  Packet pkt;
+  std::uint32_t attempts = 1;  ///< sends so far (first injection included)
+  bool resolved = false;
+};
+
 class Engine {
  public:
   Engine(const Fabric& fabric, const route::ForwardingTables& tables,
          const Calibration& calib, UpSelection up_selection,
          SimTime jitter_max_ns, std::uint64_t jitter_seed,
-         const obs::SimObserver& obs)
+         const obs::SimObserver& obs, const fault::FaultState* faults,
+         const Resilience& resilience, bool resilience_forced)
       : fabric_(fabric),
         tables_(tables),
         calib_(calib),
         up_selection_(up_selection),
         jitter_max_ns_(jitter_max_ns),
         jitter_seed_(jitter_seed),
-        obs_(obs) {
+        obs_(obs),
+        faults_(faults),
+        resilience_(resilience) {
     const std::uint32_t ports = fabric.num_ports();
     busy_.assign(ports, false);
     credits_.assign(ports, 0);
@@ -85,6 +113,22 @@ class Engine {
                                 : calib.link_bw_bytes_per_sec);
     }
     cursors_.resize(fabric.num_hosts());
+    retx_.resize(fabric.num_hosts());
+    dead_.assign(ports, 0);
+    revives_at_.assign(ports, kNever);
+    resilient_ = resilience_forced || (faults_ != nullptr && !faults_->pristine());
+    if (faults_ != nullptr) {
+      expects(&faults_->fabric() == &fabric_,
+              "fault state resolved against a different fabric");
+      for (PortId pid = 0; pid < ports; ++pid) {
+        if (!faults_->link_up(pid)) dead_[pid] = 1;
+        rate_[pid] *= faults_->rate_factor(pid);
+      }
+    }
+    if (resilient_) {
+      expects(resilience_.timeout_ns > 0 && resilience_.max_attempts > 0,
+              "resilience policy must allow at least one timed attempt");
+    }
     if (obs_.sampling()) {
       sampling_ = true;
       next_sample_ = obs_.sample_period_ns;
@@ -120,6 +164,7 @@ class Engine {
       advance_stage();
     }
 
+    if (faults_ != nullptr) schedule_flaps();
     kick_all_hosts();
 
     while (!queue_.empty()) {
@@ -148,6 +193,12 @@ class Engine {
     result.message_latency_us = latency_;
     result.link_busy_ns = busy_ns_;
     result.max_queue_depth = max_depth_;
+    result.packets_dropped = packets_dropped_;
+    result.packets_retransmitted = packets_retransmitted_;
+    result.duplicate_packets = duplicate_packets_;
+    result.messages_failed = messages_failed_;
+    result.bytes_failed = bytes_failed_;
+    result.link_down_events = link_down_events_;
     if (result.makespan > 0 && result.active_hosts > 0) {
       result.effective_bw_per_host =
           static_cast<double>(result.bytes_delivered) /
@@ -209,6 +260,19 @@ class Engine {
     }
   }
 
+  /// Translate the fault state's flap schedule into kLinkDown/kLinkUp events
+  /// and remember each port's revival time (consulted while it is dead to
+  /// decide wait-vs-drop).
+  void schedule_flaps() {
+    for (const fault::FlapEvent& f : faults_->flaps()) {
+      const PortId peer = fabric_.port(f.port).peer;
+      revives_at_[f.port] = f.up_at;
+      revives_at_[peer] = f.up_at;
+      queue_.push(f.down_at, Ev{EvType::kLinkDown, f.port, {}});
+      if (f.up_at != kNever) queue_.push(f.up_at, Ev{EvType::kLinkUp, f.port, {}});
+    }
+  }
+
   // --- event dispatch -------------------------------------------------------
 
   /// Start (or resume) every host, applying per-host stage jitter when
@@ -233,6 +297,9 @@ class Engine {
       case EvType::kOutFree: on_out_free(ev.port); break;
       case EvType::kCredit: on_credit(ev.port); break;
       case EvType::kHostKick: host_try_send(ev.port); break;
+      case EvType::kTimeout: on_timeout(ev.port); break;
+      case EvType::kLinkDown: on_link_down(ev.port); break;
+      case EvType::kLinkUp: on_link_up(ev.port); break;
     }
   }
 
@@ -252,21 +319,70 @@ class Engine {
         obs_.trace->record(
             {queue_.now(), 0, obs::EventKind::kQueueDepth, in_port, depth, 0});
     }
-    if (queue.size() == 1) kick_head(pt.node, pkt);
+    if (queue.size() == 1) kick_head(pt.node, in_port);
   }
 
-  /// Try every output the head packet may leave through: the LFT port, or —
-  /// under adaptive up-selection for ascending packets — any up-going port.
-  void kick_head(topo::NodeId sw, const Packet& pkt) {
-    if (up_selection_ == UpSelection::kDeterministic ||
-        fabric_.is_ancestor_of_host(sw, pkt.dst)) {
-      try_forward(route_port(sw, pkt.dst));
+  /// Arbitration entry for the head of one input queue: try every output the
+  /// head may leave through. Every packet passes through here exactly when it
+  /// becomes a head, so this is also where resilient runs drop packets that
+  /// can never leave — no LFT entry, or a dead out-port with no scheduled
+  /// revival — instead of wedging the queue behind them. Heads parked on a
+  /// dead-but-revivable port simply wait; the kLinkUp event re-arbitrates.
+  void kick_head(topo::NodeId sw, PortId in_port) {
+    auto& queue = queues_[in_port];
+    while (!queue.empty()) {
+      const Packet pkt = queue.front();
+      if (up_selection_ == UpSelection::kDeterministic ||
+          fabric_.is_ancestor_of_host(sw, pkt.dst)) {
+        if (resilient_ && !tables_.has_entry(sw, pkt.dst)) {
+          drop_head(in_port, in_port);
+          continue;
+        }
+        const PortId out = route_port(sw, pkt.dst);
+        if (resilient_ && dead_[out]) {
+          if (revives_at_[out] == kNever) {
+            drop_head(in_port, out);
+            continue;
+          }
+          return;  // parked until the scheduled revival re-kicks this queue
+        }
+        try_forward(out);
+        return;
+      }
+      // Adaptive ascent: any live up-port may take the packet.
+      const topo::Node& node = fabric_.node(sw);
+      bool any_alive = false;
+      bool revivable = false;
+      for (std::uint32_t q = 0; q < node.num_up_ports; ++q) {
+        const PortId up = fabric_.port_id(sw, node.num_down_ports + q);
+        if (resilient_ && dead_[up]) {
+          if (revives_at_[up] != kNever) revivable = true;
+          continue;
+        }
+        any_alive = true;
+        try_forward(up);
+      }
+      if (resilient_ && !any_alive && !revivable) {
+        drop_head(in_port, in_port);
+        continue;
+      }
       return;
     }
-    const topo::Node& node = fabric_.node(sw);
-    for (std::uint32_t q = 0; q < node.num_up_ports; ++q) {
-      try_forward(fabric_.port_id(sw, node.num_down_ports + q));
-    }
+  }
+
+  /// Drop the head of `in_port`'s queue: free the buffer slot (credit goes
+  /// back to the upstream sender) and let the retransmit timer — not the
+  /// drop — decide the packet's fate.
+  void drop_head(PortId in_port, PortId blame_port) {
+    auto& queue = queues_[in_port];
+    const Packet pkt = queue.front();
+    queue.pop_front();
+    ++packets_dropped_;
+    if (obs_.trace)
+      obs_.trace->record({queue_.now(), 0, obs::EventKind::kPacketDropped,
+                          blame_port, pkt.msg, pkt.seq});
+    queue_.push(queue_.now() + calib_.cable_latency_ns,
+                Ev{EvType::kCredit, fabric_.port(in_port).peer, {}});
   }
 
   void on_out_free(PortId out_port) {
@@ -289,6 +405,75 @@ class Engine {
     }
   }
 
+  /// A scripted cable died: both directions stop granting. Transfers already
+  /// on the wire still arrive (they left before the cut); heads parked on the
+  /// dead port are re-arbitrated so permanent cuts drop them (freeing their
+  /// buffer slots) instead of leaking credits forever.
+  void on_link_down(PortId port) {
+    const PortId peer = fabric_.port(port).peer;
+    ++link_down_events_;
+    dead_[port] = 1;
+    dead_[peer] = 1;
+    if (obs_.trace) {
+      obs_.trace->record(
+          {queue_.now(), 0, obs::EventKind::kLinkDown, port, 0, 0});
+      obs_.trace->record(
+          {queue_.now(), 0, obs::EventKind::kLinkDown, peer, 0, 0});
+    }
+    for (const PortId end : {port, peer}) {
+      const topo::Port& pt = fabric_.port(end);
+      const topo::Node& node = fabric_.node(pt.node);
+      if (node.kind == NodeKind::kHost) {
+        // A host cut off with no scheduled revival can never finish its
+        // sends: write the rest of its workload off now.
+        if (revives_at_[end] == kNever) fail_host(fabric_.host_index(pt.node));
+        continue;
+      }
+      const std::uint32_t nports = node.num_down_ports + node.num_up_ports;
+      for (std::uint32_t i = 0; i < nports; ++i) {
+        const PortId in_port = fabric_.port_id(pt.node, i);
+        if (!queues_[in_port].empty()) kick_head(pt.node, in_port);
+      }
+    }
+  }
+
+  /// A scripted cable revived: resume flow in both directions.
+  void on_link_up(PortId port) {
+    const PortId peer = fabric_.port(port).peer;
+    dead_[port] = 0;
+    dead_[peer] = 0;
+    if (obs_.trace) {
+      obs_.trace->record({queue_.now(), 0, obs::EventKind::kLinkUp, port, 0, 0});
+      obs_.trace->record({queue_.now(), 0, obs::EventKind::kLinkUp, peer, 0, 0});
+    }
+    for (const PortId end : {port, peer}) {
+      const topo::Port& pt = fabric_.port(end);
+      if (fabric_.node(pt.node).kind == NodeKind::kHost) {
+        host_try_send(fabric_.host_index(pt.node));
+      } else {
+        try_forward(end);  // parked heads may now leave through this port
+      }
+    }
+  }
+
+  /// A packet's retransmit timer fired. Unresolved with tries left: queue a
+  /// copy at the source (retransmissions preempt new traffic there).
+  /// Unresolved with tries exhausted: write the packet's bytes off so its
+  /// message still completes — as failed — and the run terminates.
+  void on_timeout(std::uint32_t pend_idx) {
+    Pending& p = pending_[pend_idx];
+    if (p.resolved) return;
+    if (p.attempts >= resilience_.max_attempts) {
+      p.resolved = true;
+      account_failed(p.pkt.msg, p.pkt.bytes);
+      return;
+    }
+    ++p.attempts;
+    const std::uint64_t src = msgs_[p.pkt.msg].src;
+    retx_[src].push_back(pend_idx);
+    host_try_send(src);
+  }
+
   // --- forwarding -----------------------------------------------------------
 
   [[nodiscard]] PortId route_port(topo::NodeId sw, std::uint32_t dst) const {
@@ -297,6 +482,7 @@ class Engine {
 
   void try_forward(PortId out_port) {
     if (busy_[out_port]) return;
+    if (resilient_ && dead_[out_port]) return;
     if (credits_[out_port] == 0) {
       ++credit_stalls_;
       if (obs_.trace)
@@ -336,7 +522,7 @@ class Engine {
                   Ev{EvType::kArrive, out.peer, pkt});
 
       // The new head of this input queue may target a different, idle output.
-      if (!queue.empty()) kick_head(sw, queue.front());
+      if (!queue.empty()) kick_head(sw, in_port);
       return;  // one packet per grant; the OutFree event re-arbitrates
     }
   }
@@ -344,6 +530,7 @@ class Engine {
   /// Is `out_port` a legal egress for this packet at switch `sw`?
   [[nodiscard]] bool may_leave_through(topo::NodeId sw, const Packet& pkt,
                                        PortId out_port) const {
+    if (resilient_ && !tables_.has_entry(sw, pkt.dst)) return false;
     if (up_selection_ == UpSelection::kDeterministic)
       return route_port(sw, pkt.dst) == out_port;
     if (fabric_.is_ancestor_of_host(sw, pkt.dst))
@@ -357,11 +544,18 @@ class Engine {
 
   void host_try_send(std::uint64_t h) {
     HostCursor& cur = cursors_[h];
-    if (cur.done()) return;
+    auto& retxq = retx_[h];
+    if (cur.done() && retxq.empty()) return;
     const topo::NodeId node_id = fabric_.host_node(h);
     const topo::Node& node = fabric_.node(node_id);
     expects(node.num_up_ports == 1, "packet sim requires single-cable hosts");
     const PortId up = fabric_.port_id(node_id, node.num_down_ports);
+    if (resilient_ && dead_[up]) {
+      // Cut off for good: write the rest of the workload off. A revivable
+      // host just parks; the kLinkUp event re-kicks it.
+      if (revives_at_[up] == kNever) fail_host(h);
+      return;
+    }
     if (busy_[up]) return;
     if (credits_[up] == 0) {
       ++credit_stalls_;
@@ -370,6 +564,23 @@ class Engine {
             {queue_.now(), 0, obs::EventKind::kCreditStall, up, 0, 0});
       return;
     }
+
+    // Retransmissions go out ahead of new traffic. Copies whose original
+    // has since been delivered are discarded unsent.
+    while (!retxq.empty()) {
+      const std::uint32_t pend = retxq.front();
+      retxq.pop_front();
+      Pending& p = pending_[pend];
+      if (p.resolved) continue;
+      ++packets_retransmitted_;
+      if (obs_.trace)
+        obs_.trace->record({queue_.now(), 0, obs::EventKind::kPacketRetransmit,
+                            static_cast<std::uint32_t>(h), p.pkt.msg,
+                            p.pkt.seq});
+      send_packet(up, p.pkt, p.attempts);
+      return;
+    }
+    if (cur.done()) return;
 
     const Message& msg = cur.msgs[cur.index];
     const std::uint32_t msg_id =
@@ -388,25 +599,109 @@ class Engine {
       cur.offset = 0;
     }
 
-    busy_[up] = true;
-    --credits_[up];
-    const SimTime ser = transfer_time(chunk, rate_[up]);
-    busy_ns_[up] += ser;
-    if (obs_.trace) {
+    Packet pkt{static_cast<std::uint32_t>(msg.dst), chunk, msg_id, seq, kNoPend};
+    if (resilient_) {
+      pkt.pend = static_cast<std::uint32_t>(pending_.size());
+      pending_.push_back(Pending{pkt, 1, false});
+    }
+    if (obs_.trace)
       obs_.trace->record({queue_.now(), 0, obs::EventKind::kPacketInjected,
                           static_cast<std::uint32_t>(h), msg_id, seq});
+    send_packet(up, pkt, 1);
+  }
+
+  /// Put one packet on the host's up-link (shared by fresh sends and
+  /// retransmits). In resilient mode this also arms the packet's timeout,
+  /// backed off exponentially in the attempt count.
+  void send_packet(PortId up, const Packet& pkt, std::uint32_t attempt) {
+    busy_[up] = true;
+    --credits_[up];
+    const SimTime ser = transfer_time(pkt.bytes, rate_[up]);
+    busy_ns_[up] += ser;
+    if (obs_.trace)
       obs_.trace->record({queue_.now(), ser, obs::EventKind::kPacketForwarded,
-                          up, msg_id, seq});
-    }
+                          up, pkt.msg, pkt.seq});
     queue_.push(queue_.now() + ser, Ev{EvType::kOutFree, up, {}});
-    queue_.push(
-        queue_.now() + ser + calib_.cable_latency_ns,
-        Ev{EvType::kArrive, fabric_.port(up).peer,
-           Packet{static_cast<std::uint32_t>(msg.dst), chunk, msg_id, seq}});
+    queue_.push(queue_.now() + ser + calib_.cable_latency_ns,
+                Ev{EvType::kArrive, fabric_.port(up).peer, pkt});
+    if (resilient_ && pkt.pend != kNoPend) {
+      const SimTime wait = resilience_.timeout_ns
+                           << std::min<std::uint32_t>(attempt - 1, 20);
+      queue_.push(queue_.now() + ser + wait,
+                  Ev{EvType::kTimeout, pkt.pend, {}});
+    }
+  }
+
+  /// Write off everything a permanently cut-off host still had to send:
+  /// queued retransmissions and every uninjected byte of its cursor.
+  void fail_host(std::uint64_t h) {
+    auto& retxq = retx_[h];
+    while (!retxq.empty()) {
+      const std::uint32_t pend = retxq.front();
+      retxq.pop_front();
+      Pending& p = pending_[pend];
+      if (p.resolved) continue;
+      p.resolved = true;
+      account_failed(p.pkt.msg, p.pkt.bytes);
+    }
+    // Snapshot then reset the cursor *before* accounting: finishing the last
+    // outstanding message can advance the stage and replace cursors_.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> writeoffs;
+    {
+      HostCursor& cur = cursors_[h];
+      for (; cur.index < cur.msgs.size(); ++cur.index) {
+        writeoffs.emplace_back(
+            cur.first_msg_id + static_cast<std::uint32_t>(cur.index),
+            cur.msgs[cur.index].bytes - cur.offset);
+        cur.offset = 0;
+      }
+    }
+    for (const auto& [msg_id, bytes] : writeoffs) account_failed(msg_id, bytes);
+  }
+
+  /// Mark `bytes` of message `msg_id` undeliverable; completes the message
+  /// (as failed) once every byte is accounted for.
+  void account_failed(std::uint32_t msg_id, std::uint64_t bytes) {
+    if (bytes == 0) return;
+    MsgMeta& meta = msgs_[msg_id];
+    if (meta.start < 0) meta.start = queue_.now();
+    meta.failed = true;
+    bytes_failed_ += bytes;
+    expects(meta.remaining >= bytes, "failure accounting underflow");
+    meta.remaining -= bytes;
+    if (meta.remaining == 0) finish_message(msg_id);
+  }
+
+  /// Every byte of the message is accounted for (delivered or written off).
+  void finish_message(std::uint32_t msg_id) {
+    const MsgMeta& meta = msgs_[msg_id];
+    if (meta.failed) {
+      ++messages_failed_;
+    } else {
+      ++messages_delivered_;
+      latency_.add(to_us(queue_.now() - meta.start));
+      if (obs_.metrics)
+        obs_.metrics->histogram("packet_sim.msg_latency_us", 0.0, 10'000.0, 100)
+            .add(to_us(queue_.now() - meta.start));
+    }
+    expects(outstanding_msgs_ > 0, "message accounting underflow");
+    if (--outstanding_msgs_ == 0 &&
+        progression_ == Progression::kSynchronized) {
+      advance_stage();
+      kick_all_hosts();
+    }
   }
 
   void deliver(topo::NodeId host, const Packet& pkt) {
     expects(fabric_.host_index(host) == pkt.dst, "packet at wrong host");
+    if (resilient_ && pkt.pend != kNoPend) {
+      Pending& p = pending_[pkt.pend];
+      if (p.resolved) {  // a twin of this packet already claimed its bytes
+        ++duplicate_packets_;
+        return;
+      }
+      p.resolved = true;
+    }
     ++packets_delivered_;
     bytes_delivered_ += pkt.bytes;
     last_delivery_ = std::max(last_delivery_, queue_.now());
@@ -419,19 +714,7 @@ class Engine {
     if (meta.any_delivered && pkt.seq < meta.max_seq_seen) ++out_of_order_;
     meta.max_seq_seen = std::max(meta.max_seq_seen, pkt.seq);
     meta.any_delivered = true;
-    if (meta.remaining == 0) {
-      ++messages_delivered_;
-      latency_.add(to_us(queue_.now() - meta.start));
-      if (obs_.metrics)
-        obs_.metrics->histogram("packet_sim.msg_latency_us", 0.0, 10'000.0, 100)
-            .add(to_us(queue_.now() - meta.start));
-      expects(outstanding_msgs_ > 0, "message accounting underflow");
-      if (--outstanding_msgs_ == 0 &&
-          progression_ == Progression::kSynchronized) {
-        advance_stage();
-        kick_all_hosts();
-      }
-    }
+    if (meta.remaining == 0) finish_message(pkt.msg);
   }
 
   // --- observability --------------------------------------------------------
@@ -500,6 +783,13 @@ class Engine {
     m.counter("packet_sim.credit_stalls").inc(credit_stalls_);
     m.counter("packet_sim.out_of_order_packets")
         .inc(result.out_of_order_packets);
+    m.counter("packet_sim.packets_dropped").inc(result.packets_dropped);
+    m.counter("packet_sim.packets_retransmitted")
+        .inc(result.packets_retransmitted);
+    m.counter("packet_sim.duplicate_packets").inc(result.duplicate_packets);
+    m.counter("packet_sim.messages_failed").inc(result.messages_failed);
+    m.counter("packet_sim.bytes_failed").inc(result.bytes_failed);
+    m.counter("packet_sim.link_down_events").inc(result.link_down_events);
     m.gauge("packet_sim.makespan_us").set(to_us(result.makespan));
     m.gauge("packet_sim.normalized_bw").set(result.normalized_bw);
   }
@@ -536,6 +826,22 @@ class Engine {
   bool stage_active_ = false;
   std::uint64_t credit_stalls_ = 0;
 
+  // Resilience (active only with a non-pristine fault state or when forced;
+  // otherwise every structure below stays empty and no timer is scheduled).
+  const fault::FaultState* faults_ = nullptr;
+  Resilience resilience_;
+  bool resilient_ = false;
+  std::vector<std::uint8_t> dead_;      ///< per directed link (source port)
+  std::vector<SimTime> revives_at_;     ///< per port: scheduled revival
+  std::vector<Pending> pending_;        ///< per injected packet
+  std::vector<std::deque<std::uint32_t>> retx_;  ///< per host: pending slots
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t packets_retransmitted_ = 0;
+  std::uint64_t duplicate_packets_ = 0;
+  std::uint64_t messages_failed_ = 0;
+  std::uint64_t bytes_failed_ = 0;
+  std::uint64_t link_down_events_ = 0;
+
   std::uint64_t outstanding_msgs_ = 0;
   std::uint64_t out_of_order_ = 0;
   std::uint64_t bytes_delivered_ = 0;
@@ -556,7 +862,7 @@ PacketSim::PacketSim(const Fabric& fabric,
 RunResult PacketSim::run(const std::vector<StageTraffic>& stages,
                          Progression progression, std::uint64_t event_limit) {
   Engine engine(*fabric_, *tables_, calib_, up_selection_, jitter_max_ns_,
-                jitter_seed_, obs_);
+                jitter_seed_, obs_, faults_, resilience_, resilience_forced_);
   return engine.run(stages, progression, event_limit);
 }
 

@@ -19,6 +19,7 @@
 #include <deque>
 #include <memory>
 
+#include "fault/degraded.hpp"
 #include "obs/sim_hooks.hpp"
 #include "routing/lft.hpp"
 #include "sim/ib_calibration.hpp"
@@ -35,6 +36,16 @@ namespace ftcf::sim {
 /// §I objection for transports like InfiniBand Reliable Connected; the
 /// RunResult reports the reordering it caused.
 enum class UpSelection { kDeterministic, kAdaptive };
+
+/// Retry policy for resilient runs (transport-level, IB-RC-style semantics).
+/// A packet's timeout is armed when it goes on the wire; on expiry the source
+/// re-injects a copy with exponential backoff (timeout_ns << attempts so
+/// far). After `max_attempts` total tries the packet's bytes are written off
+/// and its message completes as *failed* rather than hanging the run.
+struct Resilience {
+  SimTime timeout_ns = 500'000;    ///< base per-packet timeout (500 us)
+  std::uint32_t max_attempts = 4;  ///< total tries, first send included
+};
 
 class PacketSim {
  public:
@@ -59,8 +70,28 @@ class PacketSim {
     jitter_seed_ = seed;
   }
 
+  /// Attach a resolved fault state (must outlive the sim and be resolved
+  /// against the same Fabric). Static dead links/switches and degraded rates
+  /// apply from t=0; the flap schedule is executed as mid-run events. A
+  /// non-pristine state switches the resilient machinery on automatically.
+  /// Pass nullptr to detach.
+  void set_fault_state(const fault::FaultState* state) noexcept {
+    faults_ = state;
+  }
+
+  /// Override the retry policy and force the resilient path on even on a
+  /// pristine fabric. Without this call (and with no non-pristine fault
+  /// state) the simulator runs its classic path, byte-identical to builds
+  /// without the fault layer.
+  void set_resilience(const Resilience& policy) noexcept {
+    resilience_ = policy;
+    resilience_forced_ = true;
+  }
+
   /// Simulate the workload to completion and report aggregate metrics.
-  /// `event_limit` guards against runaway configurations.
+  /// `event_limit` guards against runaway configurations. With faults the
+  /// run still always terminates: every packet either delivers or times out,
+  /// and every message completes as delivered or failed.
   [[nodiscard]] RunResult run(const std::vector<StageTraffic>& stages,
                               Progression progression,
                               std::uint64_t event_limit = 2'000'000'000ULL);
@@ -73,6 +104,9 @@ class PacketSim {
   SimTime jitter_max_ns_ = 0;
   std::uint64_t jitter_seed_ = 1;
   obs::SimObserver obs_;
+  const fault::FaultState* faults_ = nullptr;
+  Resilience resilience_;
+  bool resilience_forced_ = false;
 };
 
 }  // namespace ftcf::sim

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
 
 namespace ftcf::topo {
 
@@ -46,17 +47,18 @@ struct Endpoint {
   std::uint32_t port = 0;
 };
 
-Endpoint parse_endpoint(const std::string& token) {
+Endpoint parse_endpoint(const std::string& token, std::size_t lineno) {
   const auto colon = token.rfind(':');
-  if (colon == std::string::npos || colon + 1 >= token.size())
-    throw ParseError("link endpoint must be NAME:PORT, got '" + token + "'");
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= token.size())
+    throw ParseError("line " + std::to_string(lineno) +
+                     ": link endpoint must be NAME:PORT, got '" + token + "'");
   Endpoint ep;
   ep.node = token.substr(0, colon);
-  try {
-    ep.port = static_cast<std::uint32_t>(std::stoul(token.substr(colon + 1)));
-  } catch (const std::exception&) {
-    throw ParseError("bad port number in endpoint '" + token + "'");
-  }
+  const auto port = util::parse_u32(std::string_view(token).substr(colon + 1));
+  if (!port)
+    throw ParseError("line " + std::to_string(lineno) +
+                     ": bad port number in endpoint '" + token + "'");
+  ep.port = *port;
   return ep;
 }
 
@@ -78,11 +80,18 @@ Fabric read_topo(std::istream& is) {
     if (!(ls >> keyword)) continue;  // blank/comment line
 
     if (keyword == "pgft") {
+      if (spec)
+        throw ParseError("line " + std::to_string(lineno) +
+                         ": duplicate 'pgft' header");
       std::string rest;
       std::getline(ls, rest);
       // Strip leading spaces.
       rest.erase(0, rest.find_first_not_of(' '));
-      spec = parse_pgft(rest);
+      try {
+        spec = parse_pgft(rest);
+      } catch (const ParseError& e) {
+        throw ParseError("line " + std::to_string(lineno) + ": " + e.what());
+      }
     } else if (keyword == "node") {
       std::string name;
       if (!(ls >> name))
@@ -90,8 +99,14 @@ Fabric read_topo(std::istream& is) {
       std::string attr;
       std::uint32_t ports = 0;
       while (ls >> attr) {
-        if (attr.rfind("ports=", 0) == 0)
-          ports = static_cast<std::uint32_t>(std::stoul(attr.substr(6)));
+        if (attr.rfind("ports=", 0) == 0) {
+          const auto parsed =
+              util::parse_u32(std::string_view(attr).substr(6));
+          if (!parsed)
+            throw ParseError("line " + std::to_string(lineno) +
+                             ": bad port count '" + attr + "'");
+          ports = *parsed;
+        }
       }
       node_ports[name] = ports;
     } else if (keyword == "link") {
@@ -99,7 +114,7 @@ Fabric read_topo(std::istream& is) {
       if (!(ls >> a >> b))
         throw ParseError("line " + std::to_string(lineno) +
                          ": link needs two endpoints");
-      links.emplace_back(parse_endpoint(a), parse_endpoint(b));
+      links.emplace_back(parse_endpoint(a, lineno), parse_endpoint(b, lineno));
     } else {
       throw ParseError("line " + std::to_string(lineno) +
                        ": unknown keyword '" + keyword + "'");
@@ -131,6 +146,18 @@ Fabric read_topo(std::istream& is) {
     if (ia == by_name.end() || ib == by_name.end())
       throw SpecError("link references unknown node(s) " + a.node + " / " +
                       b.node);
+    const Node& na = fabric.node(ia->second);
+    if (a.port >= na.num_down_ports + na.num_up_ports)
+      throw SpecError("endpoint " + a.node + ":" + std::to_string(a.port) +
+                      " exceeds the node's " +
+                      std::to_string(na.num_down_ports + na.num_up_ports) +
+                      " ports");
+    const Node& nb = fabric.node(ib->second);
+    if (b.port >= nb.num_down_ports + nb.num_up_ports)
+      throw SpecError("endpoint " + b.node + ":" + std::to_string(b.port) +
+                      " exceeds the node's " +
+                      std::to_string(nb.num_down_ports + nb.num_up_ports) +
+                      " ports");
     const PortId pa = fabric.port_id(ia->second, a.port);
     const Port& pt = fabric.port(pa);
     const Port& peer = fabric.port(pt.peer);

@@ -1,0 +1,45 @@
+// Checked number parsing for file/CLI readers.
+//
+// std::stoul-style parsing has two failure modes that bite in parsers: it
+// throws (uncaught, that aborts instead of reporting a ParseError with
+// context) and it silently accepts partial tokens ("3x" -> 3). These helpers
+// sit on std::from_chars: no exceptions, no locale, and the whole token must
+// parse or the result is nullopt — callers turn that into a typed error with
+// their own line/field context.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace ftcf::util {
+
+/// Parse the entire token as a number of type T; nullopt on any leftover
+/// characters, overflow, or an empty token.
+template <typename T>
+[[nodiscard]] std::optional<T> parse_number(std::string_view token) noexcept {
+  if (token.empty()) return std::nullopt;
+  T value{};
+  const char* const last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(token.data(), last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+[[nodiscard]] inline std::optional<std::uint64_t> parse_u64(
+    std::string_view token) noexcept {
+  return parse_number<std::uint64_t>(token);
+}
+
+[[nodiscard]] inline std::optional<std::uint32_t> parse_u32(
+    std::string_view token) noexcept {
+  return parse_number<std::uint32_t>(token);
+}
+
+[[nodiscard]] inline std::optional<double> parse_f64(
+    std::string_view token) noexcept {
+  return parse_number<double>(token);
+}
+
+}  // namespace ftcf::util

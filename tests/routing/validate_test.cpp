@@ -1,0 +1,119 @@
+// LFT-level validation: reachability and up*/down* deadlock-freedom on
+// complete, corrupted, and degraded forwarding tables.
+#include "routing/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_spec.hpp"
+#include "routing/degraded.hpp"
+#include "routing/dmodk.hpp"
+#include "topology/presets.hpp"
+
+namespace ftcf::route {
+namespace {
+
+using fault::FaultState;
+using fault::parse_faults;
+using topo::Fabric;
+
+Fabric fig4b() { return Fabric(topo::fig4b_pgft16()); }
+
+TEST(ValidateLft, PristineDmodkFullyReachable) {
+  const Fabric fabric = fig4b();
+  const ForwardingTables tables = DModKRouter().compute(fabric);
+  const LftAudit audit = validate_lft(fabric, tables);
+  EXPECT_TRUE(audit.all_reachable())
+      << (audit.problems.empty() ? "unreachable pairs"
+                                 : audit.problems.front());
+  EXPECT_EQ(audit.pairs_checked, 16u * 15u);
+  EXPECT_EQ(audit.pairs_reachable, audit.pairs_checked);
+}
+
+TEST(ValidateLft, EmptyTablesAreTypedUnreachability) {
+  const Fabric fabric = fig4b();
+  const ForwardingTables tables(fabric);  // nothing programmed
+  const LftAudit audit = validate_lft(fabric, tables);
+  EXPECT_TRUE(audit.clean());  // unrouted is data, not a problem
+  EXPECT_FALSE(audit.all_reachable());
+  EXPECT_EQ(audit.pairs_reachable, 0u);
+  EXPECT_EQ(audit.unreachable.size(), audit.pairs_checked);
+
+  const RouteWalk walk = walk_route(fabric, tables, 0, 5);
+  EXPECT_EQ(walk.status, RouteStatus::kUnrouted);
+}
+
+TEST(ValidateLft, UpTurnAfterDescentIsAProblem) {
+  const Fabric fabric = fig4b();
+  ForwardingTables tables = DModKRouter().compute(fabric);
+  // Host 5 lives under leaf S1_1; point that leaf's entry for 5 upward.
+  const topo::NodeId leaf =
+      fabric.port(fabric.port(fabric.port_id(fabric.host_node(5), 0)).peer)
+          .node;
+  const topo::Node& n = fabric.node(leaf);
+  tables.set_out_port(leaf, 5, n.num_down_ports);  // first up port
+  EXPECT_EQ(walk_route(fabric, tables, 0, 5).status, RouteStatus::kNotUpDown);
+  const LftAudit audit = validate_lft(fabric, tables);
+  EXPECT_FALSE(audit.clean());
+}
+
+TEST(ValidateLft, ForeignDeliveryIsAProblem) {
+  const Fabric fabric = fig4b();
+  ForwardingTables tables = DModKRouter().compute(fabric);
+  // Deliver host 5's traffic to its neighbor under the same leaf.
+  const topo::NodeId leaf =
+      fabric.port(fabric.port(fabric.port_id(fabric.host_node(5), 0)).peer)
+          .node;
+  tables.set_out_port(leaf, 5, tables.out_port(leaf, 4));
+  EXPECT_EQ(walk_route(fabric, tables, 0, 5).status,
+            RouteStatus::kForeignHost);
+  EXPECT_FALSE(validate_lft(fabric, tables).clean());
+}
+
+TEST(ValidateLft, PristineTablesOnDegradedFabricCrossDeadLinks) {
+  const Fabric fabric = fig4b();
+  const ForwardingTables tables = DModKRouter().compute(fabric);
+  // Kill one leaf up-cable; the pristine tables still route through it.
+  const FaultState faults(fabric, parse_faults("link:S1_0:4"));
+  const LftAudit audit = validate_lft(fabric, tables, &faults);
+  EXPECT_FALSE(audit.clean());
+}
+
+TEST(ValidateLft, DegradedTablesRouteAroundADeadCable) {
+  const Fabric fabric = fig4b();
+  const FaultState faults(fabric, parse_faults("link:S1_0:4"));
+  DegradedStats stats;
+  const ForwardingTables tables = compute_degraded_dmodk(faults, &stats);
+  EXPECT_GT(stats.entries_rerouted, 0u);
+  EXPECT_EQ(stats.entries_unrouted, 0u);
+  const LftAudit audit = validate_lft(fabric, tables, &faults);
+  EXPECT_TRUE(audit.all_reachable());
+}
+
+TEST(ValidateLft, DeadHostCableStrandsOnlyThatHost) {
+  const Fabric fabric = fig4b();
+  const FaultState faults(fabric, parse_faults("link:H3:0"));
+  EXPECT_FALSE(faults.host_up(3));
+  EXPECT_EQ(faults.surviving_hosts().size(), 15u);
+  DegradedStats stats;
+  const ForwardingTables tables = compute_degraded_dmodk(faults, &stats);
+  EXPECT_EQ(stats.unreachable_hosts, 1u);
+  // Among surviving hosts the degraded tables stay fully reachable.
+  const LftAudit audit = validate_lft(fabric, tables, &faults);
+  EXPECT_TRUE(audit.all_reachable());
+  EXPECT_EQ(audit.pairs_checked, 15u * 14u);
+}
+
+TEST(ValidateLft, DeadSpineOnThreeLevelRlft) {
+  const Fabric fabric{topo::rlft3_top(4, 2)};  // 32 hosts, 3 levels
+  const FaultState faults(fabric, parse_faults("switch:spine0"));
+  DegradedStats stats;
+  const ForwardingTables tables = compute_degraded_dmodk(faults, &stats);
+  EXPECT_GT(stats.entries_rerouted, 0u);
+  const LftAudit audit = validate_lft(fabric, tables, &faults);
+  EXPECT_TRUE(audit.all_reachable())
+      << (audit.problems.empty() ? "unreachable pairs"
+                                 : audit.problems.front());
+}
+
+}  // namespace
+}  // namespace ftcf::route

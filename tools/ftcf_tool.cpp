@@ -7,15 +7,22 @@
 //   ftcf_tool simulate --topo cluster.topo --cps ring --order random
 //                      --kib 256 [--sync] [--adaptive] [--trace t.json]
 //                      [--metrics m.json] [--profile]
+//                      [--faults "link:S1_0:4,flap:spine1:0:50:200"]
+//   ftcf_tool inject   --nodes 324 --faults "switch:spine4" [--lft-out d.lft]
 //   ftcf_tool theorems --spec "PGFT(3; 6,6,4; 1,6,6; 1,1,1)"
 //
 // `--topo` reads a topology file; `--spec` builds from a PGFT tuple; the
 // preset shorthand `--nodes 324` uses the paper's cluster catalog.
+//
+// Exit codes: 0 success, 1 audit failure or internal error, 2 usage error or
+// malformed input (a typed ftcf::util error, reported as one line on stderr).
 #include <fstream>
 #include <iostream>
 #include <optional>
 
 #include "analysis/hsd.hpp"
+#include "fault/fault_spec.hpp"
+#include "routing/degraded.hpp"
 #include "core/grouped_rd.hpp"
 #include "core/report.hpp"
 #include "core/theorems.hpp"
@@ -56,6 +63,48 @@ topo::Fabric load_fabric(const util::Cli& cli) {
   }
   if (nodes != 0) return topo::Fabric(topo::paper_cluster(nodes));
   throw util::Error("need one of --spec, --topo or --nodes");
+}
+
+void add_fault_options(util::Cli& cli) {
+  cli.add_option("faults",
+                 "fault spec: link:NODE:PORT | switch:NODE | "
+                 "rate:NODE:PORT:FACTOR | flap:NODE:PORT:DOWN_US[:UP_US] | "
+                 "rand-links:COUNT:SEED (comma-separated)",
+                 "");
+  cli.add_option("faults-file", "file with one fault token per line", "");
+}
+
+fault::FaultSpec load_fault_spec(const util::Cli& cli) {
+  std::string text = cli.str("faults");
+  const std::string file = cli.str("faults-file");
+  if (!file.empty()) {
+    std::ifstream is(file);
+    if (!is) throw util::Error("cannot open faults file '" + file + "'");
+    std::string line;
+    while (std::getline(is, line)) {
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      const auto b = line.find_first_not_of(" \t\r");
+      if (b == std::string::npos) continue;
+      const auto e = line.find_last_not_of(" \t\r");
+      if (!text.empty()) text += ',';
+      text += line.substr(b, e - b + 1);
+    }
+  }
+  return fault::parse_faults(text);
+}
+
+/// Tables for a (possibly faulted) fabric: D-Mod-K re-routes around the
+/// faults; every other router keeps its pristine tables (the simulator then
+/// shows what the faults cost without rerouting).
+route::ForwardingTables load_tables(const util::Cli& cli,
+                                    const topo::Fabric& fabric,
+                                    const fault::FaultState* faults) {
+  const auto kind = route::parse_router_kind(cli.str("router"));
+  if (faults != nullptr && !faults->pristine() &&
+      kind == route::RouterKind::kDModK)
+    return route::compute_degraded_dmodk(*faults);
+  return route::make_router(kind, cli.uinteger("seed"))->compute(fabric);
 }
 
 order::NodeOrdering load_ordering(const std::string& name,
@@ -134,15 +183,16 @@ int cmd_hsd(int argc, const char* const* argv) {
   cli.add_option("order", "topology|random|adversarial|leaf-random|interleaved",
                  "topology");
   cli.add_option("seed", "seed for randomized choices", "1");
+  add_fault_options(cli);
   cli.add_flag("profile", "time fabric/table construction, report at exit");
   if (!cli.parse(argc, argv)) return 0;
   if (cli.flag("profile")) obs::Profiler::instance().set_enabled(true);
   const topo::Fabric fabric = load_fabric(cli);
 
-  const auto tables =
-      route::make_router(route::parse_router_kind(cli.str("router")),
-                         cli.uinteger("seed"))
-          ->compute(fabric);
+  const fault::FaultSpec fault_spec = load_fault_spec(cli);
+  std::optional<fault::FaultState> faults;
+  if (!fault_spec.empty()) faults.emplace(fabric, fault_spec);
+  const auto tables = load_tables(cli, fabric, faults ? &*faults : nullptr);
   const auto ordering =
       load_ordering(cli.str("order"), fabric, cli.uinteger("seed"));
   const cps::Sequence seq =
@@ -150,7 +200,8 @@ int cmd_hsd(int argc, const char* const* argv) {
           ? core::grouped_recursive_doubling(fabric)
           : cps::generate(cps::parse_cps(cli.str("cps")), fabric.num_hosts());
 
-  const analysis::HsdAnalyzer analyzer(fabric, tables);
+  analysis::HsdAnalyzer analyzer(fabric, tables);
+  if (faults) analyzer.set_tolerate_unroutable(true);
   const auto metrics = analyzer.analyze_sequence(seq, ordering);
   util::Table table({"metric", "value"});
   table.add_row({"stages", std::to_string(seq.num_stages())});
@@ -160,6 +211,11 @@ int cmd_hsd(int argc, const char* const* argv) {
   table.add_row({"worst down HSD", std::to_string(metrics.worst_down_hsd)});
   table.add_row({"congestion-free",
                  metrics.worst_stage_hsd <= 1 ? "yes" : "no"});
+  if (faults) {
+    table.add_row({"faults", fault_spec.to_string()});
+    table.add_row({"unroutable flows",
+                   std::to_string(metrics.unroutable_flows)});
+  }
   table.print(std::cout);
   if (cli.flag("profile")) obs::Profiler::instance().report(std::cerr);
   return 0;
@@ -174,17 +230,21 @@ int cmd_simulate(int argc, const char* const* argv) {
   cli.add_option("kib", "message size in KiB", "128");
   cli.add_option("seed", "seed for randomized choices", "1");
   cli.add_option("jitter-us", "synchronized-stage jitter bound", "0");
+  cli.add_option("timeout-us", "per-packet retransmit timeout (0 = default)",
+                 "0");
+  cli.add_option("retries", "max send attempts per packet (0 = default)", "0");
   cli.add_flag("sync", "barrier between stages");
   cli.add_flag("adaptive", "adaptive up-port selection");
+  add_fault_options(cli);
   obs::ObsCli::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
   obs::ObsCli obs_cli(cli);
   const topo::Fabric fabric = load_fabric(cli);
 
-  const auto tables =
-      route::make_router(route::parse_router_kind(cli.str("router")),
-                         cli.uinteger("seed"))
-          ->compute(fabric);
+  const fault::FaultSpec fault_spec = load_fault_spec(cli);
+  std::optional<fault::FaultState> faults;
+  if (!fault_spec.empty()) faults.emplace(fabric, fault_spec);
+  const auto tables = load_tables(cli, fabric, faults ? &*faults : nullptr);
   const auto ordering =
       load_ordering(cli.str("order"), fabric, cli.uinteger("seed"));
   const cps::Sequence seq =
@@ -196,6 +256,16 @@ int cmd_simulate(int argc, const char* const* argv) {
 
   sim::PacketSim psim(fabric, tables);
   psim.set_observer(obs_cli.observer());
+  if (faults) psim.set_fault_state(&*faults);
+  if (cli.uinteger("timeout-us") > 0 || cli.uinteger("retries") > 0) {
+    sim::Resilience policy;
+    if (cli.uinteger("timeout-us") > 0)
+      policy.timeout_ns =
+          static_cast<sim::SimTime>(cli.uinteger("timeout-us") * 1000);
+    if (cli.uinteger("retries") > 0)
+      policy.max_attempts = static_cast<std::uint32_t>(cli.uinteger("retries"));
+    psim.set_resilience(policy);
+  }
   if (cli.flag("adaptive"))
     psim.set_up_selection(sim::UpSelection::kAdaptive);
   if (cli.uinteger("jitter-us") > 0)
@@ -217,15 +287,68 @@ int cmd_simulate(int argc, const char* const* argv) {
   table.add_row({"out-of-order packets",
                  std::to_string(result.out_of_order_packets)});
   table.add_row({"events", std::to_string(result.events)});
+  if (faults) {
+    table.add_row({"faults", fault_spec.to_string()});
+    table.add_row({"packets dropped", std::to_string(result.packets_dropped)});
+    table.add_row({"packets retransmitted",
+                   std::to_string(result.packets_retransmitted)});
+    table.add_row({"duplicate packets",
+                   std::to_string(result.duplicate_packets)});
+    table.add_row({"messages failed", std::to_string(result.messages_failed)});
+    table.add_row({"bytes failed", util::fmt_bytes(result.bytes_failed)});
+    table.add_row({"link-down events",
+                   std::to_string(result.link_down_events)});
+  }
   table.print(std::cout);
   if (obs_cli.metrics() != nullptr) {
     obs_cli.metrics()->set_meta("tool", "ftcf_tool simulate");
     obs_cli.metrics()->set_meta("topology", fabric.spec().to_string());
     obs_cli.metrics()->set_meta("cps", cli.str("cps"));
     obs_cli.metrics()->set_meta("order", cli.str("order"));
+    if (faults) obs_cli.metrics()->set_meta("faults", fault_spec.to_string());
   }
   obs_cli.finish(topo::trace_naming(fabric));
   return 0;
+}
+
+int cmd_inject(int argc, const char* const* argv) {
+  util::Cli cli("ftcf_tool inject",
+                "apply a fault spec, reroute D-Mod-K and audit the result");
+  add_fabric_options(cli);
+  add_fault_options(cli);
+  cli.add_option("lft-out", "degraded LFT dump file ('-' = skip)", "-");
+  if (!cli.parse(argc, argv)) return 0;
+  const topo::Fabric fabric = load_fabric(cli);
+
+  const fault::FaultSpec fault_spec = load_fault_spec(cli);
+  const fault::FaultState faults(fabric, fault_spec);
+  route::DegradedStats stats;
+  const auto tables = route::compute_degraded_dmodk(faults, &stats);
+  const route::LftAudit audit = route::validate_lft(fabric, tables, &faults);
+
+  util::Table table({"metric", "value"});
+  table.add_row({"faults", fault_spec.empty() ? std::string("(none)")
+                                              : fault_spec.to_string()});
+  table.add_row({"cables down", std::to_string(faults.cables_down())});
+  table.add_row({"switches down", std::to_string(faults.switches_down())});
+  table.add_row({"cables degraded",
+                 std::to_string(faults.cables_degraded())});
+  table.add_row({"surviving hosts",
+                 std::to_string(faults.surviving_hosts().size()) + " / " +
+                     std::to_string(fabric.num_hosts())});
+  table.add_row({"entries rerouted", std::to_string(stats.entries_rerouted)});
+  table.add_row({"entries unrouted", std::to_string(stats.entries_unrouted)});
+  table.add_row({"pairs checked", std::to_string(audit.pairs_checked)});
+  table.add_row({"pairs unreachable", std::to_string(audit.unreachable.size())});
+  table.add_row({"up*/down* audit",
+                 audit.clean() ? std::string("ok") : audit.problems.front()});
+  table.print(std::cout);
+  if (cli.str("lft-out") != "-") {
+    std::ofstream os(cli.str("lft-out"));
+    route::write_lfts(fabric, tables, os);
+    std::cout << "wrote " << cli.str("lft-out") << '\n';
+  }
+  return audit.clean() ? 0 : 1;
 }
 
 int cmd_report(int argc, const char* const* argv) {
@@ -269,7 +392,8 @@ int cmd_theorems(int argc, const char* const* argv) {
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: ftcf_tool <topo|route|hsd|simulate|theorems|report> [options]\n"
+      "usage: ftcf_tool <topo|route|hsd|simulate|inject|theorems|report> "
+      "[options]\n"
       "       ftcf_tool <command> --help for per-command options\n";
   if (argc < 2) {
     std::cerr << usage;
@@ -281,9 +405,14 @@ int main(int argc, char** argv) {
     if (command == "route") return cmd_route(argc - 1, argv + 1);
     if (command == "hsd") return cmd_hsd(argc - 1, argv + 1);
     if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (command == "inject") return cmd_inject(argc - 1, argv + 1);
     if (command == "theorems") return cmd_theorems(argc - 1, argv + 1);
     if (command == "report") return cmd_report(argc - 1, argv + 1);
     std::cerr << "unknown command '" << command << "'\n" << usage;
+    return 2;
+  } catch (const util::Error& ex) {
+    // Typed library errors are usage/input mistakes: exit 2, one diagnostic.
+    std::cerr << "error: " << ex.what() << '\n';
     return 2;
   } catch (const std::exception& ex) {
     std::cerr << "error: " << ex.what() << '\n';
