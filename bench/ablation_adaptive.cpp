@@ -19,6 +19,7 @@
 #include "topology/obs_names.hpp"
 #include "topology/presets.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -32,7 +33,9 @@ int main(int argc, char** argv) {
   cli.add_option("seed", "random-order seed", "2011");
   cli.add_flag("csv", "CSV output");
   obs::ObsCli::add_options(cli);
+  cli.add_option("threads", "worker threads (0 = all cores)", "0");
   if (!cli.parse(argc, argv)) return 0;
+  par::set_default_threads(static_cast<std::uint32_t>(cli.uinteger("threads")));
   obs::ObsCli obs_cli(cli);
 
   const topo::Fabric fabric(topo::paper_cluster(cli.uinteger("nodes")));

@@ -25,6 +25,7 @@
 #include "sim/packet_sim.hpp"
 #include "topology/presets.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -38,7 +39,9 @@ int main(int argc, char** argv) {
   cli.add_option("stages", "shift stages sampled", "8");
   cli.add_option("rand-cables", "cables killed in the random scenario", "4");
   cli.add_flag("csv", "CSV output");
+  cli.add_option("threads", "worker threads (0 = all cores)", "0");
   if (!cli.parse(argc, argv)) return 0;
+  par::set_default_threads(static_cast<std::uint32_t>(cli.uinteger("threads")));
 
   const topo::Fabric fabric(topo::paper_cluster(cli.uinteger("nodes")));
   const std::uint64_t n = fabric.num_hosts();

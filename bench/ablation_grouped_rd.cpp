@@ -17,6 +17,7 @@
 #include "routing/dmodk.hpp"
 #include "topology/presets.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -28,7 +29,9 @@ int main(int argc, char** argv) {
   cli.add_option("kib", "allreduce payload per rank in KiB", "64");
   cli.add_flag("csv", "CSV output");
   cli.add_flag("profile", "time fabric/routing-table construction");
+  cli.add_option("threads", "worker threads (0 = all cores)", "0");
   if (!cli.parse(argc, argv)) return 0;
+  par::set_default_threads(static_cast<std::uint32_t>(cli.uinteger("threads")));
   if (cli.flag("profile")) {
     obs::Profiler::instance().reset();
     obs::Profiler::instance().set_enabled(true);

@@ -15,6 +15,7 @@
 #include "topology/obs_names.hpp"
 #include "topology/presets.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -27,7 +28,9 @@ int main(int argc, char** argv) {
   cli.add_option("seed", "randomized-placement seed", "17");
   cli.add_flag("csv", "CSV output");
   obs::ObsCli::add_options(cli);
+  cli.add_option("threads", "worker threads (0 = all cores)", "0");
   if (!cli.parse(argc, argv)) return 0;
+  par::set_default_threads(static_cast<std::uint32_t>(cli.uinteger("threads")));
   obs::ObsCli obs_cli(cli);
 
   const topo::Fabric fabric(topo::paper_cluster(cli.uinteger("nodes")));

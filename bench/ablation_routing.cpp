@@ -14,6 +14,7 @@
 #include "routing/router.hpp"
 #include "topology/presets.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -25,7 +26,9 @@ int main(int argc, char** argv) {
   cli.add_option("sizes", "cluster size presets", "324,1944");
   cli.add_option("seed", "random router seed", "5");
   cli.add_flag("csv", "CSV output");
+  cli.add_option("threads", "worker threads (0 = all cores)", "0");
   if (!cli.parse(argc, argv)) return 0;
+  par::set_default_threads(static_cast<std::uint32_t>(cli.uinteger("threads")));
 
   util::Table table({"fabric", "router", "shift avg HSD", "shift worst HSD",
                      "grouped-RD avg HSD", "grouped-RD worst HSD"});

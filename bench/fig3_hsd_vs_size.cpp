@@ -14,6 +14,7 @@
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace ftcf;
@@ -23,8 +24,10 @@ int main(int argc, char** argv) {
   cli.add_option("sizes", "cluster sizes", "128,324,1728,1944");
   cli.add_option("trials", "random node orders per point", "25");
   cli.add_option("seed", "base seed", "100");
+  cli.add_option("threads", "worker threads (0 = all cores)", "0");
   cli.add_flag("csv", "CSV output");
   if (!cli.parse(argc, argv)) return 0;
+  par::set_default_threads(static_cast<std::uint32_t>(cli.uinteger("threads")));
 
   const std::uint32_t trials =
       static_cast<std::uint32_t>(cli.uinteger("trials"));

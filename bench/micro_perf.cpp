@@ -21,6 +21,7 @@
 #include "routing/dmodk.hpp"
 #include "sim/packet_sim.hpp"
 #include "topology/presets.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -50,6 +51,86 @@ void BM_DModKTables(benchmark::State& state) {
       static_cast<std::int64_t>(fabric.num_switches() * fabric.num_hosts()));
 }
 BENCHMARK(BM_DModKTables)->Arg(128)->Arg(324)->Arg(1944);
+
+/// Restores the process-wide default thread count on scope exit so the
+/// threaded cases don't leak their setting into later benchmarks.
+class ThreadsGuard {
+ public:
+  explicit ThreadsGuard(std::uint32_t threads)
+      : saved_(par::default_threads()) {
+    par::set_default_threads(threads);
+  }
+  ~ThreadsGuard() { par::set_default_threads(saved_); }
+  ThreadsGuard(const ThreadsGuard&) = delete;
+  ThreadsGuard& operator=(const ThreadsGuard&) = delete;
+
+ private:
+  std::uint32_t saved_;
+};
+
+// The parallel-sweep cases: same work as their serial counterparts, with the
+// worker count as the second argument. The JSON export records each
+// (size, threads) point, so the speedup at 2/4/8 workers over threads=1 is
+// tracked across commits. Output is identical for every thread count; only
+// the wall clock changes.
+void BM_DModKTablesThreaded(benchmark::State& state) {
+  const topo::Fabric fabric(
+      topo::paper_cluster(static_cast<std::uint64_t>(state.range(0))));
+  const ThreadsGuard guard(static_cast<std::uint32_t>(state.range(1)));
+  const route::DModKRouter router;
+  for (auto _ : state) {
+    auto tables = router.compute(fabric);
+    benchmark::DoNotOptimize(tables.complete());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(fabric.num_switches() * fabric.num_hosts()));
+}
+BENCHMARK(BM_DModKTablesThreaded)
+    ->Args({1944, 1})
+    ->Args({1944, 2})
+    ->Args({1944, 4})
+    ->Args({1944, 8});
+
+void BM_HsdShiftSequenceThreaded(benchmark::State& state) {
+  const topo::Fabric fabric(
+      topo::paper_cluster(static_cast<std::uint64_t>(state.range(0))));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const analysis::HsdAnalyzer analyzer(fabric, tables);
+  const auto ordering = order::NodeOrdering::topology(fabric);
+  const cps::Sequence seq = cps::shift(fabric.num_hosts());
+  const ThreadsGuard guard(static_cast<std::uint32_t>(state.range(1)));
+  for (auto _ : state) {
+    const auto metrics = analyzer.analyze_sequence(seq, ordering);
+    benchmark::DoNotOptimize(metrics.avg_max_hsd);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(seq.num_stages()));
+}
+BENCHMARK(BM_HsdShiftSequenceThreaded)
+    ->Args({1944, 1})
+    ->Args({1944, 2})
+    ->Args({1944, 4})
+    ->Args({1944, 8});
+
+void BM_HsdEnsembleThreaded(benchmark::State& state) {
+  const topo::Fabric fabric(
+      topo::paper_cluster(static_cast<std::uint64_t>(state.range(0))));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const cps::Sequence seq = cps::recursive_doubling(fabric.num_hosts());
+  const ThreadsGuard guard(static_cast<std::uint32_t>(state.range(1)));
+  for (auto _ : state) {
+    const auto acc =
+        analysis::random_order_hsd_ensemble(fabric, tables, seq, 8, 42);
+    benchmark::DoNotOptimize(acc.mean());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_HsdEnsembleThreaded)
+    ->Args({324, 1})
+    ->Args({324, 2})
+    ->Args({324, 4})
+    ->Args({324, 8});
 
 void BM_TraceRoute(benchmark::State& state) {
   const topo::Fabric fabric(topo::paper_cluster(324));

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "util/expects.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ftcf::analysis {
 
@@ -10,14 +12,13 @@ using topo::Fabric;
 
 HsdAnalyzer::HsdAnalyzer(const Fabric& fabric,
                          const route::ForwardingTables& tables)
-    : fabric_(&fabric), tables_(&tables) {
-  scratch_.assign(fabric.num_ports(), 0);
-}
+    : fabric_(&fabric), tables_(&tables) {}
 
 StageMetrics HsdAnalyzer::analyze_stage(
-    std::span<const cps::Pair> host_flows,
+    std::span<const cps::Pair> host_flows, Workspace& workspace,
     std::vector<std::uint32_t>* link_loads) const {
-  std::fill(scratch_.begin(), scratch_.end(), 0u);
+  std::vector<std::uint32_t>& loads = workspace.link_loads_;
+  loads.assign(fabric_->num_ports(), 0u);
   StageMetrics metrics;
 
   // Inline route walk (same semantics as route::trace_route, without the
@@ -25,7 +26,7 @@ StageMetrics HsdAnalyzer::analyze_stage(
   // Links are buffered per flow and committed only on delivery, so a flow
   // stranded by a degraded table leaves no partial load behind.
   const std::size_t max_links = 2ull * fabric_->height() + 2;
-  std::vector<topo::PortId> walked;
+  std::vector<topo::PortId>& walked = workspace.walked_;
   walked.reserve(max_links + 1);
   for (const cps::Pair& flow : host_flows) {
     if (flow.src == flow.dst) continue;
@@ -41,7 +42,7 @@ StageMetrics HsdAnalyzer::analyze_stage(
       walked.push_back(out);
       at = fabric_->port(fabric_->port(out).peer).node;
       if (at == dst_node) {
-        for (const topo::PortId pid : walked) ++scratch_[pid];
+        for (const topo::PortId pid : walked) ++loads[pid];
         break;
       }
       if (tolerate_unroutable_ && !tables_->has_entry(at, flow.dst)) {
@@ -52,8 +53,8 @@ StageMetrics HsdAnalyzer::analyze_stage(
     }
   }
 
-  for (topo::PortId pid = 0; pid < scratch_.size(); ++pid) {
-    const std::uint32_t load = scratch_[pid];
+  for (topo::PortId pid = 0; pid < loads.size(); ++pid) {
+    const std::uint32_t load = loads[pid];
     if (load == 0) continue;
     if (load > metrics.max_hsd) {
       metrics.max_hsd = load;
@@ -75,33 +76,49 @@ StageMetrics HsdAnalyzer::analyze_stage(
     }
   }
 
-  if (link_loads != nullptr) *link_loads = scratch_;
+  if (link_loads != nullptr) *link_loads = loads;
   return metrics;
+}
+
+StageMetrics HsdAnalyzer::analyze_stage(
+    std::span<const cps::Pair> host_flows,
+    std::vector<std::uint32_t>* link_loads) const {
+  Workspace workspace;
+  return analyze_stage(host_flows, workspace, link_loads);
 }
 
 SequenceMetrics HsdAnalyzer::analyze_sequence(
     const cps::Sequence& seq, const order::NodeOrdering& ordering) const {
+  const std::size_t num_stages = seq.stages.size();
+  const par::ForOptions options{.threads = 0, .grain = 1, .label = "hsd.stage"};
+  std::vector<Workspace> workspaces(par::region_width(num_stages, options));
+  std::vector<StageMetrics> per_stage(num_stages);
+  par::parallel_for(
+      num_stages,
+      [&](std::size_t s, std::uint32_t worker) {
+        const cps::Stage& stage = seq.stages[s];
+        if (stage.empty()) return;  // StageMetrics{} stays all-zero
+        const auto flows = ordering.map_stage(stage);
+        per_stage[s] = analyze_stage(flows, workspaces[worker]);
+      },
+      options);
+
+  // Serial fold in stage order: byte-identical for any thread count.
   SequenceMetrics out;
-  out.per_stage_max.reserve(seq.stages.size());
+  out.per_stage_max.reserve(num_stages);
   double sum = 0.0;
-  for (const cps::Stage& stage : seq.stages) {
-    if (stage.empty()) {
-      out.per_stage_max.push_back(0);
-      continue;
-    }
-    const auto flows = ordering.map_stage(stage);
-    const StageMetrics metrics = analyze_stage(flows);
+  std::size_t counted = 0;
+  for (std::size_t s = 0; s < num_stages; ++s) {
+    const StageMetrics& metrics = per_stage[s];
     out.per_stage_max.push_back(metrics.max_hsd);
     out.worst_stage_hsd = std::max(out.worst_stage_hsd, metrics.max_hsd);
     out.worst_up_hsd = std::max(out.worst_up_hsd, metrics.max_up_hsd);
     out.worst_down_hsd = std::max(out.worst_down_hsd, metrics.max_down_hsd);
     out.unroutable_flows += metrics.unroutable_flows;
+    if (seq.stages[s].empty()) continue;
     sum += metrics.max_hsd;
+    if (metrics.max_hsd > 0) ++counted;
   }
-  const std::size_t counted =
-      static_cast<std::size_t>(std::count_if(out.per_stage_max.begin(),
-                                             out.per_stage_max.end(),
-                                             [](std::uint32_t m) { return m > 0; }));
   out.avg_max_hsd = counted ? sum / static_cast<double>(counted) : 0.0;
   return out;
 }
@@ -110,11 +127,30 @@ util::Accumulator random_order_hsd_ensemble(
     const Fabric& fabric, const route::ForwardingTables& tables,
     const cps::Sequence& seq, std::uint32_t trials, std::uint64_t seed) {
   const HsdAnalyzer analyzer(fabric, tables);
+
+  // Fixed-size trial blocks, independent of the thread count: block b owns
+  // trials [b*kBlock, ...); each task accumulates its block in trial order
+  // and the block accumulators merge in block order below, so the ensemble
+  // statistics do not depend on how blocks were scheduled over threads.
+  constexpr std::uint32_t kBlock = 4;
+  const std::size_t num_blocks = (trials + kBlock - 1) / kBlock;
+  const auto block_stats = par::parallel_map(
+      num_blocks,
+      [&](std::size_t block) {
+        util::Accumulator acc;
+        const std::uint32_t begin = static_cast<std::uint32_t>(block) * kBlock;
+        const std::uint32_t end = std::min(trials, begin + kBlock);
+        for (std::uint32_t t = begin; t < end; ++t) {
+          const auto ordering =
+              order::NodeOrdering::random(fabric, util::derive_seed(seed, t));
+          acc.add(analyzer.analyze_sequence(seq, ordering).avg_max_hsd);
+        }
+        return acc;
+      },
+      par::ForOptions{.threads = 0, .grain = 1, .label = "hsd.ensemble"});
+
   util::Accumulator acc;
-  for (std::uint32_t t = 0; t < trials; ++t) {
-    const auto ordering = order::NodeOrdering::random(fabric, seed + t);
-    acc.add(analyzer.analyze_sequence(seq, ordering).avg_max_hsd);
-  }
+  for (const util::Accumulator& block : block_stats) acc.merge(block);
   return acc;
 }
 

@@ -7,6 +7,14 @@
 // (matching the paper: "the average of the maximal hot-spot-degree of all
 // links, over all stages of the collective algorithm"). HSD == 1 everywhere
 // means congestion-free.
+//
+// Thread safety: HsdAnalyzer holds only pointers to the (const) fabric and
+// tables; all per-call state lives in an explicit Workspace, so one analyzer
+// may be shared by any number of threads as long as each thread brings its
+// own Workspace (the workspace-less overloads allocate a fresh one per
+// call). analyze_sequence and random_order_hsd_ensemble fan out over the
+// ftcf::par default thread count and merge results in stage/trial order, so
+// their output is byte-identical for every thread count.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +49,19 @@ struct SequenceMetrics {
 
 class HsdAnalyzer {
  public:
+  /// Reusable per-call state (per-port counters and the route-walk buffer).
+  /// One per thread: a Workspace must not be used by two concurrent
+  /// analyze_stage calls, but may be reused across calls and analyzers.
+  class Workspace {
+   public:
+    Workspace() = default;
+
+   private:
+    friend class HsdAnalyzer;
+    std::vector<std::uint32_t> link_loads_;
+    std::vector<topo::PortId> walked_;
+  };
+
   HsdAnalyzer(const topo::Fabric& fabric,
               const route::ForwardingTables& tables);
 
@@ -52,14 +73,23 @@ class HsdAnalyzer {
     tolerate_unroutable_ = tolerate;
   }
 
-  /// Analyze one stage given flows already in host-index space.
-  /// When `link_loads` is non-null it receives the per-port flow counts
-  /// (indexed by PortId).
+  /// Analyze one stage given flows already in host-index space, using the
+  /// caller's workspace (race-free under concurrent calls with distinct
+  /// workspaces). When `link_loads` is non-null it receives the per-port
+  /// flow counts (indexed by PortId).
+  [[nodiscard]] StageMetrics analyze_stage(
+      std::span<const cps::Pair> host_flows, Workspace& workspace,
+      std::vector<std::uint32_t>* link_loads = nullptr) const;
+
+  /// Convenience overload with a private, freshly-allocated workspace.
+  /// Hot loops should hold a Workspace and use the overload above.
   [[nodiscard]] StageMetrics analyze_stage(
       std::span<const cps::Pair> host_flows,
       std::vector<std::uint32_t>* link_loads = nullptr) const;
 
-  /// Analyze a full CPS under a node ordering.
+  /// Analyze a full CPS under a node ordering. Stages are analyzed in
+  /// parallel (ftcf::par) with one workspace per worker; metrics are folded
+  /// in stage order, so the result is identical for any thread count.
   [[nodiscard]] SequenceMetrics analyze_sequence(
       const cps::Sequence& seq, const order::NodeOrdering& ordering) const;
 
@@ -69,11 +99,14 @@ class HsdAnalyzer {
   const topo::Fabric* fabric_;
   const route::ForwardingTables* tables_;
   bool tolerate_unroutable_ = false;
-  mutable std::vector<std::uint32_t> scratch_;  ///< per-port counters
 };
 
 /// Fig. 3 ensemble: the sequence's avg-max-HSD under `trials` random
 /// orderings; the returned accumulator carries mean/min/max across trials.
+/// Trial t draws its ordering from util::derive_seed(seed, t), so ensembles
+/// for different base seeds share no trials. Trials run in parallel in
+/// fixed blocks whose per-block accumulators merge in block order — the
+/// statistics are byte-identical for any thread count.
 [[nodiscard]] util::Accumulator random_order_hsd_ensemble(
     const topo::Fabric& fabric, const route::ForwardingTables& tables,
     const cps::Sequence& seq, std::uint32_t trials, std::uint64_t seed);

@@ -15,12 +15,14 @@ CostEstimate estimate_cost(const Trace& trace, const topo::Fabric& fabric,
   const double beta = 1.0 / calib.host_bw_bytes_per_sec;
 
   CostEstimate est;
+  analysis::HsdAnalyzer::Workspace workspace;
   for (std::size_t s = 0; s < trace.sequence.stages.size(); ++s) {
     const cps::Stage& stage = trace.sequence.stages[s];
     if (stage.empty()) continue;
     ++est.stages;
     const auto flows = ordering.map_stage(stage);
-    const analysis::StageMetrics metrics = analyzer.analyze_stage(flows);
+    const analysis::StageMetrics metrics =
+        analyzer.analyze_stage(flows, workspace);
     const double bytes = static_cast<double>(trace.bytes_per_pair[s]);
     const double hsd = std::max<std::uint32_t>(metrics.max_hsd, 1);
     est.seconds += alpha + bytes * beta * hsd;

@@ -5,6 +5,7 @@
 #include "cps/generators.hpp"
 #include "util/error.hpp"
 #include "util/expects.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ftcf::core {
 
@@ -60,17 +61,28 @@ InterferenceReport analyze_job_interference(
         std::max(report.worst_single_job_hsd, solo.worst_stage_hsd);
   }
 
-  for (std::size_t step = 0; step < longest; ++step) {
-    std::vector<cps::Pair> combined;
-    for (std::size_t k = 0; k < jobs.size(); ++k) {
-      const cps::Stage& stage =
-          sequences[k].stages[step % sequences[k].num_stages()];
-      const auto flows = jobs[k].ordering.map_stage(stage);
-      combined.insert(combined.end(), flows.begin(), flows.end());
-    }
-    const auto metrics = analyzer.analyze_stage(combined);
-    report.worst_combined_hsd =
-        std::max(report.worst_combined_hsd, metrics.max_hsd);
+  // Each network step's combined traffic is independent of the others, so
+  // the interference sweep shards per step, one workspace per worker; the
+  // per-step maxima fold in step order (a max-reduction, but kept ordered
+  // so any future non-commutative merge stays deterministic too).
+  const par::ForOptions options{.threads = 0, .grain = 1, .label = "jobs.step"};
+  std::vector<analysis::HsdAnalyzer::Workspace> workspaces(
+      par::region_width(longest, options));
+  const auto step_max = par::parallel_map(
+      longest,
+      [&](std::size_t step, std::uint32_t worker) {
+        std::vector<cps::Pair> combined;
+        for (std::size_t k = 0; k < jobs.size(); ++k) {
+          const cps::Stage& stage =
+              sequences[k].stages[step % sequences[k].num_stages()];
+          const auto flows = jobs[k].ordering.map_stage(stage);
+          combined.insert(combined.end(), flows.begin(), flows.end());
+        }
+        return analyzer.analyze_stage(combined, workspaces[worker]).max_hsd;
+      },
+      options);
+  for (const std::uint32_t max_hsd : step_max) {
+    report.worst_combined_hsd = std::max(report.worst_combined_hsd, max_hsd);
   }
   report.isolated = report.worst_combined_hsd <= 1;
   return report;

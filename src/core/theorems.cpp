@@ -18,11 +18,13 @@ TheoremReport run_shift_check(const topo::Fabric& fabric, bool check_up,
   const auto ordering = order::NodeOrdering::topology(fabric);
 
   TheoremReport report;
+  analysis::HsdAnalyzer::Workspace workspace;
   const std::uint64_t n = fabric.num_hosts();
   for (std::uint64_t s = 1; s < n; ++s) {
     const cps::Stage stage = cps::shift_stage(n, s);
     const auto flows = ordering.map_stage(stage);
-    const analysis::StageMetrics metrics = analyzer.analyze_stage(flows);
+    const analysis::StageMetrics metrics =
+        analyzer.analyze_stage(flows, workspace);
     ++report.stages_checked;
     report.worst_up_hsd = std::max(report.worst_up_hsd, metrics.max_up_hsd);
     report.worst_down_hsd =
@@ -58,9 +60,11 @@ TheoremReport check_theorem3(const topo::Fabric& fabric) {
   const cps::Sequence seq = grouped_recursive_doubling(fabric);
 
   TheoremReport report;
+  analysis::HsdAnalyzer::Workspace workspace;
   for (std::size_t idx = 0; idx < seq.stages.size(); ++idx) {
     const auto flows = ordering.map_stage(seq.stages[idx]);
-    const analysis::StageMetrics metrics = analyzer.analyze_stage(flows);
+    const analysis::StageMetrics metrics =
+        analyzer.analyze_stage(flows, workspace);
     ++report.stages_checked;
     report.worst_up_hsd = std::max(report.worst_up_hsd, metrics.max_up_hsd);
     report.worst_down_hsd =

@@ -1,11 +1,16 @@
 #include "obs/profile.hpp"
 
 #include <algorithm>
+#include <array>
 #include <map>
 #include <mutex>
 #include <ostream>
+#include <vector>
 
+#include "obs/metrics.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ftcf::obs {
 
@@ -64,6 +69,45 @@ std::vector<Profiler::Entry> Profiler::entries() const {
 void Profiler::reset() {
   const std::lock_guard<std::mutex> lock(g_mutex);
   slots().clear();
+}
+
+namespace {
+
+// Registry for the par-timing sink. The sink runs on whichever thread
+// issued the (top-level) parallel loop; installation itself is expected
+// from the single-threaded driver before the sweeps start.
+MetricsRegistry* g_par_registry = nullptr;
+
+void par_timing_sink(const char* label, const double* task_seconds,
+                     std::size_t num_tasks) {
+  if (num_tasks == 0) return;
+  const std::string entry = std::string("par.") + label;
+  Profiler& profiler = Profiler::instance();
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    profiler.add(entry.c_str(), static_cast<std::uint64_t>(
+                                    task_seconds[t] * 1e9));
+  }
+  if (g_par_registry == nullptr) return;
+  std::vector<double> sample(task_seconds, task_seconds + num_tasks);
+  static constexpr std::array<double, 3> kQs = {0.5, 0.95, 0.99};
+  const std::vector<double> ps = util::percentiles(std::move(sample), kQs);
+  g_par_registry->gauge(entry + ".tasks")
+      .set(static_cast<double>(num_tasks));
+  g_par_registry->gauge(entry + ".p50_ms").set(ps[0] * 1e3);
+  g_par_registry->gauge(entry + ".p95_ms").set(ps[1] * 1e3);
+  g_par_registry->gauge(entry + ".p99_ms").set(ps[2] * 1e3);
+}
+
+}  // namespace
+
+void enable_par_timing(MetricsRegistry* registry) {
+  g_par_registry = registry;
+  par::set_timing_sink(&par_timing_sink);
+}
+
+void disable_par_timing() noexcept {
+  par::set_timing_sink(nullptr);
+  g_par_registry = nullptr;
 }
 
 void Profiler::report(std::ostream& os) const {

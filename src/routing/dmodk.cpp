@@ -2,6 +2,7 @@
 
 #include "obs/profile.hpp"
 #include "util/expects.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ftcf::route {
 
@@ -37,23 +38,31 @@ ForwardingTables DModKRouter::compute(const Fabric& fabric) const {
   ForwardingTables tables(fabric);
   const std::uint64_t n = fabric.num_hosts();
 
-  for (const topo::NodeId sw : fabric.switch_ids()) {
-    const topo::Node& node = fabric.node(sw);
-    const std::uint32_t l = node.level;
-    for (std::uint64_t j = 0; j < n; ++j) {
-      std::uint32_t port;
-      if (fabric.is_ancestor_of_host(sw, j)) {
-        // Down: the unique child subtree containing j, over the rail the
-        // up-path of j takes at this boundary.
-        const std::uint32_t child = fabric.host_digit(j, l);
-        const std::uint32_t rail = down_rail_formula(spec, l, j);
-        port = child + rail * spec.m(l);
-      } else {
-        port = node.num_down_ports + up_port_formula(spec, l, j);
-      }
-      tables.set_out_port(sw, j, port);
-    }
-  }
+  // Sharded per switch: each task programs one switch's LFT row, a
+  // disjoint slice of the table, so the parallel build needs no locking
+  // and the resulting tables are identical for any thread count.
+  const std::span<const topo::NodeId> switches = fabric.switch_ids();
+  par::parallel_for(
+      switches.size(),
+      [&](std::size_t idx, std::uint32_t) {
+        const topo::NodeId sw = switches[idx];
+        const topo::Node& node = fabric.node(sw);
+        const std::uint32_t l = node.level;
+        for (std::uint64_t j = 0; j < n; ++j) {
+          std::uint32_t port;
+          if (fabric.is_ancestor_of_host(sw, j)) {
+            // Down: the unique child subtree containing j, over the rail the
+            // up-path of j takes at this boundary.
+            const std::uint32_t child = fabric.host_digit(j, l);
+            const std::uint32_t rail = down_rail_formula(spec, l, j);
+            port = child + rail * spec.m(l);
+          } else {
+            port = node.num_down_ports + up_port_formula(spec, l, j);
+          }
+          tables.set_out_port(sw, j, port);
+        }
+      },
+      par::ForOptions{.threads = 0, .grain = 1, .label = "dmodk.switch"});
   util::ensures(tables.complete(), "D-Mod-K programmed every LFT entry");
   return tables;
 }

@@ -32,6 +32,22 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Random-access seed derivation: the (index+1)-th output of
+/// SplitMix64(base), computed directly. Use this — never `base + index` —
+/// to give trial t of an ensemble its own seed: with plain addition the
+/// ensembles for adjacent bases (seed, seed + 1) share all but one trial,
+/// silently correlating runs that should be independent.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                                  std::uint64_t index) noexcept {
+  // SplitMix64 state after k steps is base + k * gamma; mixing it yields
+  // the k-th output, so this is equivalent to (but O(1) instead of O(k))
+  // stepping a SplitMix64 forward index+1 times.
+  std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// xoshiro256**: fast all-purpose 64-bit PRNG (Blackman & Vigna).
 /// Satisfies std::uniform_random_bit_generator.
 class Xoshiro256 {

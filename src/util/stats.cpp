@@ -35,15 +35,34 @@ std::string IntHistogram::to_string() const {
   return out;
 }
 
-double percentile(std::vector<double> sample, double q) {
-  expects(!sample.empty(), "percentile of empty sample");
+namespace {
+
+/// Percentile of an already-sorted sample (closest-ranks interpolation).
+double sorted_percentile(const std::vector<double>& sorted, double q) {
   expects(q >= 0.0 && q <= 1.0, "percentile rank must be in [0,1]");
-  std::sort(sample.begin(), sample.end());
-  const double pos = q * static_cast<double>(sample.size() - 1);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const double frac = pos - static_cast<double>(lo);
-  if (lo + 1 >= sample.size()) return sample.back();
-  return sample[lo] * (1.0 - frac) + sample[lo + 1] * frac;
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+}  // namespace
+
+double percentile(std::vector<double> sample, double q) {
+  expects(!sample.empty(), "percentile of empty sample");
+  std::sort(sample.begin(), sample.end());
+  return sorted_percentile(sample, q);
+}
+
+std::vector<double> percentiles(std::vector<double> sample,
+                                std::span<const double> qs) {
+  expects(!sample.empty(), "percentile of empty sample");
+  std::sort(sample.begin(), sample.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) out.push_back(sorted_percentile(sample, q));
+  return out;
 }
 
 }  // namespace ftcf::util

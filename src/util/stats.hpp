@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -81,5 +82,12 @@ class IntHistogram {
 /// Exact percentile of a sample (linear interpolation between closest ranks).
 /// q in [0, 1]. The sample is copied and sorted; fine for experiment sizes.
 [[nodiscard]] double percentile(std::vector<double> sample, double q);
+
+/// All requested percentiles of one sample with a single sort: qs[i] in
+/// [0, 1], result[i] = percentile(sample, qs[i]). Use this instead of
+/// repeated percentile() calls when querying p50/p95/p99 of the same
+/// sample — the one-q form re-sorts the whole sample per call.
+[[nodiscard]] std::vector<double> percentiles(std::vector<double> sample,
+                                              std::span<const double> qs);
 
 }  // namespace ftcf::util

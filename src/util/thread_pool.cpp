@@ -1,0 +1,271 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/expects.hpp"
+
+namespace ftcf::par {
+
+namespace {
+
+std::atomic<std::uint32_t> g_default_threads{0};  // 0 = hardware
+std::atomic<TimingSink> g_timing_sink{nullptr};
+thread_local bool t_in_region = false;
+
+/// RAII flag so nested parallel loops on this thread run inline.
+struct RegionGuard {
+  RegionGuard() noexcept : prev(t_in_region) { t_in_region = true; }
+  ~RegionGuard() { t_in_region = prev; }
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+  bool prev;
+};
+
+}  // namespace
+
+std::uint32_t hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : static_cast<std::uint32_t>(n);
+}
+
+void set_default_threads(std::uint32_t n) noexcept {
+  g_default_threads.store(n, std::memory_order_relaxed);
+}
+
+std::uint32_t default_threads() noexcept {
+  const std::uint32_t n = g_default_threads.load(std::memory_order_relaxed);
+  return n == 0 ? hardware_threads() : n;
+}
+
+bool in_parallel_region() noexcept { return t_in_region; }
+
+void set_timing_sink(TimingSink sink) noexcept {
+  g_timing_sink.store(sink, std::memory_order_relaxed);
+}
+
+TimingSink timing_sink() noexcept {
+  return g_timing_sink.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;  ///< num_threads - 1 background threads
+
+  std::mutex run_mutex;  ///< serialises whole batches: one run() at a time
+  std::mutex mutex;
+  std::condition_variable work_cv;  ///< workers wait here for a batch
+  std::condition_variable done_cv;  ///< run() waits here for the drain
+
+  // Current batch, published under `mutex` with a generation bump.
+  std::uint64_t generation = 0;
+  std::size_t num_tasks = 0;
+  std::uint32_t max_workers = 0;
+  const std::function<void(std::size_t, std::uint32_t)>* body = nullptr;
+
+  std::atomic<std::size_t> cursor{0};  ///< next unclaimed task
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;  ///< first task exception, under `mutex`
+  std::size_t workers_idle = 0;  ///< background workers done with current gen
+  bool stopping = false;
+
+  /// Claim and execute tasks of the current batch as logical `worker`.
+  void drain(std::uint32_t worker) {
+    RegionGuard in_region;
+    const std::size_t n = num_tasks;
+    for (;;) {
+      const std::size_t task = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (task >= n) break;
+      if (failed.load(std::memory_order_relaxed)) continue;
+      try {
+        (*body)(task, worker);
+      } catch (...) {
+        bool expected = false;
+        if (failed.compare_exchange_strong(expected, true)) {
+          const std::lock_guard<std::mutex> lock(mutex);
+          error = std::current_exception();
+        }
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::uint32_t threads) : impl_(std::make_unique<Impl>()) {
+  const std::uint32_t n = threads == 0 ? default_threads() : threads;
+  impl_->workers.reserve(n > 0 ? n - 1 : 0);
+  for (std::uint32_t w = 1; w < n; ++w) {
+    impl_->workers.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+}
+
+std::uint32_t ThreadPool::num_threads() const noexcept {
+  return static_cast<std::uint32_t>(impl_->workers.size()) + 1;
+}
+
+void ThreadPool::worker_loop(std::uint32_t worker) {
+  Impl& impl = *impl_;
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::uint32_t max_workers;
+    {
+      std::unique_lock<std::mutex> lock(impl.mutex);
+      impl.work_cv.wait(lock, [&] {
+        return impl.stopping || impl.generation != seen_generation;
+      });
+      if (impl.stopping) return;
+      seen_generation = impl.generation;
+      max_workers = impl.max_workers;
+    }
+    // Workers beyond the batch's cap sit this generation out.
+    if (worker < max_workers) impl.drain(worker);
+    {
+      const std::lock_guard<std::mutex> lock(impl.mutex);
+      ++impl.workers_idle;
+    }
+    impl.done_cv.notify_one();
+  }
+}
+
+void ThreadPool::run(
+    std::size_t num_tasks,
+    const std::function<void(std::size_t, std::uint32_t)>& task,
+    std::uint32_t max_workers) {
+  util::expects(!in_parallel_region(),
+                "ThreadPool::run from inside a parallel region would "
+                "deadlock; nested loops must run inline");
+  Impl& impl = *impl_;
+  // Batches are exclusive: a run() issued while another batch is in flight
+  // (from a different caller thread) waits its turn, so library entry
+  // points that fan out internally stay safe to call from user threads.
+  const std::lock_guard<std::mutex> batch(impl.run_mutex);
+  if (max_workers == 0 || max_workers > num_threads()) {
+    max_workers = num_threads();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl.mutex);
+    impl.num_tasks = num_tasks;
+    impl.max_workers = max_workers;
+    impl.body = &task;
+    impl.cursor.store(0, std::memory_order_relaxed);
+    impl.failed.store(false, std::memory_order_relaxed);
+    impl.error = nullptr;
+    impl.workers_idle = 0;
+    ++impl.generation;
+  }
+  impl.work_cv.notify_all();
+
+  impl.drain(0);  // the caller is worker 0
+
+  {
+    std::unique_lock<std::mutex> lock(impl.mutex);
+    impl.done_cv.wait(lock, [&] {
+      return impl.workers_idle == impl.workers.size();
+    });
+    impl.body = nullptr;
+    if (impl.error != nullptr) {
+      std::exception_ptr error = impl.error;
+      impl.error = nullptr;
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// parallel_for over a lazily-created shared pool
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::shared_ptr<ThreadPool> g_pool;
+
+/// Shared pool with at least `threads` lanes, grown (never shrunk) on
+/// demand. Callers hold the returned shared_ptr across their batch: when a
+/// wider pool replaces this one while another thread's batch is still in
+/// flight, the old pool is destroyed (and its workers joined) only after
+/// that batch releases its reference.
+std::shared_ptr<ThreadPool> shared_pool(std::uint32_t threads) {
+  const std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool == nullptr || g_pool->num_threads() < threads) {
+    g_pool = std::make_shared<ThreadPool>(threads);
+  }
+  return g_pool;
+}
+
+struct LoopShape {
+  std::size_t num_tasks = 0;
+  std::uint32_t width = 1;  ///< distinct worker indices the body can see
+};
+
+LoopShape loop_shape(std::size_t n, const ForOptions& options) {
+  LoopShape shape;
+  const std::size_t grain = options.grain == 0 ? 1 : options.grain;
+  shape.num_tasks = (n + grain - 1) / grain;
+  const std::uint32_t threads =
+      options.threads == 0 ? default_threads() : options.threads;
+  if (!in_parallel_region() && threads > 1 && shape.num_tasks > 1) {
+    shape.width = threads;
+  }
+  return shape;
+}
+
+}  // namespace
+
+std::uint32_t region_width(std::size_t n, const ForOptions& options) {
+  return loop_shape(n, options).width;
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::uint32_t)>& body,
+                  const ForOptions& options) {
+  if (n == 0) return;
+  const std::size_t grain = options.grain == 0 ? 1 : options.grain;
+  const LoopShape shape = loop_shape(n, options);
+
+  const TimingSink sink = timing_sink();
+  std::vector<double> task_seconds;
+  const bool timed = sink != nullptr && options.label != nullptr;
+  if (timed) task_seconds.assign(shape.num_tasks, 0.0);
+
+  // One task covers indices [task * grain, min(n, (task+1) * grain)).
+  const auto run_task = [&](std::size_t task, std::uint32_t worker) {
+    const std::size_t begin = task * grain;
+    const std::size_t end = std::min(n, begin + grain);
+    if (timed) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t i = begin; i < end; ++i) body(i, worker);
+      const auto dt = std::chrono::steady_clock::now() - t0;
+      task_seconds[task] = std::chrono::duration<double>(dt).count();
+    } else {
+      for (std::size_t i = begin; i < end; ++i) body(i, worker);
+    }
+  };
+
+  if (shape.width <= 1) {
+    // Inline: nested region, single thread, or a single task.
+    RegionGuard in_region;
+    for (std::size_t task = 0; task < shape.num_tasks; ++task) {
+      run_task(task, 0);
+    }
+  } else {
+    shared_pool(shape.width)->run(shape.num_tasks, run_task, shape.width);
+  }
+
+  if (timed) sink(options.label, task_seconds.data(), task_seconds.size());
+}
+
+}  // namespace ftcf::par

@@ -40,6 +40,7 @@
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -49,6 +50,15 @@ void add_fabric_options(util::Cli& cli) {
   cli.add_option("spec", "PGFT tuple, e.g. 'PGFT(2; 4,4; 1,2; 1,2)'", "");
   cli.add_option("topo", "topology file to read", "");
   cli.add_option("nodes", "paper preset size (e.g. 324)", "0");
+  cli.add_option("threads",
+                 "worker threads for parallel phases (0 = all cores); "
+                 "output is identical for every thread count",
+                 "0");
+}
+
+/// Wire --threads into the ftcf::par default before any parallel phase.
+void apply_threads(const util::Cli& cli) {
+  par::set_default_threads(static_cast<std::uint32_t>(cli.uinteger("threads")));
 }
 
 topo::Fabric load_fabric(const util::Cli& cli) {
@@ -128,6 +138,7 @@ int cmd_topo(int argc, const char* const* argv) {
   add_fabric_options(cli);
   cli.add_option("out", "topo file to write ('-' = stdout summary only)", "-");
   if (!cli.parse(argc, argv)) return 0;
+  apply_threads(cli);
   const topo::Fabric fabric = load_fabric(cli);
 
   const auto audit = topo::validate_fabric(fabric);
@@ -154,7 +165,11 @@ int cmd_route(int argc, const char* const* argv) {
   cli.add_option("lft-out", "LFT dump file ('-' = skip)", "-");
   cli.add_flag("profile", "time fabric/table construction, report at exit");
   if (!cli.parse(argc, argv)) return 0;
-  if (cli.flag("profile")) obs::Profiler::instance().set_enabled(true);
+  apply_threads(cli);
+  if (cli.flag("profile")) {
+    obs::Profiler::instance().set_enabled(true);
+    obs::enable_par_timing();
+  }
   const topo::Fabric fabric = load_fabric(cli);
 
   const auto router = route::make_router(
@@ -186,7 +201,11 @@ int cmd_hsd(int argc, const char* const* argv) {
   add_fault_options(cli);
   cli.add_flag("profile", "time fabric/table construction, report at exit");
   if (!cli.parse(argc, argv)) return 0;
-  if (cli.flag("profile")) obs::Profiler::instance().set_enabled(true);
+  apply_threads(cli);
+  if (cli.flag("profile")) {
+    obs::Profiler::instance().set_enabled(true);
+    obs::enable_par_timing();
+  }
   const topo::Fabric fabric = load_fabric(cli);
 
   const fault::FaultSpec fault_spec = load_fault_spec(cli);
@@ -238,6 +257,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   add_fault_options(cli);
   obs::ObsCli::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  apply_threads(cli);
   obs::ObsCli obs_cli(cli);
   const topo::Fabric fabric = load_fabric(cli);
 
@@ -318,6 +338,7 @@ int cmd_inject(int argc, const char* const* argv) {
   add_fault_options(cli);
   cli.add_option("lft-out", "degraded LFT dump file ('-' = skip)", "-");
   if (!cli.parse(argc, argv)) return 0;
+  apply_threads(cli);
   const topo::Fabric fabric = load_fabric(cli);
 
   const fault::FaultSpec fault_spec = load_fault_spec(cli);
@@ -358,6 +379,7 @@ int cmd_report(int argc, const char* const* argv) {
   cli.add_option("trials", "random-order baseline trials", "3");
   cli.add_flag("no-theorems", "skip the exhaustive theorem checks");
   if (!cli.parse(argc, argv)) return 0;
+  apply_threads(cli);
   const topo::Fabric fabric = load_fabric(cli);
   core::ReportOptions options;
   options.check_theorems = !cli.flag("no-theorems");
@@ -371,6 +393,7 @@ int cmd_theorems(int argc, const char* const* argv) {
                 "check Theorems 1-3 computationally on a fabric");
   add_fabric_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  apply_threads(cli);
   const topo::Fabric fabric = load_fabric(cli);
 
   const auto t1 = core::check_theorem1(fabric);
