@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "analysis/hsd.hpp"
+#include "check/check.hpp"
 #include "cps/generators.hpp"
 #include "fault/degraded.hpp"
 #include "routing/degraded.hpp"
@@ -71,7 +72,7 @@ int main(int argc, char** argv) {
       {rand_spec.c_str(), rand_spec},
   };
 
-  util::Table table({"scenario", "tables", "avg max HSD", "delivered",
+  util::Table table({"scenario", "tables", "check", "avg max HSD", "delivered",
                      "failed", "dropped", "retransmitted"});
   table.set_title("Shift CPS (sampled) on " + fabric.spec().to_string() +
                   ", D-Mod-K + topology order, " + util::fmt_bytes(bytes) +
@@ -91,6 +92,17 @@ int main(int argc, char** argv) {
       variants.push_back({"degraded", route::compute_degraded_dmodk(faults)});
 
     for (const Variant& variant : variants) {
+      // Static analysis first: each variant's tables must stay provably
+      // deadlock-free (CDG acyclic) even when degraded rerouting rewrote them.
+      check::CheckOptions check_options;
+      if (!faults.pristine()) check_options.faults = &faults;
+      const auto checked =
+          check::run_check(fabric, variant.tables, check_options);
+      const std::string check_cell =
+          checked.deadlock_free()
+              ? (checked.diagnostics.errors() == 0 ? "ok" : "ERRORS")
+              : "DEADLOCK";
+
       analysis::HsdAnalyzer analyzer(fabric, variant.tables);
       analyzer.set_tolerate_unroutable(true);
       const auto hsd = analyzer.analyze_sequence(shift_seq, ordering);
@@ -98,7 +110,7 @@ int main(int argc, char** argv) {
       sim::PacketSim psim(fabric, variant.tables);
       psim.set_fault_state(&faults);
       const auto result = psim.run(traffic, sim::Progression::kAsync);
-      table.add_row({label, variant.name,
+      table.add_row({label, variant.name, check_cell,
                      util::fmt_double(hsd.avg_max_hsd, 3),
                      util::fmt_bytes(result.bytes_delivered),
                      util::fmt_bytes(result.bytes_failed),

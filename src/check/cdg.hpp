@@ -1,0 +1,57 @@
+// Channel dependency graph (CDG) deadlock analysis of forwarding tables.
+//
+// Dally–Seitz criterion: wormhole/credit-based routing is deadlock-free iff
+// the channel dependency graph of the routing function is acyclic. Channels
+// are directed links (identified by their source PortId); a dependency
+// A -> B exists when some destination's tables forward traffic that arrives
+// over channel A out through channel B at the same switch. Unlike the
+// walk-based audit (route::validate_lft), which spot-checks (src, dst)
+// pairs, this analysis covers *every programmed table entry* — including
+// entries no sampled pair exercises — so an acyclic result is a proof.
+//
+// Host-attached channels cannot take part in a cycle (a host link is entered
+// only by its own host), so the graph is built over switch-to-switch
+// channels only. Dependencies are classified by turn direction; under clean
+// up*/down* routing only up->up, up->down and down->down occur, and the
+// level ordering of those turns is exactly why such tables are acyclic. A
+// down->up dependency is the deadlock hazard the linter reports even before
+// a full cycle closes.
+//
+// The per-switch dependency generation fans out over ftcf::par and is merged
+// in switch-index order, so results are byte-identical at any thread count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "routing/lft.hpp"
+
+namespace ftcf::check {
+
+/// Outcome of the CDG analysis of one set of tables.
+struct CdgAnalysis {
+  std::uint64_t num_channels = 0;      ///< switch-to-switch directed links
+  std::uint64_t num_dependencies = 0;  ///< distinct channel dependencies
+  std::uint64_t down_up_turns = 0;     ///< dependencies violating up*/down*
+  bool acyclic = true;
+  std::uint64_t cyclic_scc_count = 0;  ///< SCCs containing a cycle
+  /// One concrete dependency cycle when !acyclic: the channel chain
+  /// c0 -> c1 -> ... -> c0 (first element not repeated).
+  std::vector<topo::PortId> cycle;
+
+  /// True when the tables are proved deadlock-free.
+  [[nodiscard]] bool deadlock_free() const noexcept { return acyclic; }
+};
+
+/// Build and analyze the CDG of `tables` over its fabric. Accepts any
+/// tables — pristine, degraded (unprogrammed entries contribute no
+/// dependencies) or hand-edited.
+[[nodiscard]] CdgAnalysis analyze_cdg(const topo::Fabric& fabric,
+                                      const route::ForwardingTables& tables);
+
+/// Render a cycle as a switch/port chain, e.g.
+/// "S1_0[port 4] -> S2_0[port 1] -> S1_0[port 4]".
+[[nodiscard]] std::string cycle_to_string(const topo::Fabric& fabric,
+                                          const std::vector<topo::PortId>& cycle);
+
+}  // namespace ftcf::check

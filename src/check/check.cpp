@@ -1,0 +1,115 @@
+#include "check/check.hpp"
+
+#include <sstream>
+
+#include "obs/profile.hpp"
+
+namespace ftcf::check {
+
+namespace {
+
+constexpr std::size_t kMaxWalkProblems = 8;
+
+void report_cdg(const topo::Fabric& fabric, const CdgAnalysis& cdg,
+                Diagnostics& diagnostics) {
+  if (!cdg.acyclic) {
+    std::ostringstream oss;
+    oss << "channel dependency graph has " << cdg.cyclic_scc_count
+        << " cyclic SCC(s) over " << cdg.num_channels << " channels / "
+        << cdg.num_dependencies
+        << " dependencies; deterministic routing over these tables can "
+           "deadlock. Cycle: "
+        << cycle_to_string(fabric, cdg.cycle);
+    diagnostics.error("cdg-cycle", "", oss.str());
+  } else if (cdg.down_up_turns > 0) {
+    std::ostringstream oss;
+    oss << cdg.down_up_turns
+        << " down->up channel dependenc"
+        << (cdg.down_up_turns == 1 ? "y" : "ies")
+        << " (up*/down* discipline broken) although no cycle closes; the "
+           "tables are deadlock-free by graph analysis but no longer by "
+           "construction";
+    diagnostics.warning("updown-turn", "", oss.str());
+  }
+}
+
+void report_walk(const route::LftAudit& walk, bool degraded_expected,
+                 Diagnostics& diagnostics) {
+  std::size_t shown = 0;
+  for (const std::string& problem : walk.problems) {
+    if (walk.cdg_mismatch && problem.rfind("walk/CDG", 0) == 0) {
+      diagnostics.error("cdg-walk-mismatch", "", problem);
+      continue;
+    }
+    if (shown == kMaxWalkProblems) {
+      diagnostics.note("route-problem", "",
+                       std::to_string(walk.problems.size() - shown) +
+                           " further route problem(s) not shown");
+      break;
+    }
+    diagnostics.error("route-problem", "", problem);
+    ++shown;
+  }
+  if (!walk.unreachable.empty()) {
+    const auto& [s, d] = walk.unreachable.front();
+    std::ostringstream oss;
+    oss << walk.unreachable.size() << " of " << walk.pairs_checked
+        << " checked pair(s) unreachable (first: " << s << " -> " << d
+        << ")";
+    if (degraded_expected) {
+      oss << "; expected where faults strand hosts";
+      diagnostics.note("route-unreachable", "", oss.str());
+    } else {
+      oss << " on a pristine fabric";
+      diagnostics.warning("route-unreachable", "", oss.str());
+    }
+  }
+}
+
+void record_metrics(obs::MetricsRegistry& metrics, const CheckReport& report) {
+  const Diagnostics& d = report.diagnostics;
+  metrics.counter("check.findings.errors").inc(d.errors());
+  metrics.counter("check.findings.warnings").inc(d.warnings());
+  metrics.counter("check.findings.notes").inc(d.notes());
+  metrics.counter("check.findings.suppressed").inc(d.suppressed());
+  metrics.counter("check.cdg.channels").inc(report.cdg.num_channels);
+  metrics.counter("check.cdg.dependencies").inc(report.cdg.num_dependencies);
+  metrics.counter("check.cdg.down_up_turns").inc(report.cdg.down_up_turns);
+  metrics.gauge("check.cdg.acyclic").set(report.cdg.acyclic ? 1.0 : 0.0);
+  metrics.counter("check.walk.pairs_checked").inc(report.walk.pairs_checked);
+  metrics.counter("check.walk.pairs_reachable")
+      .inc(report.walk.pairs_reachable);
+  metrics.counter("check.walk.unreachable").inc(report.walk.unreachable.size());
+}
+
+}  // namespace
+
+CheckReport run_check(const topo::Fabric& fabric,
+                      const route::ForwardingTables& tables,
+                      const CheckOptions& options) {
+  FTCF_PROF_SCOPE("check.run");
+  CheckReport report;
+  report.diagnostics.set_suppressions(options.suppressions);
+
+  lint_fabric(fabric, report.diagnostics);
+
+  report.cdg = analyze_cdg(fabric, tables);
+  report_cdg(fabric, report.cdg, report.diagnostics);
+
+  const route::CdgVerdict verdict{report.cdg.acyclic,
+                                  report.cdg.down_up_turns};
+  report.walk = route::validate_lft(fabric, tables, options.faults,
+                                    options.exhaustive_limit, &verdict);
+  report_walk(report.walk, options.faults != nullptr, report.diagnostics);
+
+  lint_tables(fabric, tables, options.faults != nullptr, report.diagnostics);
+  if (options.ordering != nullptr)
+    lint_ordering(fabric, *options.ordering, report.diagnostics);
+  if (options.sequence != nullptr)
+    lint_sequence(*options.sequence, report.diagnostics);
+
+  if (options.metrics != nullptr) record_metrics(*options.metrics, report);
+  return report;
+}
+
+}  // namespace ftcf::check

@@ -1,0 +1,59 @@
+// ftcf::check — static routing/ordering analyzer (the library's "compiler
+// warnings for route plans").
+//
+// run_check combines, over any ForwardingTables:
+//   1. the CDG deadlock prover (check/cdg.hpp): proves deadlock-freedom or
+//      produces a concrete dependency cycle;
+//   2. the theorem-precondition linter (check/lint.hpp): which of the
+//      paper's guarantees still apply to this fabric/ordering/CPS;
+//   3. the walk-based table audit (route::validate_lft), rewired to consume
+//      the CDG verdict so the two analyses cross-check each other.
+//
+// All findings land in one Diagnostics sink with stable rule IDs; the JSON
+// report is deterministic and byte-identical at any --threads count. CI
+// gates on the exit-code contract: 0 clean, 1 findings at the gate severity.
+#pragma once
+
+#include "check/cdg.hpp"
+#include "check/diagnostics.hpp"
+#include "check/lint.hpp"
+#include "fault/degraded.hpp"
+#include "obs/metrics.hpp"
+#include "routing/validate.hpp"
+
+namespace ftcf::check {
+
+struct CheckOptions {
+  /// Fault state the tables were (or should have been) built against; when
+  /// set, unreachable pairs and unprogrammed entries demote to notes.
+  const fault::FaultState* faults = nullptr;
+  /// When set, lint the node ordering against the RLFT index order.
+  const order::NodeOrdering* ordering = nullptr;
+  /// When set, lint the CPS's stage displacements (Theorem 3 premise).
+  const cps::Sequence* sequence = nullptr;
+  /// Pair-sampling threshold forwarded to route::validate_lft.
+  std::uint64_t exhaustive_limit = 512;
+  /// Baseline findings to silence.
+  Suppressions suppressions;
+  /// When set, findings counters and CDG/walk sizes are recorded here.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct CheckReport {
+  Diagnostics diagnostics;
+  CdgAnalysis cdg;
+  route::LftAudit walk;
+
+  /// Deadlock-freedom was proved (CDG acyclic) and the walks agree.
+  [[nodiscard]] bool deadlock_free() const noexcept {
+    return cdg.acyclic && !walk.cdg_mismatch;
+  }
+};
+
+/// Run the full static analysis. Deterministic: the same inputs produce the
+/// same report (and byte-identical JSON) at any thread count.
+[[nodiscard]] CheckReport run_check(const topo::Fabric& fabric,
+                                    const route::ForwardingTables& tables,
+                                    const CheckOptions& options = {});
+
+}  // namespace ftcf::check

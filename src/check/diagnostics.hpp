@@ -1,0 +1,120 @@
+// Diagnostics engine for ftcf::check — the static analyzer's findings model.
+//
+// Every analyzer (CDG prover, theorem-precondition linter, table audit)
+// reports rule-tagged Findings into one Diagnostics sink. A finding carries a
+// stable rule ID (e.g. "rlft-cbb", "cdg-cycle"), a severity, an optional
+// location ("S1_0", "stage 3") and a human-readable message explaining which
+// paper guarantee is affected.
+//
+// Suppressions: a baseline file of `rule` or `rule:location-substring` lines
+// silences known findings; suppressed findings are counted but excluded from
+// the report and the exit code, so CI can gate on "nothing new".
+//
+// Reporters: a text form for humans and a deterministic JSON form (sorted
+// keys, insertion-ordered findings) that is byte-identical across runs and
+// thread counts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ftcf::check {
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+[[nodiscard]] const char* severity_name(Severity severity) noexcept;
+
+/// One rule-tagged diagnostic.
+struct Finding {
+  std::string rule;      ///< stable kebab-case rule ID ("rlft-cbb")
+  Severity severity = Severity::kWarning;
+  std::string location;  ///< node/stage/pair the finding anchors to ("" = global)
+  std::string message;   ///< what is wrong and which guarantee it voids
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// Parsed suppression/baseline rules. File format, one entry per line:
+///
+///   rule-id                 # silence the rule everywhere
+///   rule-id:location-part   # silence it where location contains the part
+///
+/// '#' starts a comment; blank lines are ignored.
+class Suppressions {
+ public:
+  /// Parse the file format above; throws util::ParseError on malformed lines.
+  [[nodiscard]] static Suppressions parse(std::istream& is);
+  [[nodiscard]] static Suppressions parse_string(const std::string& text);
+
+  /// True when `finding` matches a suppression entry.
+  [[nodiscard]] bool matches(const Finding& finding) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    std::string rule;
+    std::string location_part;  ///< empty = any location
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Ordered findings sink with severity accounting and reporters.
+class Diagnostics {
+ public:
+  /// Install suppressions before adding findings; matching findings are
+  /// counted as suppressed instead of recorded.
+  void set_suppressions(Suppressions suppressions);
+
+  void add(Finding finding);
+  void note(std::string rule, std::string location, std::string message);
+  void warning(std::string rule, std::string location, std::string message);
+  void error(std::string rule, std::string location, std::string message);
+
+  [[nodiscard]] const std::vector<Finding>& findings() const noexcept {
+    return findings_;
+  }
+  [[nodiscard]] std::uint64_t count(Severity severity) const noexcept;
+  [[nodiscard]] std::uint64_t errors() const noexcept {
+    return count(Severity::kError);
+  }
+  [[nodiscard]] std::uint64_t warnings() const noexcept {
+    return count(Severity::kWarning);
+  }
+  [[nodiscard]] std::uint64_t notes() const noexcept {
+    return count(Severity::kNote);
+  }
+  [[nodiscard]] std::uint64_t suppressed() const noexcept {
+    return suppressed_;
+  }
+
+  /// No errors (and, when strict, no warnings either). Notes never gate.
+  [[nodiscard]] bool clean(bool strict = false) const noexcept {
+    return errors() == 0 && (!strict || warnings() == 0);
+  }
+  /// CLI contract: 0 when clean(strict), else 1.
+  [[nodiscard]] int exit_code(bool strict = false) const noexcept {
+    return clean(strict) ? 0 : 1;
+  }
+
+  /// Human-readable report: one line per finding plus a summary line.
+  void write_text(std::ostream& os) const;
+
+  /// Deterministic JSON: {"meta":{...},"summary":{...},"findings":[...]}.
+  /// Meta keys and summary keys are sorted; findings keep insertion order.
+  /// Identical analysis input yields a byte-identical document.
+  void write_json(std::ostream& os,
+                  const std::map<std::string, std::string>& meta = {}) const;
+
+ private:
+  std::vector<Finding> findings_;
+  Suppressions suppressions_;
+  std::uint64_t counts_[3] = {0, 0, 0};
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace ftcf::check

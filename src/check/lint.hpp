@@ -1,0 +1,49 @@
+// Theorem-precondition linter: static verification of the structural
+// premises behind the paper's guarantees, with rule-tagged findings that
+// explain which guarantee no longer applies.
+//
+// Rule catalog (stable IDs; see docs/STATIC_ANALYSIS.md):
+//   pgft-structure      [error]   fabric violates the PGFT wiring rule
+//   rlft-cbb            [warning] cross-bisectional bandwidth not constant
+//                                 (Theorems 1-2 preconditions broken)
+//   rlft-radix          [warning] switch radix varies across levels
+//   rlft-single-cable   [warning] hosts have more than one cable (w1*p1 > 1)
+//   rlft-parallel-ports [warning] parallel-link counts inconsistent with the
+//                                 spec's p_l on some (child, parent) pair
+//   order-mismatch      [warning] node order != RLFT index order (HSD=1 of
+//                                 Theorems 1-2 not guaranteed)
+//   order-partial       [note]    ordering covers a subset of the hosts
+//   cps-displacement    [warning] a stage has no constant displacement
+//                                 (Theorem 3 premise broken)
+//   lft-incomplete      [note/warning] unprogrammed forwarding entries
+#pragma once
+
+#include "check/diagnostics.hpp"
+#include "cps/stage.hpp"
+#include "ordering/ordering.hpp"
+#include "routing/lft.hpp"
+
+namespace ftcf::check {
+
+/// Structural premises: PGFT wiring, constant CBB, uniform radix,
+/// single-cable hosts, parallel-port consistency.
+void lint_fabric(const topo::Fabric& fabric, Diagnostics& diagnostics);
+
+/// Node order = RLFT index order (full jobs: rank r on host r; partial jobs:
+/// hosts ascending with rank).
+void lint_ordering(const topo::Fabric& fabric,
+                   const order::NodeOrdering& ordering,
+                   Diagnostics& diagnostics);
+
+/// Stage displacement constancy: every stage must be either a constant
+/// shift (same (dst - src) mod N for all pairs) or a symmetric constant-
+/// distance exchange (the grouped-RD/recursive-doubling shape of Theorem 3).
+void lint_sequence(const cps::Sequence& sequence, Diagnostics& diagnostics);
+
+/// Unprogrammed (switch, destination) entries: a note when faults make them
+/// expected, a warning on a fabric that should be fully routed.
+void lint_tables(const topo::Fabric& fabric,
+                 const route::ForwardingTables& tables, bool degraded_expected,
+                 Diagnostics& diagnostics);
+
+}  // namespace ftcf::check

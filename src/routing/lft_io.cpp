@@ -31,7 +31,8 @@ std::string to_lft_string(const topo::Fabric& fabric,
   return oss.str();
 }
 
-ForwardingTables read_lfts(const topo::Fabric& fabric, std::istream& is) {
+ForwardingTables read_lfts(const topo::Fabric& fabric, std::istream& is,
+                           bool require_complete) {
   std::map<std::string, topo::NodeId> by_name;
   for (const topo::NodeId sw : fabric.switch_ids())
     by_name[fabric.node_name(sw)] = sw;
@@ -86,15 +87,16 @@ ForwardingTables read_lfts(const topo::Fabric& fabric, std::istream& is) {
                       " ports");
     tables.set_out_port(current, *dest, *port);
   }
-  if (!tables.complete())
+  if (require_complete && !tables.complete())
     throw SpecError("LFT dump does not cover every (switch, destination)");
   return tables;
 }
 
 ForwardingTables from_lft_string(const topo::Fabric& fabric,
-                                 const std::string& text) {
+                                 const std::string& text,
+                                 bool require_complete) {
   std::istringstream iss(text);
-  return read_lfts(fabric, iss);
+  return read_lfts(fabric, iss, require_complete);
 }
 
 }  // namespace ftcf::route

@@ -25,12 +25,16 @@ void write_lfts(const topo::Fabric& fabric, const ForwardingTables& tables,
 [[nodiscard]] std::string to_lft_string(const topo::Fabric& fabric,
                                         const ForwardingTables& tables);
 
-/// Parse a dump back into tables for `fabric`. Unknown switch names, bad
-/// ports or incomplete tables throw util::ParseError / util::SpecError.
+/// Parse a dump back into tables for `fabric`. Unknown switch names and bad
+/// ports throw util::ParseError / util::SpecError; so do incomplete tables
+/// unless `require_complete` is false (degraded dumps legitimately omit
+/// unrouted entries — the static analyzer reads them back for audit).
 [[nodiscard]] ForwardingTables read_lfts(const topo::Fabric& fabric,
-                                         std::istream& is);
+                                         std::istream& is,
+                                         bool require_complete = true);
 
 [[nodiscard]] ForwardingTables from_lft_string(const topo::Fabric& fabric,
-                                               const std::string& text);
+                                               const std::string& text,
+                                               bool require_complete = true);
 
 }  // namespace ftcf::route

@@ -133,9 +133,16 @@ RouteWalk walk_route(const Fabric& fabric, const ForwardingTables& tables,
   }
 }
 
+std::string LftAudit::first_problem() const {
+  if (!problems.empty()) return problems.front();
+  if (deadlock_free.has_value() && !*deadlock_free)
+    return "channel dependency graph contains a cycle (deadlock hazard)";
+  return {};
+}
+
 LftAudit validate_lft(const Fabric& fabric, const ForwardingTables& tables,
                       const fault::FaultState* faults,
-                      std::uint64_t exhaustive_limit) {
+                      std::uint64_t exhaustive_limit, const CdgVerdict* cdg) {
   LftAudit audit;
   // With faults, restrict to surviving hosts: dead hosts cannot take part in
   // any collective, so their pairs carry no information.
@@ -161,6 +168,7 @@ LftAudit validate_lft(const Fabric& fabric, const ForwardingTables& tables,
         audit.unreachable.emplace_back(s, d);
         break;
       default: {
+        if (walk.status == RouteStatus::kNotUpDown) ++audit.not_updown_routes;
         std::ostringstream oss;
         oss << "route " << s << " -> " << d << ": "
             << route_status_name(walk.status) << " after "
@@ -170,6 +178,22 @@ LftAudit validate_lft(const Fabric& fabric, const ForwardingTables& tables,
       }
     }
   });
+
+  if (cdg != nullptr) {
+    audit.deadlock_free = cdg->acyclic;
+    // A walk that turns upward after descending traverses a down-going
+    // channel followed by an up-going one at the same switch for the same
+    // destination — exactly a down->up dependency. If the CDG claims none
+    // exist, one of the two analyses is wrong.
+    if (audit.not_updown_routes > 0 && cdg->down_up_turns == 0) {
+      audit.cdg_mismatch = true;
+      std::ostringstream oss;
+      oss << "walk/CDG cross-check failed: " << audit.not_updown_routes
+          << " up-after-down route(s) but the channel dependency graph "
+             "reports no down->up dependency";
+      audit.problems.push_back(oss.str());
+    }
+  }
   return audit;
 }
 

@@ -1,0 +1,137 @@
+// CDG deadlock analysis: acyclicity proofs for the library's routers on the
+// paper's topologies, a crafted dependency cycle with its concrete chain, and
+// thread-count determinism.
+#include "check/cdg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "routing/dmodk.hpp"
+#include "routing/router.hpp"
+#include "topology/presets.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ftcf::check {
+namespace {
+
+using route::ForwardingTables;
+using topo::Fabric;
+
+Fabric fig4b() { return Fabric(topo::fig4b_pgft16()); }
+
+/// Point `host`'s own-leaf entry at the leaf's first up port: the spine's
+/// pristine entry sends it straight back down, closing a two-channel cycle.
+topo::NodeId corrupt_leaf_upward(const Fabric& fabric, ForwardingTables& tables,
+                                 std::uint64_t host) {
+  const topo::NodeId leaf =
+      fabric.port(fabric.port(fabric.port_id(fabric.host_node(host), 0)).peer)
+          .node;
+  tables.set_out_port(leaf, host, fabric.node(leaf).num_down_ports);
+  return leaf;
+}
+
+TEST(Cdg, ProvesRoutersDeadlockFreeOnFig4b) {
+  const Fabric fabric = fig4b();
+  for (const auto kind : {route::RouterKind::kDModK, route::RouterKind::kFtree,
+                          route::RouterKind::kUpDown}) {
+    const auto tables = route::make_router(kind)->compute(fabric);
+    const CdgAnalysis analysis = analyze_cdg(fabric, tables);
+    EXPECT_TRUE(analysis.deadlock_free())
+        << route::make_router(kind)->name() << " must be deadlock-free";
+    EXPECT_EQ(analysis.down_up_turns, 0u)
+        << route::make_router(kind)->name() << " must never turn down->up";
+    EXPECT_GT(analysis.num_dependencies, 0u);
+    EXPECT_TRUE(analysis.cycle.empty());
+  }
+}
+
+TEST(Cdg, ProvesPaperClustersDeadlockFree) {
+  for (const std::uint64_t nodes : {128ull, 324ull}) {
+    const Fabric fabric(topo::paper_cluster(nodes));
+    const auto tables = route::DModKRouter{}.compute(fabric);
+    const CdgAnalysis analysis = analyze_cdg(fabric, tables);
+    EXPECT_TRUE(analysis.acyclic) << nodes << "-node cluster";
+    EXPECT_EQ(analysis.down_up_turns, 0u);
+  }
+}
+
+TEST(Cdg, ProvesThreeLevelRlftDeadlockFree) {
+  const Fabric fabric{topo::rlft3_top(4, 2)};
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const CdgAnalysis analysis = analyze_cdg(fabric, tables);
+  EXPECT_TRUE(analysis.acyclic);
+  EXPECT_EQ(analysis.down_up_turns, 0u);
+}
+
+TEST(Cdg, CraftedUpTurnClosesAConcreteCycle) {
+  const Fabric fabric = fig4b();
+  ForwardingTables tables = route::DModKRouter{}.compute(fabric);
+  const topo::NodeId leaf = corrupt_leaf_upward(fabric, tables, 0);
+
+  const CdgAnalysis analysis = analyze_cdg(fabric, tables);
+  EXPECT_FALSE(analysis.deadlock_free());
+  EXPECT_GT(analysis.down_up_turns, 0u);
+  EXPECT_GE(analysis.cyclic_scc_count, 1u);
+  ASSERT_EQ(analysis.cycle.size(), 2u)
+      << "leaf->spine->leaf is a two-channel cycle";
+
+  // The chain names the corrupted leaf and renders as c0 -> c1 -> c0.
+  const std::string chain = cycle_to_string(fabric, analysis.cycle);
+  EXPECT_NE(chain.find(fabric.node_name(leaf)), std::string::npos) << chain;
+  EXPECT_EQ(static_cast<int>(std::count(chain.begin(), chain.end(), '>')), 2)
+      << chain;
+
+  // Each cycle member really is a channel out of a switch, and consecutive
+  // channels meet at the switch the former leads into.
+  for (std::size_t i = 0; i < analysis.cycle.size(); ++i) {
+    const topo::Port& from = fabric.port(analysis.cycle[i]);
+    const topo::Port& next =
+        fabric.port(analysis.cycle[(i + 1) % analysis.cycle.size()]);
+    EXPECT_EQ(fabric.node(from.node).kind, topo::NodeKind::kSwitch);
+    EXPECT_EQ(fabric.port(from.peer).node, next.node)
+        << "cycle must chain channel head to next channel tail";
+  }
+}
+
+TEST(Cdg, EmptyTablesHaveNoDependencies) {
+  const Fabric fabric = fig4b();
+  const ForwardingTables tables(fabric);  // nothing programmed
+  const CdgAnalysis analysis = analyze_cdg(fabric, tables);
+  EXPECT_TRUE(analysis.acyclic);
+  EXPECT_EQ(analysis.num_dependencies, 0u);
+  EXPECT_GT(analysis.num_channels, 0u);
+}
+
+TEST(Cdg, SingleSwitchFabricHasNoChannels) {
+  const Fabric fabric(topo::parse_pgft("PGFT(1; 4; 1; 1)"));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const CdgAnalysis analysis = analyze_cdg(fabric, tables);
+  EXPECT_TRUE(analysis.acyclic);
+  EXPECT_EQ(analysis.num_channels, 0u);
+  EXPECT_EQ(analysis.num_dependencies, 0u);
+}
+
+TEST(Cdg, AnalysisIsIdenticalAcrossThreadCounts) {
+  const Fabric fabric(topo::paper_cluster(128));
+  ForwardingTables tables = route::DModKRouter{}.compute(fabric);
+  corrupt_leaf_upward(fabric, tables, 0);  // non-trivial cycle content
+
+  const std::uint32_t saved = par::default_threads();
+  par::set_default_threads(1);
+  const CdgAnalysis one = analyze_cdg(fabric, tables);
+  par::set_default_threads(8);
+  const CdgAnalysis eight = analyze_cdg(fabric, tables);
+  par::set_default_threads(saved);
+
+  EXPECT_EQ(one.num_channels, eight.num_channels);
+  EXPECT_EQ(one.num_dependencies, eight.num_dependencies);
+  EXPECT_EQ(one.down_up_turns, eight.down_up_turns);
+  EXPECT_EQ(one.acyclic, eight.acyclic);
+  EXPECT_EQ(one.cyclic_scc_count, eight.cyclic_scc_count);
+  EXPECT_EQ(one.cycle, eight.cycle) << "same concrete cycle, any thread count";
+}
+
+}  // namespace
+}  // namespace ftcf::check

@@ -1,0 +1,175 @@
+// End-to-end static analysis: run_check over pristine, corrupted and
+// degraded tables; JSON determinism across thread counts; suppressions;
+// metrics recording; walk/CDG agreement.
+#include "check/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "core/grouped_rd.hpp"
+#include "cps/generators.hpp"
+#include "fault/fault_spec.hpp"
+#include "routing/degraded.hpp"
+#include "routing/dmodk.hpp"
+#include "topology/presets.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ftcf::check {
+namespace {
+
+using route::ForwardingTables;
+using topo::Fabric;
+
+Fabric fig4b() { return Fabric(topo::fig4b_pgft16()); }
+
+bool has_rule(const Diagnostics& diag, const std::string& rule) {
+  return std::any_of(diag.findings().begin(), diag.findings().end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(RunCheck, PristineDmodkIsProvablyClean) {
+  const Fabric fabric = fig4b();
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const CheckReport report = run_check(fabric, tables);
+  EXPECT_TRUE(report.deadlock_free());
+  EXPECT_TRUE(report.diagnostics.clean(/*strict=*/true))
+      << report.diagnostics.findings().front().message;
+  EXPECT_EQ(report.diagnostics.exit_code(true), 0);
+  EXPECT_TRUE(report.walk.clean());
+  EXPECT_EQ(report.walk.deadlock_free, std::optional<bool>(true))
+      << "the walk audit must carry the CDG verdict";
+}
+
+TEST(RunCheck, OrderingAndSequenceLintsRideAlong) {
+  const Fabric fabric(topo::paper_cluster(128));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const auto topo_order = order::NodeOrdering::topology(fabric);
+  const auto grouped = core::grouped_recursive_doubling(fabric);
+  CheckOptions options;
+  options.ordering = &topo_order;
+  options.sequence = &grouped;
+  const CheckReport report = run_check(fabric, tables, options);
+  EXPECT_TRUE(report.diagnostics.clean(/*strict=*/true))
+      << report.diagnostics.findings().front().message;
+
+  const auto random_order = order::NodeOrdering::random(fabric, 3);
+  options.ordering = &random_order;
+  const CheckReport bad = run_check(fabric, tables, options);
+  EXPECT_TRUE(has_rule(bad.diagnostics, "order-mismatch"));
+  EXPECT_EQ(bad.diagnostics.exit_code(), 0) << "warnings pass the default gate";
+  EXPECT_EQ(bad.diagnostics.exit_code(/*strict=*/true), 1);
+}
+
+TEST(RunCheck, CraftedCycleIsAnErrorWithTheConcreteChain) {
+  const Fabric fabric = fig4b();
+  ForwardingTables tables = route::DModKRouter{}.compute(fabric);
+  const topo::NodeId leaf =
+      fabric.port(fabric.port(fabric.port_id(fabric.host_node(0), 0)).peer)
+          .node;
+  tables.set_out_port(leaf, 0, fabric.node(leaf).num_down_ports);
+
+  const CheckReport report = run_check(fabric, tables);
+  EXPECT_FALSE(report.deadlock_free());
+  EXPECT_FALSE(report.cdg.acyclic);
+  EXPECT_TRUE(has_rule(report.diagnostics, "cdg-cycle"));
+  EXPECT_EQ(report.diagnostics.exit_code(), 1);
+  EXPECT_FALSE(report.walk.cdg_mismatch)
+      << "walk saw the bad turn and the CDG saw the cycle: they agree";
+
+  // The cdg-cycle finding carries the rendered chain with the leaf's name.
+  const auto it = std::find_if(
+      report.diagnostics.findings().begin(), report.diagnostics.findings().end(),
+      [](const Finding& f) { return f.rule == "cdg-cycle"; });
+  ASSERT_NE(it, report.diagnostics.findings().end());
+  EXPECT_NE(it->message.find("Cycle: "), std::string::npos);
+  EXPECT_NE(it->message.find(fabric.node_name(leaf)), std::string::npos)
+      << it->message;
+}
+
+TEST(RunCheck, DegradedTablesReportNotesNotErrors) {
+  const Fabric fabric = fig4b();
+  const fault::FaultState faults(fabric, fault::parse_faults("link:H3:0"));
+  const auto tables = route::compute_degraded_dmodk(faults);
+  CheckOptions options;
+  options.faults = &faults;
+  const CheckReport report = run_check(fabric, tables, options);
+  EXPECT_TRUE(report.deadlock_free())
+      << "degraded rerouting must stay deadlock-free";
+  EXPECT_EQ(report.diagnostics.errors(), 0u);
+  EXPECT_TRUE(has_rule(report.diagnostics, "lft-incomplete"));
+  EXPECT_EQ(report.diagnostics.exit_code(/*strict=*/true), 0)
+      << "fault-expected incompleteness must not gate CI";
+}
+
+TEST(RunCheck, StaleTablesOverFaultsAreRouteErrors) {
+  const Fabric fabric = fig4b();
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const fault::FaultState faults(fabric, fault::parse_faults("link:S1_0:4"));
+  CheckOptions options;
+  options.faults = &faults;
+  const CheckReport report = run_check(fabric, tables, options);
+  EXPECT_TRUE(has_rule(report.diagnostics, "route-problem"));
+  EXPECT_EQ(report.diagnostics.exit_code(), 1);
+}
+
+TEST(RunCheck, SuppressionsSilenceTheGate) {
+  const Fabric fabric(topo::paper_cluster(128));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const auto random_order = order::NodeOrdering::random(fabric, 3);
+  CheckOptions options;
+  options.ordering = &random_order;
+  options.suppressions = Suppressions::parse_string("order-mismatch\n");
+  const CheckReport report = run_check(fabric, tables, options);
+  EXPECT_FALSE(has_rule(report.diagnostics, "order-mismatch"));
+  EXPECT_EQ(report.diagnostics.suppressed(), 1u);
+  EXPECT_EQ(report.diagnostics.exit_code(/*strict=*/true), 0);
+}
+
+TEST(RunCheck, MetricsRecordTheAnalysis) {
+  const Fabric fabric = fig4b();
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  obs::MetricsRegistry metrics;
+  CheckOptions options;
+  options.metrics = &metrics;
+  const CheckReport report = run_check(fabric, tables, options);
+  ASSERT_NE(metrics.find_counter("check.cdg.dependencies"), nullptr);
+  EXPECT_EQ(metrics.find_counter("check.cdg.dependencies")->value(),
+            report.cdg.num_dependencies);
+  ASSERT_NE(metrics.find_gauge("check.cdg.acyclic"), nullptr);
+  EXPECT_EQ(metrics.find_gauge("check.cdg.acyclic")->value(), 1.0);
+  EXPECT_EQ(metrics.find_counter("check.walk.pairs_checked")->value(),
+            report.walk.pairs_checked);
+}
+
+TEST(RunCheck, JsonReportIsByteIdenticalAcrossThreadCounts) {
+  const Fabric fabric(topo::paper_cluster(324));
+  ForwardingTables tables = route::DModKRouter{}.compute(fabric);
+  // Make the report non-trivial: one corrupted entry plus a random order.
+  const topo::NodeId leaf =
+      fabric.port(fabric.port(fabric.port_id(fabric.host_node(0), 0)).peer)
+          .node;
+  tables.set_out_port(leaf, 0, fabric.node(leaf).num_down_ports);
+  const auto random_order = order::NodeOrdering::random(fabric, 11);
+  CheckOptions options;
+  options.ordering = &random_order;
+
+  const auto render = [&](std::uint32_t threads) {
+    const std::uint32_t saved = par::default_threads();
+    par::set_default_threads(threads);
+    const CheckReport report = run_check(fabric, tables, options);
+    par::set_default_threads(saved);
+    std::ostringstream oss;
+    report.diagnostics.write_json(oss, {{"tool", "check_test"}});
+    return oss.str();
+  };
+  const std::string one = render(1);
+  const std::string eight = render(8);
+  EXPECT_EQ(one, eight) << "the JSON report must not depend on --threads";
+  EXPECT_NE(one.find("cdg-cycle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftcf::check

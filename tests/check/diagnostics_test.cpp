@@ -1,0 +1,108 @@
+// Diagnostics engine: severity accounting, suppressions, exit-code contract
+// and the two reporters (text, deterministic JSON).
+#include "check/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ftcf::check {
+namespace {
+
+TEST(Diagnostics, CountsBySeverity) {
+  Diagnostics diag;
+  diag.note("lft-incomplete", "S1_0", "one entry unprogrammed");
+  diag.warning("rlft-cbb", "", "CBB not constant between levels 1 and 2");
+  diag.warning("order-mismatch", "rank 3", "rank 3 on host 7");
+  diag.error("cdg-cycle", "", "dependency cycle");
+  EXPECT_EQ(diag.notes(), 1u);
+  EXPECT_EQ(diag.warnings(), 2u);
+  EXPECT_EQ(diag.errors(), 1u);
+  EXPECT_EQ(diag.findings().size(), 4u);
+  EXPECT_EQ(diag.suppressed(), 0u);
+}
+
+TEST(Diagnostics, ExitCodeContract) {
+  Diagnostics clean;
+  EXPECT_TRUE(clean.clean());
+  EXPECT_EQ(clean.exit_code(), 0);
+  EXPECT_EQ(clean.exit_code(/*strict=*/true), 0);
+
+  Diagnostics noted;
+  noted.note("lft-incomplete", "", "expected under faults");
+  EXPECT_EQ(noted.exit_code(), 0);
+  EXPECT_EQ(noted.exit_code(true), 0) << "notes never gate";
+
+  Diagnostics warned;
+  warned.warning("rlft-cbb", "", "unbalanced");
+  EXPECT_EQ(warned.exit_code(), 0);
+  EXPECT_EQ(warned.exit_code(true), 1) << "warnings gate only under strict";
+
+  Diagnostics errored;
+  errored.error("cdg-cycle", "", "cycle");
+  EXPECT_EQ(errored.exit_code(), 1);
+  EXPECT_EQ(errored.exit_code(true), 1);
+}
+
+TEST(Diagnostics, SuppressionsByRuleAndLocation) {
+  const Suppressions sup = Suppressions::parse_string(
+      "# baseline\n"
+      "rlft-cbb\n"
+      "order-mismatch:rank 3\n");
+  EXPECT_EQ(sup.size(), 2u);
+
+  Diagnostics diag;
+  diag.set_suppressions(sup);
+  diag.warning("rlft-cbb", "anywhere", "suppressed everywhere");
+  diag.warning("order-mismatch", "rank 3", "suppressed by location");
+  diag.warning("order-mismatch", "rank 4", "kept: location differs");
+  EXPECT_EQ(diag.suppressed(), 2u);
+  ASSERT_EQ(diag.findings().size(), 1u);
+  EXPECT_EQ(diag.findings().front().location, "rank 4");
+}
+
+TEST(Diagnostics, SuppressionParsingRejectsGarbage) {
+  EXPECT_THROW((void)Suppressions::parse_string("not a rule id!!\n"),
+               util::ParseError);
+}
+
+TEST(Diagnostics, TextReportShapes) {
+  Diagnostics diag;
+  diag.error("cdg-cycle", "S1_0", "dependency cycle through S1_0");
+  std::ostringstream oss;
+  diag.write_text(oss);
+  const std::string text = oss.str();
+  EXPECT_NE(text.find("error[cdg-cycle]"), std::string::npos) << text;
+  EXPECT_NE(text.find("S1_0"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s)"), std::string::npos);
+}
+
+TEST(Diagnostics, JsonIsDeterministicAndEscaped) {
+  Diagnostics diag;
+  diag.warning("rlft-cbb", "level \"1\"", "a\\b\n");
+  std::ostringstream a, b;
+  diag.write_json(a, {{"tool", "test"}, {"alpha", "first"}});
+  diag.write_json(b, {{"alpha", "first"}, {"tool", "test"}});
+  EXPECT_EQ(a.str(), b.str()) << "meta must be key-sorted";
+  EXPECT_NE(a.str().find("\\\"1\\\""), std::string::npos) << a.str();
+  EXPECT_NE(a.str().find("a\\\\b\\n"), std::string::npos) << a.str();
+  EXPECT_NE(a.str().find("\"summary\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"findings\""), std::string::npos);
+  // The meta keys come out sorted regardless of insertion order.
+  EXPECT_LT(a.str().find("\"alpha\""), a.str().find("\"tool\""));
+}
+
+TEST(Diagnostics, SuppressedFindingsLeaveJsonSummaryHonest) {
+  Diagnostics diag;
+  diag.set_suppressions(Suppressions::parse_string("rlft-cbb\n"));
+  diag.warning("rlft-cbb", "", "silenced");
+  std::ostringstream oss;
+  diag.write_json(oss);
+  EXPECT_NE(oss.str().find("\"suppressed\":1"), std::string::npos) << oss.str();
+  EXPECT_NE(oss.str().find("\"warnings\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftcf::check

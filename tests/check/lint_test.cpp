@@ -1,0 +1,165 @@
+// Theorem-precondition linter: which of the paper's structural premises a
+// fabric/ordering/CPS satisfies, reported under stable rule IDs.
+#include "check/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/grouped_rd.hpp"
+#include "cps/generators.hpp"
+#include "routing/dmodk.hpp"
+#include "topology/presets.hpp"
+
+namespace ftcf::check {
+namespace {
+
+using topo::Fabric;
+
+bool has_rule(const Diagnostics& diag, const std::string& rule) {
+  return std::any_of(diag.findings().begin(), diag.findings().end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(LintFabric, RlftPresetsAreClean) {
+  for (const std::uint64_t nodes : {16ull, 128ull, 324ull}) {
+    Diagnostics diag;
+    lint_fabric(Fabric(topo::paper_cluster(nodes)), diag);
+    EXPECT_TRUE(diag.clean(/*strict=*/true))
+        << nodes << "-node preset flagged: "
+        << (diag.findings().empty() ? "" : diag.findings().front().message);
+  }
+}
+
+TEST(LintFabric, UnbalancedCbbIsFlagged) {
+  // m_1*p_1 = 4 but w_2*p_2 = 1: half-bisection at the spine level.
+  Diagnostics diag;
+  lint_fabric(Fabric(topo::parse_pgft("PGFT(2; 4,4; 1,1; 1,1)")), diag);
+  EXPECT_TRUE(has_rule(diag, "rlft-cbb"));
+  EXPECT_EQ(diag.errors(), 0u) << "CBB imbalance is a warning, not an error";
+}
+
+TEST(LintFabric, VaryingRadixIsFlagged) {
+  // Level-1 switches have 4 down-ports, level-2 switches 16: CBB constant
+  // (4*1 == 2*2) but the radix differs, so it is a PGFT yet not an RLFT.
+  Diagnostics diag;
+  lint_fabric(Fabric(topo::parse_pgft("PGFT(2; 4,8; 1,2; 1,2)")), diag);
+  EXPECT_TRUE(has_rule(diag, "rlft-radix"));
+}
+
+TEST(LintFabric, MultiCableHostsAreFlagged) {
+  Diagnostics diag;
+  lint_fabric(Fabric(topo::parse_pgft("PGFT(2; 4,4; 2,2; 1,2)")), diag);
+  EXPECT_TRUE(has_rule(diag, "rlft-single-cable"));
+}
+
+TEST(LintFabric, SingleSwitchFabricIsClean) {
+  Diagnostics diag;
+  lint_fabric(Fabric(topo::parse_pgft("PGFT(1; 4; 1; 1)")), diag);
+  EXPECT_TRUE(diag.clean(/*strict=*/true));
+}
+
+TEST(LintOrdering, TopologyOrderIsClean) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  Diagnostics diag;
+  lint_ordering(fabric, order::NodeOrdering::topology(fabric), diag);
+  EXPECT_TRUE(diag.clean(/*strict=*/true));
+  EXPECT_TRUE(diag.findings().empty());
+}
+
+TEST(LintOrdering, RandomOrderIsMismatched) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  Diagnostics diag;
+  lint_ordering(fabric, order::NodeOrdering::random(fabric, 7), diag);
+  EXPECT_TRUE(has_rule(diag, "order-mismatch"));
+}
+
+TEST(LintOrdering, CompactSubsetIsAPartialNoteOnly) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  Diagnostics diag;
+  lint_ordering(fabric,
+                order::NodeOrdering::compact_subset({0, 1, 2, 5, 9},
+                                                    fabric.num_hosts()),
+                diag);
+  EXPECT_TRUE(has_rule(diag, "order-partial"));
+  EXPECT_FALSE(has_rule(diag, "order-mismatch"))
+      << "ascending-host partial jobs keep the compact order";
+  EXPECT_EQ(diag.warnings(), 0u);
+}
+
+TEST(LintOrdering, ShuffledSubsetIsMismatched) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  Diagnostics diag;
+  lint_ordering(fabric,
+                order::NodeOrdering(std::vector<std::uint64_t>{4, 2, 9},
+                                    fabric.num_hosts()),
+                diag);
+  EXPECT_TRUE(has_rule(diag, "order-partial"));
+  EXPECT_TRUE(has_rule(diag, "order-mismatch"));
+}
+
+TEST(LintSequence, ShiftStagesHaveConstantDisplacement) {
+  Diagnostics diag;
+  lint_sequence(cps::shift(16), diag);
+  EXPECT_TRUE(diag.findings().empty())
+      << diag.findings().front().message;
+}
+
+TEST(LintSequence, RecursiveDoublingIsASymmetricExchange) {
+  Diagnostics diag;
+  lint_sequence(cps::recursive_doubling(16), diag);
+  EXPECT_TRUE(diag.findings().empty());
+}
+
+TEST(LintSequence, GroupedRdFoldStagesPass) {
+  // Non-power-of-two hosts: the grouped-RD plan has fold/unfold stages whose
+  // displacement constancy is exactly the Theorem 3 premise under lint.
+  const Fabric fabric(topo::paper_cluster(324));
+  Diagnostics diag;
+  lint_sequence(core::grouped_recursive_doubling(fabric), diag);
+  EXPECT_FALSE(has_rule(diag, "cps-displacement"))
+      << diag.findings().front().message;
+}
+
+TEST(LintSequence, CraftedIrregularStageIsFlagged) {
+  cps::Sequence seq;
+  seq.name = "crafted";
+  seq.num_ranks = 8;
+  // Mixed displacements, not an involution: 0->1 (d=1), 2->5 (d=3).
+  seq.stages.push_back(cps::Stage{{{0, 1}, {2, 5}}, cps::StageRole::kExchange});
+  Diagnostics diag;
+  lint_sequence(seq, diag);
+  EXPECT_TRUE(has_rule(diag, "cps-displacement"));
+  EXPECT_EQ(diag.findings().front().location, "stage 0");
+}
+
+TEST(LintSequence, OneSidedConstantDistanceIsNotAnExchange) {
+  cps::Sequence seq;
+  seq.name = "one-sided";
+  seq.num_ranks = 8;
+  // |dst-src| constant but no reverse pairs and shifts differ mod N
+  // (+2 and -2): neither criterion holds.
+  seq.stages.push_back(cps::Stage{{{0, 2}, {5, 3}}, cps::StageRole::kExchange});
+  Diagnostics diag;
+  lint_sequence(seq, diag);
+  EXPECT_TRUE(has_rule(diag, "cps-displacement"));
+}
+
+TEST(LintTables, IncompleteOnPristineFabricWarns) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  route::ForwardingTables tables(fabric);  // start empty, program one entry
+  tables.set_out_port(fabric.switch_ids().front(), 0, 0);
+  Diagnostics diag;
+  lint_tables(fabric, tables, /*degraded_expected=*/false, diag);
+  EXPECT_TRUE(has_rule(diag, "lft-incomplete"));
+  EXPECT_EQ(diag.warnings(), 1u);
+
+  Diagnostics degraded;
+  lint_tables(fabric, tables, /*degraded_expected=*/true, degraded);
+  EXPECT_EQ(degraded.warnings(), 0u);
+  EXPECT_EQ(degraded.notes(), 1u) << "expected incompleteness is a note";
+}
+
+}  // namespace
+}  // namespace ftcf::check

@@ -26,7 +26,7 @@ TEST_P(MalformedLft, RaisesTypedError) {
   const topo::Fabric fabric(topo::fig4b_pgft16());
   const Case& c = GetParam();
   try {
-    from_lft_string(fabric, c.input);
+    (void)from_lft_string(fabric, c.input);
     FAIL() << c.name << ": expected an ftcf::util error";
   } catch (const util::ParseError&) {
     EXPECT_EQ(c.expect, Expect::kParse) << c.name;
@@ -51,8 +51,8 @@ INSTANTIATE_TEST_SUITE_P(
         Case{"dest_out_of_range", "switch S1_0\n99 : 1\n", Expect::kSpec},
         Case{"port_out_of_radix", "switch S1_0\n0 : 99\n", Expect::kSpec},
         Case{"incomplete_tables", "switch S1_0\n0 : 1\n", Expect::kSpec}),
-    [](const ::testing::TestParamInfo<Case>& info) {
-      return std::string(info.param.name);
+    [](const ::testing::TestParamInfo<Case>& param_info) {
+      return std::string(param_info.param.name);
     });
 
 }  // namespace

@@ -103,6 +103,82 @@ TEST(ValidateLft, DeadHostCableStrandsOnlyThatHost) {
   EXPECT_EQ(audit.pairs_checked, 15u * 14u);
 }
 
+TEST(ValidateLft, SelfDestinedWalkIsTriviallyOk) {
+  const Fabric fabric = fig4b();
+  const ForwardingTables tables = DModKRouter().compute(fabric);
+  const RouteWalk walk = walk_route(fabric, tables, 7, 7);
+  EXPECT_EQ(walk.status, RouteStatus::kOk);
+  EXPECT_TRUE(walk.links.empty()) << "a self-route crosses no links";
+  // And the audit never counts self pairs.
+  const LftAudit audit = validate_lft(fabric, tables);
+  EXPECT_EQ(audit.pairs_checked, 16u * 15u);
+}
+
+TEST(ValidateLft, SingleSwitchFabricIsCleanAndCycleFree) {
+  const Fabric fabric(topo::parse_pgft("PGFT(1; 4; 1; 1)"));
+  const ForwardingTables tables = DModKRouter().compute(fabric);
+  // No switch-to-switch channels exist, so the CDG verdict is trivially
+  // acyclic and the walks (one hop up, one hop down) must agree.
+  const CdgVerdict verdict{true, 0};
+  const LftAudit audit =
+      validate_lft(fabric, tables, nullptr, /*exhaustive_limit=*/512, &verdict);
+  EXPECT_TRUE(audit.all_reachable());
+  EXPECT_FALSE(audit.cdg_mismatch);
+  EXPECT_EQ(audit.deadlock_free, std::optional<bool>(true));
+  EXPECT_EQ(audit.first_problem(), "");
+}
+
+TEST(ValidateLft, CdgVerdictFoldsIntoCleanAndFirstProblem) {
+  const Fabric fabric = fig4b();
+  const ForwardingTables tables = DModKRouter().compute(fabric);
+  // Pretend a cycle was found among entries no walk exercises: the audit has
+  // no walk problems but must still fail clean() and synthesize a message.
+  const CdgVerdict cyclic{false, 3};
+  const LftAudit audit =
+      validate_lft(fabric, tables, nullptr, 512, &cyclic);
+  EXPECT_TRUE(audit.problems.empty());
+  EXPECT_FALSE(audit.clean());
+  EXPECT_NE(audit.first_problem().find("deadlock"), std::string::npos);
+}
+
+TEST(ValidateLft, UpAfterDownAgreesWithTheCdg) {
+  const Fabric fabric = fig4b();
+  ForwardingTables tables = DModKRouter().compute(fabric);
+  const topo::NodeId leaf =
+      fabric.port(fabric.port(fabric.port_id(fabric.host_node(5), 0)).peer)
+          .node;
+  tables.set_out_port(leaf, 5, fabric.node(leaf).num_down_ports);
+
+  // A consistent CDG sees the down->up dependency the walk trips over.
+  const CdgVerdict consistent{false, 1};
+  const LftAudit agree =
+      validate_lft(fabric, tables, nullptr, 512, &consistent);
+  EXPECT_GT(agree.not_updown_routes, 0u);
+  EXPECT_FALSE(agree.cdg_mismatch);
+  EXPECT_FALSE(agree.clean());
+
+  // A verdict claiming zero down->up dependencies contradicts the walks:
+  // the cross-check must flag the analyses as inconsistent.
+  const CdgVerdict contradicting{true, 0};
+  const LftAudit mismatch =
+      validate_lft(fabric, tables, nullptr, 512, &contradicting);
+  EXPECT_TRUE(mismatch.cdg_mismatch);
+  ASSERT_FALSE(mismatch.problems.empty());
+  EXPECT_EQ(mismatch.problems.back().rfind("walk/CDG", 0), 0u)
+      << mismatch.problems.back();
+}
+
+TEST(ValidateLft, UnroutedEntriesStayTypedUnderTheCdgVerdict) {
+  const Fabric fabric = fig4b();
+  const ForwardingTables tables(fabric);  // nothing programmed
+  const CdgVerdict verdict{true, 0};  // empty tables: no dependencies at all
+  const LftAudit audit = validate_lft(fabric, tables, nullptr, 512, &verdict);
+  EXPECT_TRUE(audit.clean()) << "unrouted is data, not a deadlock";
+  EXPECT_FALSE(audit.all_reachable());
+  EXPECT_EQ(audit.not_updown_routes, 0u);
+  EXPECT_FALSE(audit.cdg_mismatch);
+}
+
 TEST(ValidateLft, DeadSpineOnThreeLevelRlft) {
   const Fabric fabric{topo::rlft3_top(4, 2)};  // 32 hosts, 3 levels
   const FaultState faults(fabric, parse_faults("switch:spine0"));

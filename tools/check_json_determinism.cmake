@@ -1,0 +1,26 @@
+# Run `ftcf_tool check` twice with different --threads values and fail unless
+# the JSON reports are byte-identical. Pins the determinism contract: the
+# parallel CDG build merges in switch-index order and the report carries no
+# thread-dependent content.
+if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "check_json_determinism.cmake needs -DTOOL= and -DOUT_DIR=")
+endif()
+set(one "${OUT_DIR}/check_t1.json")
+set(eight "${OUT_DIR}/check_t8.json")
+foreach(pair "1;${one}" "8;${eight}")
+  list(GET pair 0 threads)
+  list(GET pair 1 out)
+  execute_process(
+    COMMAND ${TOOL} check --nodes 128 --order random --threads ${threads}
+            --json ${out}
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "check --threads ${threads} exited ${rc}")
+  endif()
+endforeach()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${one} ${eight}
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "check JSON differs between --threads 1 and --threads 8")
+endif()

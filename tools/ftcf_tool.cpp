@@ -10,6 +10,9 @@
 //                      [--faults "link:S1_0:4,flap:spine1:0:50:200"]
 //   ftcf_tool inject   --nodes 324 --faults "switch:spine4" [--lft-out d.lft]
 //   ftcf_tool theorems --spec "PGFT(3; 6,6,4; 1,6,6; 1,1,1)"
+//   ftcf_tool check    --nodes 324 --router dmodk [--lft tables.lft]
+//                      [--order topology] [--cps shift] [--json report.json]
+//                      [--suppress baseline.txt] [--strict]
 //
 // `--topo` reads a topology file; `--spec` builds from a PGFT tuple; the
 // preset shorthand `--nodes 324` uses the paper's cluster catalog.
@@ -21,6 +24,7 @@
 #include <optional>
 
 #include "analysis/hsd.hpp"
+#include "check/check.hpp"
 #include "fault/fault_spec.hpp"
 #include "routing/degraded.hpp"
 #include "core/grouped_rd.hpp"
@@ -362,7 +366,7 @@ int cmd_inject(int argc, const char* const* argv) {
   table.add_row({"pairs checked", std::to_string(audit.pairs_checked)});
   table.add_row({"pairs unreachable", std::to_string(audit.unreachable.size())});
   table.add_row({"up*/down* audit",
-                 audit.clean() ? std::string("ok") : audit.problems.front()});
+                 audit.clean() ? std::string("ok") : audit.first_problem()});
   table.print(std::cout);
   if (cli.str("lft-out") != "-") {
     std::ofstream os(cli.str("lft-out"));
@@ -370,6 +374,93 @@ int cmd_inject(int argc, const char* const* argv) {
     std::cout << "wrote " << cli.str("lft-out") << '\n';
   }
   return audit.clean() ? 0 : 1;
+}
+
+int cmd_check(int argc, const char* const* argv) {
+  util::Cli cli("ftcf_tool check",
+                "static analysis: CDG deadlock proof, walk cross-check and "
+                "RLFT/theorem-precondition lints");
+  add_fabric_options(cli);
+  cli.add_option("router", "dmodk|ftree|updown|random", "dmodk");
+  cli.add_option("seed", "random-router seed", "1");
+  cli.add_option("lft", "analyze tables from an LFT dump instead of routing "
+                 "(may be incomplete, e.g. a degraded dump)", "");
+  add_fault_options(cli);
+  cli.add_option("order", "also lint a node ordering (see hsd; '' = skip)", "");
+  cli.add_option("cps", "also lint a CPS (see hsd; '' = skip)", "");
+  cli.add_option("suppress", "suppression/baseline file (rule[:location])", "");
+  cli.add_option("json", "deterministic JSON report file ('-' = skip)", "-");
+  cli.add_flag("strict", "treat warnings as failures (exit 1)");
+  cli.add_flag("profile", "time analysis phases, report at exit");
+  if (!cli.parse(argc, argv)) return 0;
+  apply_threads(cli);
+  if (cli.flag("profile")) {
+    obs::Profiler::instance().set_enabled(true);
+    obs::enable_par_timing();
+  }
+  const topo::Fabric fabric = load_fabric(cli);
+
+  const fault::FaultSpec fault_spec = load_fault_spec(cli);
+  std::optional<fault::FaultState> faults;
+  if (!fault_spec.empty()) faults.emplace(fabric, fault_spec);
+
+  route::ForwardingTables tables(fabric);
+  const std::string lft_file = cli.str("lft");
+  if (!lft_file.empty()) {
+    std::ifstream is(lft_file);
+    if (!is) throw util::Error("cannot open LFT dump '" + lft_file + "'");
+    tables = route::read_lfts(fabric, is, /*require_complete=*/false);
+  } else {
+    tables = load_tables(cli, fabric, faults ? &*faults : nullptr);
+  }
+
+  check::CheckOptions options;
+  if (faults) options.faults = &*faults;
+  std::optional<order::NodeOrdering> ordering;
+  if (!cli.str("order").empty()) {
+    ordering = load_ordering(cli.str("order"), fabric, cli.uinteger("seed"));
+    options.ordering = &*ordering;
+  }
+  std::optional<cps::Sequence> sequence;
+  if (!cli.str("cps").empty()) {
+    sequence = cli.str("cps") == "grouped-rd"
+                   ? core::grouped_recursive_doubling(fabric)
+                   : cps::generate(cps::parse_cps(cli.str("cps")),
+                                   fabric.num_hosts());
+    options.sequence = &*sequence;
+  }
+  if (!cli.str("suppress").empty()) {
+    std::ifstream is(cli.str("suppress"));
+    if (!is)
+      throw util::Error("cannot open suppression file '" + cli.str("suppress") +
+                        "'");
+    options.suppressions = check::Suppressions::parse(is);
+  }
+
+  const check::CheckReport report = check::run_check(fabric, tables, options);
+
+  report.diagnostics.write_text(std::cout);
+  std::cout << "CDG: " << report.cdg.num_channels << " channels, "
+            << report.cdg.num_dependencies << " dependencies, "
+            << report.cdg.down_up_turns << " down->up turns, "
+            << (report.cdg.acyclic ? "acyclic (deadlock-free)"
+                                   : "CYCLIC (deadlock hazard)")
+            << '\n';
+  if (cli.str("json") != "-") {
+    std::ofstream os(cli.str("json"));
+    if (!os)
+      throw util::Error("cannot open JSON report '" + cli.str("json") + "'");
+    // Meta is content-only (no thread counts / timestamps): the report is
+    // byte-identical for every --threads value.
+    report.diagnostics.write_json(
+        os, {{"tool", "ftcf_tool check"},
+             {"topology", fabric.spec().to_string()},
+             {"router", lft_file.empty() ? cli.str("router")
+                                         : "lft:" + lft_file}});
+    std::cout << "wrote " << cli.str("json") << '\n';
+  }
+  if (cli.flag("profile")) obs::Profiler::instance().report(std::cerr);
+  return report.diagnostics.exit_code(cli.flag("strict"));
 }
 
 int cmd_report(int argc, const char* const* argv) {
@@ -415,7 +506,7 @@ int cmd_theorems(int argc, const char* const* argv) {
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: ftcf_tool <topo|route|hsd|simulate|inject|theorems|report> "
+      "usage: ftcf_tool <topo|route|hsd|simulate|inject|check|theorems|report> "
       "[options]\n"
       "       ftcf_tool <command> --help for per-command options\n";
   if (argc < 2) {
@@ -429,6 +520,7 @@ int main(int argc, char** argv) {
     if (command == "hsd") return cmd_hsd(argc - 1, argv + 1);
     if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
     if (command == "inject") return cmd_inject(argc - 1, argv + 1);
+    if (command == "check") return cmd_check(argc - 1, argv + 1);
     if (command == "theorems") return cmd_theorems(argc - 1, argv + 1);
     if (command == "report") return cmd_report(argc - 1, argv + 1);
     std::cerr << "unknown command '" << command << "'\n" << usage;
