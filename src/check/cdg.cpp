@@ -1,214 +1,25 @@
 #include "check/cdg.hpp"
 
-#include <algorithm>
 #include <sstream>
 
+#include "check/depgraph.hpp"
 #include "obs/profile.hpp"
-#include "util/expects.hpp"
-#include "util/thread_pool.hpp"
 
 namespace ftcf::check {
 
 using topo::Fabric;
-using topo::NodeId;
 using topo::PortId;
-
-namespace {
-
-constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
-
-/// Dense numbering of the switch-to-switch directed links.
-struct ChannelIndex {
-  std::vector<PortId> channels;      ///< dense id -> PortId
-  std::vector<std::uint32_t> dense;  ///< PortId -> dense id (kNone = not a channel)
-};
-
-ChannelIndex build_channels(const Fabric& fabric) {
-  ChannelIndex ci;
-  ci.dense.assign(fabric.num_ports(), kNone);
-  for (PortId p = 0; p < fabric.num_ports(); ++p) {
-    const topo::Port& port = fabric.port(p);
-    if (fabric.node(port.node).kind != topo::NodeKind::kSwitch) continue;
-    const NodeId peer_node = fabric.port(port.peer).node;
-    if (fabric.node(peer_node).kind != topo::NodeKind::kSwitch) continue;
-    ci.dense[p] = static_cast<std::uint32_t>(ci.channels.size());
-    ci.channels.push_back(p);
-  }
-  return ci;
-}
-
-bool is_up_channel(const Fabric& fabric, PortId p) {
-  const topo::Port& port = fabric.port(p);
-  return port.index >= fabric.node(port.node).num_down_ports;
-}
-
-/// All distinct dependencies, packed (from_dense << 32 | to_dense) and
-/// sorted ascending. Generated per source switch in parallel, merged in
-/// switch-index order, then globally sorted — identical for any thread count.
-std::vector<std::uint64_t> build_dependencies(
-    const Fabric& fabric, const route::ForwardingTables& tables,
-    const ChannelIndex& ci) {
-  const std::span<const NodeId> switches = fabric.switch_ids();
-  const std::uint64_t n = fabric.num_hosts();
-
-  auto per_switch = par::parallel_map(
-      switches.size(),
-      [&](std::size_t idx) {
-        std::vector<std::uint64_t> deps;
-        const NodeId u = switches[idx];
-        for (std::uint64_t d = 0; d < n; ++d) {
-          if (!tables.has_entry(u, d)) continue;
-          const PortId e1 = fabric.port_id(u, tables.out_port(u, d));
-          const std::uint32_t c1 = ci.dense[e1];
-          if (c1 == kNone) continue;  // terminates at a host
-          const NodeId v = fabric.port(fabric.port(e1).peer).node;
-          if (!tables.has_entry(v, d)) continue;
-          const PortId e2 = fabric.port_id(v, tables.out_port(v, d));
-          const std::uint32_t c2 = ci.dense[e2];
-          if (c2 == kNone) continue;
-          deps.push_back((static_cast<std::uint64_t>(c1) << 32) | c2);
-        }
-        std::sort(deps.begin(), deps.end());
-        deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
-        return deps;
-      },
-      par::ForOptions{.threads = 0, .grain = 1, .label = "check.cdg"});
-
-  std::vector<std::uint64_t> all;
-  for (const auto& deps : per_switch) all.insert(all.end(), deps.begin(), deps.end());
-  std::sort(all.begin(), all.end());
-  all.erase(std::unique(all.begin(), all.end()), all.end());
-  return all;
-}
-
-/// Compressed adjacency over dense channel ids; successor lists ascending.
-struct Csr {
-  std::vector<std::uint32_t> offsets;  ///< size num_channels + 1
-  std::vector<std::uint32_t> targets;
-};
-
-Csr build_csr(std::size_t num_channels, const std::vector<std::uint64_t>& deps) {
-  Csr csr;
-  csr.offsets.assign(num_channels + 1, 0);
-  csr.targets.reserve(deps.size());
-  for (const std::uint64_t packed : deps)
-    ++csr.offsets[static_cast<std::size_t>(packed >> 32) + 1];
-  for (std::size_t i = 1; i < csr.offsets.size(); ++i)
-    csr.offsets[i] += csr.offsets[i - 1];
-  for (const std::uint64_t packed : deps)
-    csr.targets.push_back(static_cast<std::uint32_t>(packed & 0xffffffffu));
-  return csr;
-}
-
-/// Iterative Tarjan SCC. Returns the members of the first cyclic SCC found
-/// (empty when the graph is acyclic) and counts all cyclic SCCs.
-struct SccResult {
-  std::uint64_t cyclic_sccs = 0;
-  std::vector<std::uint32_t> first_cycle_members;
-};
-
-SccResult tarjan_cyclic_sccs(const Csr& csr, std::size_t num_nodes) {
-  SccResult result;
-  std::vector<std::uint32_t> index(num_nodes, kNone);
-  std::vector<std::uint32_t> lowlink(num_nodes, 0);
-  std::vector<std::uint8_t> on_stack(num_nodes, 0);
-  std::vector<std::uint32_t> stack;
-  std::uint32_t next_index = 0;
-
-  struct Frame {
-    std::uint32_t v;
-    std::uint32_t edge;  ///< next offset into csr.targets to explore
-  };
-  std::vector<Frame> frames;
-
-  for (std::uint32_t root = 0; root < num_nodes; ++root) {
-    if (index[root] != kNone) continue;
-    frames.push_back({root, csr.offsets[root]});
-    index[root] = lowlink[root] = next_index++;
-    stack.push_back(root);
-    on_stack[root] = 1;
-
-    while (!frames.empty()) {
-      Frame& frame = frames.back();
-      const std::uint32_t v = frame.v;
-      if (frame.edge < csr.offsets[v + 1]) {
-        const std::uint32_t w = csr.targets[frame.edge++];
-        if (index[w] == kNone) {
-          index[w] = lowlink[w] = next_index++;
-          stack.push_back(w);
-          on_stack[w] = 1;
-          frames.push_back({w, csr.offsets[w]});
-        } else if (on_stack[w] != 0) {
-          lowlink[v] = std::min(lowlink[v], index[w]);
-        }
-        continue;
-      }
-      // v is fully explored: close its SCC if it is a root.
-      if (lowlink[v] == index[v]) {
-        std::vector<std::uint32_t> members;
-        while (true) {
-          const std::uint32_t w = stack.back();
-          stack.pop_back();
-          on_stack[w] = 0;
-          members.push_back(w);
-          if (w == v) break;
-        }
-        if (members.size() > 1) {  // self-loops cannot occur in a CDG
-          ++result.cyclic_sccs;
-          if (result.first_cycle_members.empty())
-            result.first_cycle_members = std::move(members);
-        }
-      }
-      frames.pop_back();
-      if (!frames.empty())
-        lowlink[frames.back().v] =
-            std::min(lowlink[frames.back().v], lowlink[v]);
-    }
-  }
-  return result;
-}
-
-/// Walk inside a cyclic SCC following the smallest in-SCC successor until a
-/// node repeats; the slice from its first visit is a concrete cycle.
-std::vector<std::uint32_t> extract_cycle(const Csr& csr,
-                                         const std::vector<std::uint32_t>& scc) {
-  std::vector<std::uint8_t> member(csr.offsets.size() - 1, 0);
-  std::uint32_t start = scc.front();
-  for (const std::uint32_t v : scc) {
-    member[v] = 1;
-    start = std::min(start, v);
-  }
-  std::vector<std::uint32_t> path;
-  std::vector<std::uint32_t> pos(csr.offsets.size() - 1, kNone);
-  std::uint32_t at = start;
-  while (pos[at] == kNone) {
-    pos[at] = static_cast<std::uint32_t>(path.size());
-    path.push_back(at);
-    std::uint32_t next = kNone;
-    for (std::uint32_t e = csr.offsets[at]; e < csr.offsets[at + 1]; ++e) {
-      if (member[csr.targets[e]] != 0) {
-        next = csr.targets[e];  // targets ascending: first hit is smallest
-        break;
-      }
-    }
-    util::expects(next != kNone,
-                  "every member of a cyclic SCC has an in-SCC successor");
-    at = next;
-  }
-  return {path.begin() + pos[at], path.end()};
-}
-
-}  // namespace
 
 CdgAnalysis analyze_cdg(const Fabric& fabric,
                         const route::ForwardingTables& tables) {
   FTCF_PROF_SCOPE("check.cdg");
   CdgAnalysis analysis;
-  const ChannelIndex ci = build_channels(fabric);
-  analysis.num_channels = ci.channels.size();
-  if (ci.channels.empty()) return analysis;  // single-switch or host-only
+  const ChannelIndex ci = switch_channels(fabric);
+  analysis.num_channels = ci.size();
+  if (ci.empty()) return analysis;  // single-switch or host-only
 
-  const std::vector<std::uint64_t> deps = build_dependencies(fabric, tables, ci);
+  const std::vector<std::uint64_t> deps = build_dependencies(
+      fabric, tables, ci, DependencyOptions{.label = "check.cdg"});
   analysis.num_dependencies = deps.size();
   for (const std::uint64_t packed : deps) {
     const PortId from = ci.channels[packed >> 32];
@@ -217,12 +28,13 @@ CdgAnalysis analyze_cdg(const Fabric& fabric,
       ++analysis.down_up_turns;
   }
 
-  const Csr csr = build_csr(ci.channels.size(), deps);
-  const SccResult sccs = tarjan_cyclic_sccs(csr, ci.channels.size());
+  const ChannelGraph graph = build_graph(ci.size(), deps);
+  const SccSummary sccs = find_cyclic_sccs(graph);
   analysis.cyclic_scc_count = sccs.cyclic_sccs;
   analysis.acyclic = sccs.cyclic_sccs == 0;
   if (!analysis.acyclic) {
-    for (const std::uint32_t dense : extract_cycle(csr, sccs.first_cycle_members))
+    for (const std::uint32_t dense :
+         extract_cycle(graph, sccs.first_cycle_members))
       analysis.cycle.push_back(ci.channels[dense]);
   }
   return analysis;

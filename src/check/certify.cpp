@@ -1,0 +1,278 @@
+#include "check/certify.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/hsd.hpp"
+#include "check/depgraph.hpp"
+#include "obs/profile.hpp"
+#include "routing/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ftcf::check {
+
+using topo::Fabric;
+using topo::PortId;
+
+namespace {
+
+/// True when the (src, dst) flow's route crosses `link`. Same walk as the
+/// HSD analyzer's inline loop; bails out (false) on unprogrammed entries.
+bool flow_uses_link(const Fabric& fabric, const route::ForwardingTables& tables,
+                    std::uint64_t src, std::uint64_t dst, PortId link) {
+  if (src == dst) return false;
+  const topo::NodeId dst_node = fabric.host_node(dst);
+  topo::NodeId at = fabric.host_node(src);
+  std::uint32_t out_index = fabric.node(at).num_down_ports +
+                            route::host_up_port(fabric, src, dst);
+  const std::size_t max_links = 2ull * fabric.height() + 2;
+  for (std::size_t hop = 0; hop <= max_links; ++hop) {
+    const PortId out = fabric.port_id(at, out_index);
+    if (out == link) return true;
+    at = fabric.port(fabric.port(out).peer).node;
+    if (at == dst_node) return false;
+    if (!tables.has_entry(at, dst)) return false;
+    out_index = tables.out_port(at, dst);
+  }
+  return false;
+}
+
+/// Pick the highest-priority lint rule that explains a collision at `stage`.
+/// Returns "" when nothing in the scratch lint findings applies.
+std::string blame_rule(const Diagnostics& lints, std::size_t stage) {
+  const std::string stage_loc = "stage " + std::to_string(stage);
+  const auto has = [&](std::string_view rule,
+                       std::string_view location) -> bool {
+    for (const Finding& f : lints.findings())
+      if (f.rule == rule && (location.empty() || f.location == location))
+        return true;
+    return false;
+  };
+  // An ordering that breaks the D-Mod-K arithmetic explains any collision;
+  // after that, stage-local CPS shape problems, then fabric premises in
+  // decreasing specificity, then incomplete tables.
+  if (has("order-mismatch", "")) return "order-mismatch";
+  if (has("cps-displacement", stage_loc)) return "cps-displacement";
+  if (has("cps-displacement", "")) return "cps-displacement";
+  for (const char* rule : {"rlft-cbb", "rlft-radix", "rlft-single-cable",
+                           "rlft-parallel-ports", "pgft-structure",
+                           "lft-incomplete"})
+    if (has(rule, "")) return rule;
+  return "";
+}
+
+std::string flows_to_string(const std::vector<CollidingFlow>& flows) {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (i != 0) oss << ", ";
+    oss << flows[i].src << "->" << flows[i].dst;
+  }
+  return oss.str();
+}
+
+}  // namespace
+
+Certificate certify_contention_freedom(const Fabric& fabric,
+                                       const route::ForwardingTables& tables,
+                                       const order::NodeOrdering& ordering,
+                                       const cps::Sequence& sequence) {
+  FTCF_PROF_SCOPE("check.certify");
+  analysis::HsdAnalyzer analyzer(fabric, tables);
+  // Tolerate incomplete tables: stranded flows are counted per stage and
+  // void the certificate instead of aborting the analysis.
+  analyzer.set_tolerate_unroutable(true);
+
+  struct StageResult {
+    StageWitness witness;
+    PortId hot = topo::kInvalidPort;
+    std::vector<CollidingFlow> colliding;
+  };
+
+  const std::size_t num_stages = sequence.stages.size();
+  const par::ForOptions options{.threads = 0, .grain = 1,
+                                .label = "check.certify"};
+  const std::uint32_t width = par::region_width(num_stages, options);
+  std::vector<analysis::HsdAnalyzer::Workspace> workspaces(width);
+  std::vector<std::vector<std::uint32_t>> loads_scratch(width);
+  std::vector<StageResult> per_stage(num_stages);
+
+  par::parallel_for(
+      num_stages,
+      [&](std::size_t s, std::uint32_t worker) {
+        const cps::Stage& stage = sequence.stages[s];
+        StageResult& result = per_stage[s];
+        result.witness.shape =
+            classify_stage_shape(stage, sequence.num_ranks);
+        if (stage.empty()) return;
+        const std::vector<cps::Pair> flows = ordering.map_stage(stage);
+        std::vector<std::uint32_t>& loads = loads_scratch[worker];
+        const analysis::StageMetrics metrics =
+            analyzer.analyze_stage(flows, workspaces[worker], &loads);
+        result.witness.max_hsd = metrics.max_hsd;
+        result.witness.max_up_hsd = metrics.max_up_hsd;
+        result.witness.max_down_hsd = metrics.max_down_hsd;
+        result.witness.num_flows = metrics.num_flows;
+        result.witness.unroutable_flows = metrics.unroutable_flows;
+        for (const std::uint32_t load : loads)
+          if (load > 0) ++result.witness.links_loaded;
+        if (metrics.max_hsd > 1) {
+          // Root-cause evidence: the flows actually crossing the hot link,
+          // in stage-pair order (deterministic re-walk, thread-independent).
+          result.hot = metrics.hottest_port;
+          for (const cps::Pair& flow : flows) {
+            if (result.colliding.size() == kMaxCollidingShown) break;
+            if (flow_uses_link(fabric, tables, flow.src, flow.dst, result.hot))
+              result.colliding.push_back({flow.src, flow.dst});
+          }
+        }
+      },
+      options);
+
+  // Serial stage-order fold: certificates are byte-identical at any thread
+  // count.
+  Certificate cert;
+  cert.num_ranks = sequence.num_ranks;
+  cert.sequence_name = sequence.name;
+  cert.contention_free = true;
+  cert.stages.reserve(num_stages);
+  for (std::size_t s = 0; s < num_stages; ++s) {
+    StageResult& result = per_stage[s];
+    cert.stages.push_back(result.witness);
+    if (result.witness.unroutable_flows > 0) cert.contention_free = false;
+    if (result.hot == topo::kInvalidPort) continue;
+    cert.contention_free = false;
+    StageBlame blame;
+    blame.stage = s;
+    blame.max_hsd = result.witness.max_hsd;
+    blame.hot_link = result.hot;
+    blame.hot_link_name = channel_to_string(fabric, result.hot);
+    blame.colliding = std::move(result.colliding);
+    cert.blames.push_back(std::move(blame));
+  }
+
+  if (!cert.blames.empty()) {
+    // One scratch lint pass explains every violating stage.
+    Diagnostics lints;
+    lint_fabric(fabric, lints);
+    lint_ordering(fabric, ordering, lints);
+    lint_sequence(sequence, lints);
+    lint_tables(fabric, tables, /*degraded_expected=*/false, lints);
+    for (StageBlame& blame : cert.blames)
+      blame.blamed_rule = blame_rule(lints, blame.stage);
+  }
+  return cert;
+}
+
+namespace {
+
+constexpr std::size_t kMaxViolationsShown = 4;
+
+}  // namespace
+
+void report_certificate(const Certificate& certificate,
+                        Diagnostics& diagnostics) {
+  if (certificate.contention_free) {
+    std::uint64_t loaded_stages = 0;
+    bool any_exchange = false;
+    for (const StageWitness& witness : certificate.stages) {
+      if (witness.num_flows > 0) ++loaded_stages;
+      if (witness.shape == StageShape::kSymmetricExchange) any_exchange = true;
+    }
+    std::ostringstream oss;
+    oss << "contention-freedom certified: " << loaded_stages
+        << " loaded stage(s) of '" << certificate.sequence_name << "' over "
+        << certificate.num_ranks
+        << " rank(s) with HSD = 1 on every loaded link (Theorems 1-2"
+        << (any_exchange ? " and Theorem 3" : "") << ')';
+    diagnostics.note("cert-ok", "", oss.str());
+    return;
+  }
+  std::size_t shown = 0;
+  for (const StageBlame& blame : certificate.blames) {
+    if (shown == kMaxViolationsShown) {
+      diagnostics.note("hsd-violation", "",
+                       std::to_string(certificate.blames.size() - shown) +
+                           " further stage(s) with HSD > 1 not shown");
+      break;
+    }
+    ++shown;
+    const std::string location = "stage " + std::to_string(blame.stage);
+    std::ostringstream oss;
+    oss << "HSD = " << blame.max_hsd << " > 1 on link " << blame.hot_link_name
+        << "; " << blame.max_hsd << " flow(s) collide there (first "
+        << blame.colliding.size() << ": " << flows_to_string(blame.colliding)
+        << "); the HSD = 1 witness of Theorems 1-3 fails at this stage";
+    if (blame.blamed_rule.empty())
+      oss << "; no lint rule explains the collision";
+    diagnostics.error("hsd-violation", location, oss.str());
+    if (!blame.blamed_rule.empty())
+      diagnostics.note(
+          "blame-" + blame.blamed_rule, location,
+          "the hsd-violation at this stage is explained by lint rule '" +
+              blame.blamed_rule + "' — see that finding for the root cause");
+  }
+  // Stranded flows with no hot link still void the certificate.
+  if (certificate.blames.empty()) {
+    std::uint64_t stranded = 0;
+    for (const StageWitness& witness : certificate.stages)
+      stranded += witness.unroutable_flows;
+    diagnostics.error("hsd-violation", "",
+                      "certificate void: " + std::to_string(stranded) +
+                          " flow(s) unroutable through the supplied tables, "
+                          "so per-link flow counts are not witnesses");
+  }
+}
+
+void write_certificate_json(std::ostream& os, const Certificate& certificate,
+                            const std::map<std::string, std::string>& meta) {
+  os << "{\n \"meta\":{";
+  bool first = true;
+  for (const auto& [key, value] : meta) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, key);
+    os << ':';
+    write_json_string(os, value);
+  }
+  os << "},\n \"certificate\":{\"contention_free\":"
+     << (certificate.contention_free ? "true" : "false")
+     << ",\"num_ranks\":" << certificate.num_ranks
+     << ",\"num_stages\":" << certificate.stages.size() << ",\"sequence\":";
+  write_json_string(os, certificate.sequence_name);
+  os << ",\"violations\":" << certificate.blames.size() << "},\n \"stages\":[";
+  first = true;
+  for (std::size_t s = 0; s < certificate.stages.size(); ++s) {
+    const StageWitness& w = certificate.stages[s];
+    os << (first ? "\n  " : ",\n  ");
+    first = false;
+    os << "{\"flows\":" << w.num_flows
+       << ",\"links_loaded\":" << w.links_loaded
+       << ",\"max_down_hsd\":" << w.max_down_hsd
+       << ",\"max_hsd\":" << w.max_hsd << ",\"max_up_hsd\":" << w.max_up_hsd
+       << ",\"shape\":\"" << stage_shape_name(w.shape) << "\",\"stage\":" << s
+       << ",\"unroutable\":" << w.unroutable_flows << '}';
+  }
+  os << (certificate.stages.empty() ? "]" : "\n ]") << ",\n \"violations\":[";
+  first = true;
+  for (const StageBlame& blame : certificate.blames) {
+    os << (first ? "\n  " : ",\n  ");
+    first = false;
+    os << "{\"blame\":";
+    write_json_string(
+        os, blame.blamed_rule.empty() ? "unexplained" : blame.blamed_rule);
+    os << ",\"colliding\":[";
+    for (std::size_t i = 0; i < blame.colliding.size(); ++i) {
+      if (i != 0) os << ',';
+      os << "{\"dst\":" << blame.colliding[i].dst
+         << ",\"src\":" << blame.colliding[i].src << '}';
+    }
+    os << "],\"hot_link\":";
+    write_json_string(os, blame.hot_link_name);
+    os << ",\"max_hsd\":" << blame.max_hsd << ",\"stage\":" << blame.stage
+       << '}';
+  }
+  os << (certificate.blames.empty() ? "]\n}\n" : "\n ]\n}\n");
+}
+
+}  // namespace ftcf::check

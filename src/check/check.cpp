@@ -1,8 +1,10 @@
 #include "check/check.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "obs/profile.hpp"
+#include "util/expects.hpp"
 
 namespace ftcf::check {
 
@@ -66,6 +68,85 @@ void report_walk(const route::LftAudit& walk, bool degraded_expected,
   }
 }
 
+/// Suppression entries naming rules outside the catalog would otherwise be
+/// dead weight a typo could hide behind; surface each one once.
+void report_unknown_suppressions(const Suppressions& suppressions,
+                                 Diagnostics& diagnostics) {
+  std::vector<std::string> reported;
+  for (const std::string& rule : suppressions.rules()) {
+    if (is_known_rule(rule)) continue;
+    if (std::find(reported.begin(), reported.end(), rule) != reported.end())
+      continue;
+    reported.push_back(rule);
+    diagnostics.warning("suppress-unknown-rule", "",
+                        "suppression entry names unknown rule '" + rule +
+                            "' (not in the stable rule catalog); the entry "
+                            "can never match a finding");
+  }
+}
+
+void report_vl(const topo::Fabric& fabric, const VlProposal& vl,
+               bool cdg_acyclic, Diagnostics& diagnostics) {
+  const bool solved = vl.assignment.complete() && vl.analysis.all_acyclic();
+  if (solved) {
+    std::ostringstream oss;
+    oss << "virtual-lane assignment with " << vl.assignment.num_lanes
+        << " lane(s) renders every per-lane dependency graph acyclic";
+    if (cdg_acyclic)
+      oss << " (the single-lane CDG is already acyclic, so one lane "
+             "suffices)";
+    else
+      oss << ", breaking the single-lane dependency cycle: "
+          << vl_assignment_to_string(vl.assignment);
+    diagnostics.note("vl-assignment", "", oss.str());
+    return;
+  }
+  std::ostringstream oss;
+  oss << "no destination->VL assignment within " << vl.assignment.num_lanes
+      << " lane(s) breaks every dependency cycle";
+  if (!vl.assignment.unassigned.empty())
+    oss << " (" << vl.assignment.unassigned.size()
+        << " destination(s) unplaceable — a per-destination routing loop "
+           "cannot be fixed by lane separation)";
+  for (const CdgAnalysis& lane : vl.analysis.lanes) {
+    if (lane.acyclic) continue;
+    oss << "; first cyclic lane: " << cycle_to_string(fabric, lane.cycle);
+    break;
+  }
+  diagnostics.error("vl-cycle", "", oss.str());
+}
+
+void report_credit(const topo::Fabric& fabric,
+                   const CreditLoopAnalysis& credit, bool cdg_acyclic,
+                   Diagnostics& diagnostics) {
+  if (!credit.acyclic) {
+    std::ostringstream oss;
+    oss << "credit flow-control graph has " << credit.cyclic_scc_count
+        << " cyclic SCC(s) over " << credit.num_buffered_channels
+        << " finite-buffered channels; every buffer in the loop can fill "
+           "while waiting on the next — the simulated fabric can wedge. "
+           "Loop: "
+        << cycle_to_string(fabric, credit.cycle);
+    diagnostics.error("credit-loop", "", oss.str());
+  } else {
+    std::ostringstream oss;
+    oss << "credit flow-control graph acyclic: " << credit.num_dependencies
+        << " buffer dependencies over " << credit.num_buffered_channels
+        << " finite-buffered channels (" << credit.host_injection_channels
+        << " host injection links included)";
+    diagnostics.note("credit-loop", "", oss.str());
+  }
+  if (credit.acyclic != cdg_acyclic) {
+    std::ostringstream oss;
+    oss << "credit-loop prover and link-level CDG disagree (credit "
+        << (credit.acyclic ? "acyclic" : "cyclic") << ", CDG "
+        << (cdg_acyclic ? "acyclic" : "cyclic")
+        << "); host injection channels have in-degree 0, so the verdicts "
+           "must coincide — one of the two dependency derivations is wrong";
+    diagnostics.error("credit-cdg-mismatch", "", oss.str());
+  }
+}
+
 void record_metrics(obs::MetricsRegistry& metrics, const CheckReport& report) {
   const Diagnostics& d = report.diagnostics;
   metrics.counter("check.findings.errors").inc(d.errors());
@@ -80,6 +161,26 @@ void record_metrics(obs::MetricsRegistry& metrics, const CheckReport& report) {
   metrics.counter("check.walk.pairs_reachable")
       .inc(report.walk.pairs_reachable);
   metrics.counter("check.walk.unreachable").inc(report.walk.unreachable.size());
+  if (report.certificate) {
+    metrics.gauge("check.cert.contention_free")
+        .set(report.certificate->contention_free ? 1.0 : 0.0);
+    metrics.counter("check.cert.stages").inc(report.certificate->stages.size());
+    metrics.counter("check.cert.violations")
+        .inc(report.certificate->blames.size());
+  }
+  if (report.vl) {
+    metrics.gauge("check.vl.lanes").set(report.vl->assignment.num_lanes);
+    metrics.gauge("check.vl.acyclic")
+        .set(report.vl->analysis.all_acyclic() ? 1.0 : 0.0);
+  }
+  if (report.credit) {
+    metrics.counter("check.credit.channels")
+        .inc(report.credit->num_buffered_channels);
+    metrics.counter("check.credit.dependencies")
+        .inc(report.credit->num_dependencies);
+    metrics.gauge("check.credit.acyclic")
+        .set(report.credit->acyclic ? 1.0 : 0.0);
+  }
 }
 
 }  // namespace
@@ -90,8 +191,9 @@ CheckReport run_check(const topo::Fabric& fabric,
   FTCF_PROF_SCOPE("check.run");
   CheckReport report;
   report.diagnostics.set_suppressions(options.suppressions);
+  report_unknown_suppressions(options.suppressions, report.diagnostics);
 
-  lint_fabric(fabric, report.diagnostics);
+  lint_fabric(fabric, report.diagnostics, options.faults);
 
   report.cdg = analyze_cdg(fabric, tables);
   report_cdg(fabric, report.cdg, report.diagnostics);
@@ -107,6 +209,30 @@ CheckReport run_check(const topo::Fabric& fabric,
     lint_ordering(fabric, *options.ordering, report.diagnostics);
   if (options.sequence != nullptr)
     lint_sequence(*options.sequence, report.diagnostics);
+
+  if (options.certify) {
+    util::expects(options.ordering != nullptr && options.sequence != nullptr,
+                  "certification needs a node ordering and a CPS");
+    report.certificate = certify_contention_freedom(
+        fabric, tables, *options.ordering, *options.sequence);
+    report_certificate(*report.certificate, report.diagnostics);
+  }
+
+  if (options.propose_vls > 0) {
+    VlProposal vl;
+    vl.assignment = propose_vl_assignment(fabric, tables, options.propose_vls);
+    vl.analysis = analyze_cdg_per_vl(fabric, tables, vl.assignment);
+    report.vl = std::move(vl);
+    report_vl(fabric, *report.vl, report.cdg.acyclic, report.diagnostics);
+  }
+
+  if (options.credit_loops) {
+    const std::vector<sim::PortBuffer> buffers =
+        sim::PacketSim(fabric, tables).buffer_topology();
+    report.credit = analyze_credit_loops(fabric, tables, buffers);
+    report_credit(fabric, *report.credit, report.cdg.acyclic,
+                  report.diagnostics);
+  }
 
   if (options.metrics != nullptr) record_metrics(*options.metrics, report);
   return report;

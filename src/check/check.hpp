@@ -1,5 +1,5 @@
-// ftcf::check — static routing/ordering analyzer (the library's "compiler
-// warnings for route plans").
+// ftcf::check — static routing/ordering analyzer and prover (the library's
+// "compiler warnings for route plans", grown into a certificate emitter).
 //
 // run_check combines, over any ForwardingTables:
 //   1. the CDG deadlock prover (check/cdg.hpp): proves deadlock-freedom or
@@ -7,16 +7,27 @@
 //   2. the theorem-precondition linter (check/lint.hpp): which of the
 //      paper's guarantees still apply to this fabric/ordering/CPS;
 //   3. the walk-based table audit (route::validate_lft), rewired to consume
-//      the CDG verdict so the two analyses cross-check each other.
+//      the CDG verdict so the two analyses cross-check each other;
+//   4. optionally, the contention-freedom certifier (check/certify.hpp):
+//      per-stage HSD = 1 witnesses or root-cause blame;
+//   5. optionally, the per-virtual-lane CDG search (check/vl.hpp): the
+//      minimum destination->lane assignment breaking every cycle;
+//   6. optionally, the credit-loop prover (check/credit.hpp) over the packet
+//      simulator's buffer topology, cross-checked against the CDG.
 //
 // All findings land in one Diagnostics sink with stable rule IDs; the JSON
 // report is deterministic and byte-identical at any --threads count. CI
 // gates on the exit-code contract: 0 clean, 1 findings at the gate severity.
 #pragma once
 
+#include <optional>
+
 #include "check/cdg.hpp"
+#include "check/certify.hpp"
+#include "check/credit.hpp"
 #include "check/diagnostics.hpp"
 #include "check/lint.hpp"
+#include "check/vl.hpp"
 #include "fault/degraded.hpp"
 #include "obs/metrics.hpp"
 #include "routing/validate.hpp"
@@ -25,7 +36,8 @@ namespace ftcf::check {
 
 struct CheckOptions {
   /// Fault state the tables were (or should have been) built against; when
-  /// set, unreachable pairs and unprogrammed entries demote to notes.
+  /// set, unreachable pairs and unprogrammed entries demote to notes and the
+  /// structural lints additionally describe the degraded wiring.
   const fault::FaultState* faults = nullptr;
   /// When set, lint the node ordering against the RLFT index order.
   const order::NodeOrdering* ordering = nullptr;
@@ -33,16 +45,40 @@ struct CheckOptions {
   const cps::Sequence* sequence = nullptr;
   /// Pair-sampling threshold forwarded to route::validate_lft.
   std::uint64_t exhaustive_limit = 512;
-  /// Baseline findings to silence.
+  /// Baseline findings to silence. Entries naming rules outside the
+  /// known-rule catalog raise `suppress-unknown-rule` warnings.
   Suppressions suppressions;
+  /// Run the contention-freedom certifier (requires `ordering` and
+  /// `sequence`; rules cert-ok / hsd-violation / blame-<rule>).
+  bool certify = false;
+  /// > 0: search for a destination->VL assignment with at most this many
+  /// lanes whose per-lane dependency graphs are all acyclic (rules
+  /// vl-assignment / vl-cycle).
+  std::uint32_t propose_vls = 0;
+  /// Run the credit-loop prover over the packet simulator's buffer topology
+  /// (rules credit-loop / credit-cdg-mismatch).
+  bool credit_loops = false;
   /// When set, findings counters and CDG/walk sizes are recorded here.
   obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Outcome of the per-VL search: the proposed assignment and the per-lane
+/// verdicts it was validated with.
+struct VlProposal {
+  VlAssignment assignment;
+  VlCdgAnalysis analysis;
 };
 
 struct CheckReport {
   Diagnostics diagnostics;
   CdgAnalysis cdg;
   route::LftAudit walk;
+  /// Present when CheckOptions::certify was set (with ordering + sequence).
+  std::optional<Certificate> certificate;
+  /// Present when CheckOptions::propose_vls > 0.
+  std::optional<VlProposal> vl;
+  /// Present when CheckOptions::credit_loops was set.
+  std::optional<CreditLoopAnalysis> credit;
 
   /// Deadlock-freedom was proved (CDG acyclic) and the walks agree.
   [[nodiscard]] bool deadlock_free() const noexcept {

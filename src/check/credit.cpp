@@ -1,0 +1,48 @@
+#include "check/credit.hpp"
+
+#include "check/depgraph.hpp"
+#include "obs/profile.hpp"
+#include "util/expects.hpp"
+
+namespace ftcf::check {
+
+using topo::Fabric;
+using topo::PortId;
+
+CreditLoopAnalysis analyze_credit_loops(
+    const Fabric& fabric, const route::ForwardingTables& tables,
+    std::span<const sim::PortBuffer> buffers) {
+  FTCF_PROF_SCOPE("check.credit");
+  util::expects(buffers.size() == fabric.num_ports(),
+                "buffer topology must cover every port");
+
+  std::vector<std::uint8_t> finite(buffers.size(), 0);
+  for (std::size_t p = 0; p < buffers.size(); ++p)
+    finite[p] = buffers[p].finite ? 1 : 0;
+
+  CreditLoopAnalysis analysis;
+  const ChannelIndex ci = buffered_channels(fabric, finite);
+  analysis.num_buffered_channels = ci.size();
+  for (const PortId channel : ci.channels)
+    if (fabric.node(fabric.port(channel).node).kind == topo::NodeKind::kHost)
+      ++analysis.host_injection_channels;
+  if (ci.empty()) return analysis;
+
+  const std::vector<std::uint64_t> deps = build_dependencies(
+      fabric, tables, ci,
+      DependencyOptions{.host_injections = true, .label = "check.credit"});
+  analysis.num_dependencies = deps.size();
+
+  const ChannelGraph graph = build_graph(ci.size(), deps);
+  const SccSummary sccs = find_cyclic_sccs(graph);
+  analysis.cyclic_scc_count = sccs.cyclic_sccs;
+  analysis.acyclic = sccs.cyclic_sccs == 0;
+  if (!analysis.acyclic) {
+    for (const std::uint32_t dense :
+         extract_cycle(graph, sccs.first_cycle_members))
+      analysis.cycle.push_back(ci.channels[dense]);
+  }
+  return analysis;
+}
+
+}  // namespace ftcf::check

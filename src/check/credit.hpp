@@ -1,0 +1,54 @@
+// Credit-loop prover: the Dally–Seitz criterion applied to the buffer level
+// the packet simulator actually models.
+//
+// The simulator's credit flow control grants each directed link an initial
+// credit pool equal to the free space in the receiving input buffer
+// (sim::PacketSim::buffer_topology()). A packet holding buffer space on
+// channel A while waiting for credit on channel B creates a buffer
+// dependency A -> B; a cycle of such dependencies is a credit loop — every
+// buffer in the ring full, every packet waiting on the next — and the
+// simulation would wedge. The dependency universe differs from the
+// link-level CDG in one way: host *injection* links (host -> leaf switch)
+// also land in finite switch buffers, so they join the graph; host
+// *delivery* links (switch -> host) drain into the unbounded host sink and
+// stay out.
+//
+// Injection channels are never the target of a dependency (a dependency's
+// `to` channel is always sourced by a switch), so they have in-degree 0 and
+// cannot take part in a cycle: on the same tables the credit verdict must
+// equal the link-level CDG verdict. A disagreement means one of the two
+// derivations is wrong — run_check reports it as `credit-cdg-mismatch`,
+// an implementation-inconsistency detector that should never fire.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "routing/lft.hpp"
+#include "sim/packet_sim.hpp"
+
+namespace ftcf::check {
+
+/// Outcome of the credit-loop analysis of one set of tables.
+struct CreditLoopAnalysis {
+  std::uint64_t num_buffered_channels = 0;  ///< finite-buffer directed links
+  std::uint64_t host_injection_channels = 0;  ///< of those, host -> switch
+  std::uint64_t num_dependencies = 0;
+  bool acyclic = true;
+  std::uint64_t cyclic_scc_count = 0;
+  /// One concrete credit loop when !acyclic (same rendering contract as
+  /// CdgAnalysis::cycle; feed to cycle_to_string).
+  std::vector<topo::PortId> cycle;
+
+  [[nodiscard]] bool deadlock_free() const noexcept { return acyclic; }
+};
+
+/// Build and analyze the buffer-dependency graph induced by `tables` over
+/// the credit topology `buffers` (from sim::PacketSim::buffer_topology();
+/// must cover every port of `fabric`).
+[[nodiscard]] CreditLoopAnalysis analyze_credit_loops(
+    const topo::Fabric& fabric, const route::ForwardingTables& tables,
+    std::span<const sim::PortBuffer> buffers);
+
+}  // namespace ftcf::check

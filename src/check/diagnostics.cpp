@@ -1,5 +1,6 @@
 #include "check/diagnostics.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 
@@ -37,6 +38,19 @@ Suppressions Suppressions::parse(std::istream& is) {
     } else {
       entry.rule = token;
     }
+    // Tolerate padding around the separator ("rule : location"): trim both
+    // parts so hand-edited baselines match what the analyzers emit.
+    const auto trim = [](std::string& s) {
+      const auto tb = s.find_first_not_of(" \t");
+      if (tb == std::string::npos) {
+        s.clear();
+        return;
+      }
+      const auto te = s.find_last_not_of(" \t");
+      s = s.substr(tb, te - tb + 1);
+    };
+    trim(entry.rule);
+    trim(entry.location_part);
     if (entry.rule.empty() ||
         entry.rule.find_first_of(" \t") != std::string::npos)
       throw util::ParseError("suppressions line " + std::to_string(lineno) +
@@ -50,6 +64,13 @@ Suppressions Suppressions::parse(std::istream& is) {
 Suppressions Suppressions::parse_string(const std::string& text) {
   std::istringstream iss(text);
   return parse(iss);
+}
+
+std::vector<std::string> Suppressions::rules() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.rule);
+  return out;
 }
 
 bool Suppressions::matches(const Finding& finding) const {
@@ -109,9 +130,7 @@ void Diagnostics::write_text(std::ostream& os) const {
   os << '\n';
 }
 
-namespace {
-
-void write_json_string(std::ostream& os, const std::string& s) {
+void write_json_string(std::ostream& os, std::string_view s) {
   os << '"';
   for (const char c : s) {
     switch (c) {
@@ -131,8 +150,6 @@ void write_json_string(std::ostream& os, const std::string& s) {
   }
   os << '"';
 }
-
-}  // namespace
 
 void Diagnostics::write_json(
     std::ostream& os, const std::map<std::string, std::string>& meta) const {
@@ -161,6 +178,58 @@ void Diagnostics::write_json(
     os << ",\"severity\":\"" << severity_name(f.severity) << "\"}";
   }
   os << (findings_.empty() ? "]\n}\n" : "\n ]\n}\n");
+}
+
+std::span<const std::string_view> known_rule_ids() noexcept {
+  // Sorted ascending; keep in sync with docs/STATIC_ANALYSIS.md.
+  static constexpr std::string_view kRules[] = {
+      "cdg-cycle",
+      "cdg-walk-mismatch",
+      "cert-ok",
+      "cps-displacement",
+      "credit-cdg-mismatch",
+      "credit-loop",
+      "hsd-violation",
+      "lft-incomplete",
+      "order-mismatch",
+      "order-partial",
+      "pgft-structure",
+      "rlft-cbb",
+      "rlft-parallel-ports",
+      "rlft-radix",
+      "rlft-single-cable",
+      "route-problem",
+      "route-unreachable",
+      "suppress-unknown-rule",
+      "updown-turn",
+      "vl-assignment",
+      "vl-cycle",
+  };
+  return kRules;
+}
+
+bool is_known_rule(std::string_view rule) noexcept {
+  constexpr std::string_view kBlamePrefix = "blame-";
+  if (rule.rfind(kBlamePrefix, 0) == 0)
+    return is_known_rule(rule.substr(kBlamePrefix.size()));
+  const auto rules = known_rule_ids();
+  return std::binary_search(rules.begin(), rules.end(), rule);
+}
+
+void write_baseline(const Diagnostics& diagnostics, std::ostream& os) {
+  os << "# suppression baseline written by ftcf_tool check --write-baseline\n"
+        "# one entry per line: rule or rule:location-substring\n";
+  std::vector<std::string> seen;
+  for (const Finding& f : diagnostics.findings()) {
+    // A location containing '#' or a leading colon would not round-trip
+    // through the parser; fall back to suppressing the rule everywhere.
+    std::string token = f.rule;
+    if (!f.location.empty() && f.location.find('#') == std::string::npos)
+      token += ':' + f.location;
+    if (std::find(seen.begin(), seen.end(), token) != seen.end()) continue;
+    seen.push_back(token);
+    os << token << '\n';
+  }
 }
 
 }  // namespace ftcf::check

@@ -18,7 +18,9 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ftcf::check {
@@ -54,6 +56,10 @@ class Suppressions {
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Rule IDs of the parsed entries, in file order (duplicates preserved) —
+  /// what run_check validates against the known-rule catalog.
+  [[nodiscard]] std::vector<std::string> rules() const;
 
  private:
   struct Entry {
@@ -116,5 +122,23 @@ class Diagnostics {
   std::uint64_t counts_[3] = {0, 0, 0};
   std::uint64_t suppressed_ = 0;
 };
+
+/// Escape and quote one string for the deterministic JSON reports (shared
+/// by Diagnostics::write_json and check::write_certificate_json).
+void write_json_string(std::ostream& os, std::string_view s);
+
+/// The catalog of stable rule IDs the analyzers emit, sorted ascending.
+/// Suppression files referencing anything else trip `suppress-unknown-rule`.
+[[nodiscard]] std::span<const std::string_view> known_rule_ids() noexcept;
+
+/// True when `rule` is in the catalog. `blame-<rule>` cross-references are
+/// known exactly when their target rule is.
+[[nodiscard]] bool is_known_rule(std::string_view rule) noexcept;
+
+/// Emit a suppression baseline covering every current finding: one
+/// `rule:location` (or bare `rule`) line per distinct finding, parseable by
+/// Suppressions::parse. Re-running the same analysis under the emitted
+/// baseline reports zero findings — the brownfield path to `--strict`.
+void write_baseline(const Diagnostics& diagnostics, std::ostream& os);
 
 }  // namespace ftcf::check

@@ -120,14 +120,89 @@ void lint_parallel_ports(const Fabric& fabric, Diagnostics& diagnostics) {
   }
 }
 
+/// Degraded-wiring notes: with cables or switches removed, the *surviving*
+/// fabric no longer satisfies the structural premises even when the
+/// pristine wiring does. Fabric objects always describe the pristine graph
+/// (faults overlay it), so these fire as notes alongside the pristine lints.
+void lint_degraded_structure(const Fabric& fabric,
+                             const fault::FaultState& faults,
+                             Diagnostics& diagnostics) {
+  if (faults.pristine()) return;
+  const std::uint64_t cables = faults.cables_down();
+  const std::uint64_t switches = faults.switches_down();
+  if (cables == 0 && switches == 0) return;  // rate-only degradation
+  {
+    std::ostringstream oss;
+    oss << "fault state removes " << cables << " cable(s) and " << switches
+        << " switch(es); the surviving fabric violates the PGFT wiring rule "
+           "(structural lints above describe the pristine wiring)";
+    diagnostics.note("pgft-structure", "degraded", oss.str());
+  }
+  {
+    std::ostringstream oss;
+    oss << "cross-bisectional bandwidth is not constant on the surviving "
+           "fabric ("
+        << faults.surviving_hosts().size() << " of " << fabric.num_hosts()
+        << " hosts reachable); Theorems 1-2 apply to the pristine wiring "
+           "only";
+    diagnostics.note("rlft-cbb", "degraded", oss.str());
+  }
+}
+
 }  // namespace
 
-void lint_fabric(const Fabric& fabric, Diagnostics& diagnostics) {
+const char* stage_shape_name(StageShape shape) noexcept {
+  switch (shape) {
+    case StageShape::kEmpty: return "empty";
+    case StageShape::kConstantShift: return "constant-shift";
+    case StageShape::kSymmetricExchange: return "symmetric-exchange";
+    case StageShape::kIrregular: return "irregular";
+  }
+  return "?";
+}
+
+StageShape classify_stage_shape(const cps::Stage& stage,
+                                std::uint64_t num_ranks) {
+  if (stage.pairs.empty() || num_ranks == 0) return StageShape::kEmpty;
+  const std::uint64_t n = num_ranks;
+
+  // Constant shift: the same (dst - src) mod N for every pair.
+  bool constant_shift = true;
+  const std::uint64_t d0 =
+      (stage.pairs.front().dst + n - stage.pairs.front().src) % n;
+  for (const cps::Pair& pr : stage.pairs) {
+    if ((pr.dst + n - pr.src) % n != d0) {
+      constant_shift = false;
+      break;
+    }
+  }
+  if (constant_shift) return StageShape::kConstantShift;
+
+  // Symmetric constant-distance exchange: |dst - src| constant and the
+  // pair set is an involution (grouped-RD / recursive-doubling shape).
+  const cps::Pair& f = stage.pairs.front();
+  const std::uint64_t dist0 = f.dst > f.src ? f.dst - f.src : f.src - f.dst;
+  std::vector<cps::Pair> sorted = stage.pairs;
+  std::sort(sorted.begin(), sorted.end());
+  for (const cps::Pair& pr : stage.pairs) {
+    const std::uint64_t dist =
+        pr.dst > pr.src ? pr.dst - pr.src : pr.src - pr.dst;
+    if (dist != dist0 ||
+        !std::binary_search(sorted.begin(), sorted.end(),
+                            cps::Pair{pr.dst, pr.src}))
+      return StageShape::kIrregular;
+  }
+  return StageShape::kSymmetricExchange;
+}
+
+void lint_fabric(const Fabric& fabric, Diagnostics& diagnostics,
+                 const fault::FaultState* faults) {
   lint_structure(fabric, diagnostics);
   lint_cbb(fabric, diagnostics);
   lint_radix(fabric, diagnostics);
   lint_single_cable(fabric, diagnostics);
   lint_parallel_ports(fabric, diagnostics);
+  if (faults != nullptr) lint_degraded_structure(fabric, *faults, diagnostics);
 }
 
 void lint_ordering(const Fabric& fabric, const order::NodeOrdering& ordering,
@@ -176,41 +251,8 @@ void lint_sequence(const cps::Sequence& sequence, Diagnostics& diagnostics) {
   std::size_t shown = 0;
   std::uint64_t violations = 0;
   for (std::size_t s = 0; s < sequence.stages.size(); ++s) {
-    const cps::Stage& stage = sequence.stages[s];
-    if (stage.pairs.empty() || n == 0) continue;
-
-    // Constant shift: the same (dst - src) mod N for every pair.
-    bool constant_shift = true;
-    const std::uint64_t d0 =
-        (stage.pairs.front().dst + n - stage.pairs.front().src) % n;
-    for (const cps::Pair& pr : stage.pairs) {
-      if ((pr.dst + n - pr.src) % n != d0) {
-        constant_shift = false;
-        break;
-      }
-    }
-
-    // Symmetric constant-distance exchange: |dst - src| constant and the
-    // pair set is an involution (grouped-RD / recursive-doubling shape).
-    bool constant_exchange = true;
-    {
-      const cps::Pair& f = stage.pairs.front();
-      const std::uint64_t dist0 = f.dst > f.src ? f.dst - f.src : f.src - f.dst;
-      std::vector<cps::Pair> sorted = stage.pairs;
-      std::sort(sorted.begin(), sorted.end());
-      for (const cps::Pair& pr : stage.pairs) {
-        const std::uint64_t dist =
-            pr.dst > pr.src ? pr.dst - pr.src : pr.src - pr.dst;
-        if (dist != dist0 ||
-            !std::binary_search(sorted.begin(), sorted.end(),
-                                cps::Pair{pr.dst, pr.src})) {
-          constant_exchange = false;
-          break;
-        }
-      }
-    }
-
-    if (constant_shift || constant_exchange) continue;
+    if (classify_stage_shape(sequence.stages[s], n) != StageShape::kIrregular)
+      continue;
     ++violations;
     if (shown < 4) {
       ++shown;

@@ -20,14 +20,36 @@
 
 #include "check/diagnostics.hpp"
 #include "cps/stage.hpp"
+#include "fault/degraded.hpp"
 #include "ordering/ordering.hpp"
 #include "routing/lft.hpp"
 
 namespace ftcf::check {
 
+/// Shape of a CPS stage in rank space — the Theorem 3 taxonomy. Shared by
+/// lint_sequence and the contention-freedom certifier (check/certify.hpp).
+enum class StageShape : std::uint8_t {
+  kEmpty,              ///< no pairs (nothing to prove)
+  kConstantShift,      ///< same (dst - src) mod N for every pair (Theorems 1-2)
+  kSymmetricExchange,  ///< |dst - src| constant and the pair set an involution
+                       ///< (grouped-RD / recursive-doubling, Theorem 3)
+  kIrregular,          ///< neither: the stage-displacement premise is broken
+};
+
+[[nodiscard]] const char* stage_shape_name(StageShape shape) noexcept;
+
+/// Classify one stage against the displacement premises above.
+[[nodiscard]] StageShape classify_stage_shape(const cps::Stage& stage,
+                                              std::uint64_t num_ranks);
+
 /// Structural premises: PGFT wiring, constant CBB, uniform radix,
-/// single-cable hosts, parallel-port consistency.
-void lint_fabric(const topo::Fabric& fabric, Diagnostics& diagnostics);
+/// single-cable hosts, parallel-port consistency. With a non-pristine
+/// `faults` state the structural rules additionally fire as *notes* on the
+/// degraded wiring (removed cables/switches void the PGFT rule and the CBB
+/// premise on the surviving fabric) — notes never gate, so degraded runs
+/// still exit clean.
+void lint_fabric(const topo::Fabric& fabric, Diagnostics& diagnostics,
+                 const fault::FaultState* faults = nullptr);
 
 /// Node order = RLFT index order (full jobs: rank r on host r; partial jobs:
 /// hosts ascending with rank).

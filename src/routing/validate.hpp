@@ -57,6 +57,13 @@ struct RouteWalk {
 struct CdgVerdict {
   bool acyclic = true;               ///< no dependency cycle: deadlock-free
   std::uint64_t down_up_turns = 0;   ///< dependencies turning up after down
+  /// Virtual lanes the verdict was established over: 1 = the classic
+  /// single-lane CDG; > 1 = `acyclic` means every lane's restricted graph is
+  /// acyclic under a destination-based assignment (check::analyze_cdg_per_vl)
+  /// with `down_up_turns` summed across lanes — the walk cross-check
+  /// invariant (a bad walk turn implies a down->up dependency in the lane of
+  /// the walk's destination) holds for any lane count.
+  std::uint32_t lanes = 1;
 };
 
 /// Full reachability + deadlock-freedom audit of possibly-degraded tables.

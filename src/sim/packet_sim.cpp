@@ -22,6 +22,25 @@ namespace {
 /// Sentinel: this packet has no pending-table entry (non-resilient runs).
 constexpr std::uint32_t kNoPend = std::numeric_limits<std::uint32_t>::max();
 
+/// The single source of truth for per-port credit grants and rates: the
+/// engine initializes itself from this, and PacketSim::buffer_topology()
+/// exposes the same values to static analysis.
+PortBuffer port_buffer(const Fabric& fabric, const Calibration& calib,
+                       PortId pid) {
+  const topo::Port& pt = fabric.port(pid);
+  const topo::Port& peer = fabric.port(pt.peer);
+  const bool to_switch = fabric.node(peer.node).kind == NodeKind::kSwitch;
+  const bool host_side = fabric.node(pt.node).kind == NodeKind::kHost ||
+                         fabric.node(peer.node).kind == NodeKind::kHost;
+  PortBuffer buffer;
+  buffer.finite = to_switch;
+  buffer.credits = to_switch ? calib.input_buffer_packets
+                             : std::numeric_limits<std::uint32_t>::max() / 2;
+  buffer.rate_bytes_per_sec =
+      host_side ? calib.host_bw_bytes_per_sec : calib.link_bw_bytes_per_sec;
+  return buffer;
+}
+
 struct Packet {
   std::uint32_t dst = 0;
   std::uint32_t bytes = 0;
@@ -100,17 +119,9 @@ class Engine {
     max_depth_.assign(ports, 0);
     queues_.resize(ports);
     for (PortId pid = 0; pid < ports; ++pid) {
-      const topo::Port& pt = fabric.port(pid);
-      const topo::Port& peer = fabric.port(pt.peer);
-      const bool to_switch =
-          fabric.node(peer.node).kind == NodeKind::kSwitch;
-      credits_[pid] = to_switch ? calib.input_buffer_packets
-                                : std::numeric_limits<std::uint32_t>::max() / 2;
-      const bool host_side =
-          fabric.node(pt.node).kind == NodeKind::kHost ||
-          fabric.node(peer.node).kind == NodeKind::kHost;
-      rate_.push_back(host_side ? calib.host_bw_bytes_per_sec
-                                : calib.link_bw_bytes_per_sec);
+      const PortBuffer buffer = port_buffer(fabric, calib, pid);
+      credits_[pid] = buffer.credits;
+      rate_.push_back(buffer.rate_bytes_per_sec);
     }
     cursors_.resize(fabric.num_hosts());
     retx_.resize(fabric.num_hosts());
@@ -858,6 +869,14 @@ PacketSim::PacketSim(const Fabric& fabric,
                      const route::ForwardingTables& tables,
                      Calibration calibration)
     : fabric_(&fabric), tables_(&tables), calib_(calibration) {}
+
+std::vector<PortBuffer> PacketSim::buffer_topology() const {
+  std::vector<PortBuffer> out;
+  out.reserve(fabric_->num_ports());
+  for (PortId pid = 0; pid < fabric_->num_ports(); ++pid)
+    out.push_back(port_buffer(*fabric_, calib_, pid));
+  return out;
+}
 
 RunResult PacketSim::run(const std::vector<StageTraffic>& stages,
                          Progression progression, std::uint64_t event_limit) {

@@ -1,0 +1,152 @@
+// Contention-freedom certifier: HSD=1 witnesses for the paper's good
+// configurations, root-cause blame for adversarial orders, void certificates
+// over incomplete tables, and byte-identical JSON at any thread count.
+#include "check/certify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "cps/generators.hpp"
+#include "routing/dmodk.hpp"
+#include "topology/presets.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ftcf::check {
+namespace {
+
+using route::ForwardingTables;
+using topo::Fabric;
+
+bool has_rule(const Diagnostics& diag, const std::string& rule) {
+  return std::any_of(diag.findings().begin(), diag.findings().end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(Certify, TopologyOrderShiftCertifiesOnPaperCluster) {
+  const Fabric fabric(topo::paper_cluster(128));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const auto ordering = order::NodeOrdering::topology(fabric);
+  const auto sequence = cps::shift(fabric.num_hosts());
+
+  const Certificate cert =
+      certify_contention_freedom(fabric, tables, ordering, sequence);
+  EXPECT_TRUE(cert.contention_free);
+  EXPECT_TRUE(cert.blames.empty());
+  EXPECT_EQ(cert.num_ranks, fabric.num_hosts());
+  EXPECT_EQ(cert.stages.size(), sequence.stages.size());
+  for (const StageWitness& witness : cert.stages) {
+    EXPECT_LE(witness.max_hsd, 1u);
+    EXPECT_EQ(witness.shape, StageShape::kConstantShift);
+    EXPECT_EQ(witness.unroutable_flows, 0u);
+    EXPECT_GT(witness.links_loaded, 0u);
+    EXPECT_EQ(witness.num_flows, fabric.num_hosts());
+  }
+
+  Diagnostics diag;
+  report_certificate(cert, diag);
+  EXPECT_TRUE(has_rule(diag, "cert-ok"));
+  EXPECT_EQ(diag.exit_code(/*strict=*/true), 0);
+}
+
+TEST(Certify, AdversarialOrderIsBlamedOnOrderMismatch) {
+  const Fabric fabric(topo::paper_cluster(128));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const auto ordering = order::NodeOrdering::adversarial_ring(fabric);
+  const auto sequence = cps::shift(fabric.num_hosts());
+
+  const Certificate cert =
+      certify_contention_freedom(fabric, tables, ordering, sequence);
+  EXPECT_FALSE(cert.contention_free);
+  ASSERT_FALSE(cert.blames.empty());
+  for (const StageBlame& blame : cert.blames) {
+    EXPECT_GT(blame.max_hsd, 1u);
+    EXPECT_NE(blame.hot_link, topo::kInvalidPort);
+    EXPECT_FALSE(blame.hot_link_name.empty());
+    EXPECT_EQ(blame.blamed_rule, "order-mismatch");
+    // Exactly max_hsd flows collide; the list is capped at
+    // kMaxCollidingShown.
+    EXPECT_EQ(blame.colliding.size(),
+              std::min<std::size_t>(blame.max_hsd, kMaxCollidingShown));
+    EXPECT_EQ(cert.stages[blame.stage].max_hsd, blame.max_hsd);
+  }
+
+  Diagnostics diag;
+  report_certificate(cert, diag);
+  EXPECT_TRUE(has_rule(diag, "hsd-violation"));
+  EXPECT_TRUE(has_rule(diag, "blame-order-mismatch"));
+  EXPECT_EQ(diag.exit_code(), 1);
+}
+
+TEST(Certify, EmptyTablesVoidTheCertificate) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  const ForwardingTables tables(fabric);  // nothing programmed
+  const auto ordering = order::NodeOrdering::topology(fabric);
+  const auto sequence = cps::shift(fabric.num_hosts());
+
+  const Certificate cert =
+      certify_contention_freedom(fabric, tables, ordering, sequence);
+  EXPECT_FALSE(cert.contention_free);
+  EXPECT_TRUE(cert.blames.empty()) << "stranded flows are not collisions";
+  std::uint64_t stranded = 0;
+  for (const StageWitness& witness : cert.stages)
+    stranded += witness.unroutable_flows;
+  EXPECT_GT(stranded, 0u);
+
+  Diagnostics diag;
+  report_certificate(cert, diag);
+  EXPECT_TRUE(has_rule(diag, "hsd-violation"));
+  EXPECT_EQ(diag.exit_code(), 1);
+}
+
+TEST(Certify, RecursiveDoublingWitnessMentionsTheoremThree) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const auto ordering = order::NodeOrdering::topology(fabric);
+  const auto sequence = cps::recursive_doubling(fabric.num_hosts());
+
+  const Certificate cert =
+      certify_contention_freedom(fabric, tables, ordering, sequence);
+  EXPECT_TRUE(cert.contention_free);
+  EXPECT_TRUE(std::any_of(cert.stages.begin(), cert.stages.end(),
+                          [](const StageWitness& w) {
+                            return w.shape == StageShape::kSymmetricExchange;
+                          }));
+
+  Diagnostics diag;
+  report_certificate(cert, diag);
+  const auto it = std::find_if(
+      diag.findings().begin(), diag.findings().end(),
+      [](const Finding& f) { return f.rule == "cert-ok"; });
+  ASSERT_NE(it, diag.findings().end());
+  EXPECT_NE(it->message.find("Theorem 3"), std::string::npos) << it->message;
+}
+
+TEST(Certify, JsonIsByteIdenticalAcrossThreadCounts) {
+  const Fabric fabric(topo::paper_cluster(128));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const auto ordering = order::NodeOrdering::adversarial_ring(fabric);
+  const auto sequence = cps::shift(fabric.num_hosts());
+
+  const auto render = [&](std::uint32_t threads) {
+    const std::uint32_t saved = par::default_threads();
+    par::set_default_threads(threads);
+    const Certificate cert =
+        certify_contention_freedom(fabric, tables, ordering, sequence);
+    par::set_default_threads(saved);
+    std::ostringstream oss;
+    write_certificate_json(oss, cert, {{"tool", "certify_test"}});
+    return oss.str();
+  };
+  const std::string one = render(1);
+  const std::string eight = render(8);
+  EXPECT_EQ(one, eight) << "the certificate must not depend on --threads";
+  EXPECT_NE(one.find("\"contention_free\":false"), std::string::npos);
+  EXPECT_NE(one.find("\"blame\":\"order-mismatch\""), std::string::npos);
+  EXPECT_NE(one.find("\"hot_link\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftcf::check

@@ -128,6 +128,61 @@ TEST(RunCheck, SuppressionsSilenceTheGate) {
   EXPECT_EQ(report.diagnostics.exit_code(/*strict=*/true), 0);
 }
 
+TEST(RunCheck, UnknownSuppressionRulesAreFlaggedOnce) {
+  const Fabric fabric = fig4b();
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  CheckOptions options;
+  options.suppressions = Suppressions::parse_string(
+      "no-such-rule\n"
+      "no-such-rule:somewhere\n"  // same unknown rule: one warning
+      "rlft-cbb\n");              // known: no warning
+  const CheckReport report = run_check(fabric, tables, options);
+  const auto count = std::count_if(
+      report.diagnostics.findings().begin(),
+      report.diagnostics.findings().end(),
+      [](const Finding& f) { return f.rule == "suppress-unknown-rule"; });
+  EXPECT_EQ(count, 1) << "one warning per distinct unknown rule";
+  EXPECT_EQ(report.diagnostics.exit_code(), 0);
+  EXPECT_EQ(report.diagnostics.exit_code(/*strict=*/true), 1);
+}
+
+TEST(RunCheck, DegradedFabricStructureLintsFireAsNotes) {
+  const Fabric fabric = fig4b();
+  const fault::FaultState faults(
+      fabric, fault::parse_faults("switch:S2_0,link:S1_1:4"));
+  const auto tables = route::compute_degraded_dmodk(faults);
+  CheckOptions options;
+  options.faults = &faults;
+  const CheckReport report = run_check(fabric, tables, options);
+  // The degraded wiring no longer satisfies the PGFT structure or the CBB
+  // premise; both are described, at note severity — faults are operating
+  // conditions, not table bugs — so the exit gate stays green.
+  EXPECT_TRUE(has_rule(report.diagnostics, "pgft-structure"));
+  EXPECT_TRUE(has_rule(report.diagnostics, "rlft-cbb"));
+  const auto it = std::find_if(
+      report.diagnostics.findings().begin(),
+      report.diagnostics.findings().end(),
+      [](const Finding& f) { return f.rule == "pgft-structure"; });
+  ASSERT_NE(it, report.diagnostics.findings().end());
+  EXPECT_EQ(it->severity, Severity::kNote);
+  EXPECT_EQ(it->location, "degraded");
+  EXPECT_EQ(report.diagnostics.errors(), 0u);
+  EXPECT_EQ(report.diagnostics.exit_code(), 0);
+}
+
+TEST(RunCheck, RateOnlyFaultsRaiseNoStructureNotes) {
+  const Fabric fabric = fig4b();
+  const fault::FaultState faults(fabric,
+                                 fault::parse_faults("rate:S1_0:4:0.5"));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  CheckOptions options;
+  options.faults = &faults;
+  const CheckReport report = run_check(fabric, tables, options);
+  EXPECT_FALSE(has_rule(report.diagnostics, "pgft-structure"))
+      << "a degraded rate changes no wiring";
+  EXPECT_FALSE(has_rule(report.diagnostics, "rlft-cbb"));
+}
+
 TEST(RunCheck, MetricsRecordTheAnalysis) {
   const Fabric fabric = fig4b();
   const auto tables = route::DModKRouter{}.compute(fabric);

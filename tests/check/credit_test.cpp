@@ -1,0 +1,123 @@
+// Credit-loop prover: the packet simulator's buffer topology, loop-freedom
+// on pristine fabrics, agreement with the link-level CDG (the
+// credit-cdg-mismatch invariant), and a crafted loop detection.
+#include "check/credit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "check/cdg.hpp"
+#include "check/check.hpp"
+#include "routing/dmodk.hpp"
+#include "routing/router.hpp"
+#include "sim/packet_sim.hpp"
+#include "topology/presets.hpp"
+
+namespace ftcf::check {
+namespace {
+
+using route::ForwardingTables;
+using topo::Fabric;
+
+bool has_rule(const Diagnostics& diag, const std::string& rule) {
+  return std::any_of(diag.findings().begin(), diag.findings().end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(Credit, BufferTopologyMarksSwitchInputsFinite) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const std::vector<sim::PortBuffer> buffers =
+      sim::PacketSim(fabric, tables).buffer_topology();
+  ASSERT_EQ(buffers.size(), fabric.num_ports());
+  for (topo::PortId pid = 0; pid < fabric.num_ports(); ++pid) {
+    const topo::PortId peer = fabric.port(pid).peer;
+    if (peer == topo::kInvalidPort) continue;
+    const bool to_switch =
+        fabric.node(fabric.port(peer).node).kind == topo::NodeKind::kSwitch;
+    EXPECT_EQ(buffers[pid].finite, to_switch)
+        << "finite credits iff the receiving endpoint is a switch";
+    EXPECT_GT(buffers[pid].credits, 0u);
+    EXPECT_GT(buffers[pid].rate_bytes_per_sec, 0.0);
+  }
+}
+
+TEST(Credit, PristineFabricsAreLoopFreeAndAgreeWithCdg) {
+  for (const std::uint64_t nodes : {16ull, 128ull, 324ull}) {
+    const Fabric fabric(topo::paper_cluster(nodes));
+    for (const auto kind :
+         {route::RouterKind::kDModK, route::RouterKind::kUpDown}) {
+      const auto tables = route::make_router(kind)->compute(fabric);
+      const std::vector<sim::PortBuffer> buffers =
+          sim::PacketSim(fabric, tables).buffer_topology();
+      const CreditLoopAnalysis credit =
+          analyze_credit_loops(fabric, tables, buffers);
+      EXPECT_TRUE(credit.deadlock_free())
+          << nodes << "-node cluster, " << route::make_router(kind)->name();
+      EXPECT_EQ(credit.host_injection_channels, fabric.num_hosts());
+      EXPECT_GT(credit.num_dependencies, 0u);
+      // Host injection channels have in-degree 0, so the credit verdict
+      // must coincide with the link-level CDG verdict.
+      EXPECT_EQ(credit.acyclic, analyze_cdg(fabric, tables).acyclic);
+    }
+  }
+}
+
+TEST(Credit, CraftedRoutingLoopIsACreditLoop) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  ForwardingTables tables = route::DModKRouter{}.compute(fabric);
+  const topo::NodeId leaf =
+      fabric.port(fabric.port(fabric.port_id(fabric.host_node(0), 0)).peer)
+          .node;
+  tables.set_out_port(leaf, 0, fabric.node(leaf).num_down_ports);
+
+  const std::vector<sim::PortBuffer> buffers =
+      sim::PacketSim(fabric, tables).buffer_topology();
+  const CreditLoopAnalysis credit =
+      analyze_credit_loops(fabric, tables, buffers);
+  EXPECT_FALSE(credit.acyclic);
+  EXPECT_GE(credit.cyclic_scc_count, 1u);
+  EXPECT_FALSE(credit.cycle.empty());
+  // Still agrees with the CDG: both see the cycle, so no mismatch.
+  EXPECT_FALSE(analyze_cdg(fabric, tables).acyclic);
+}
+
+TEST(Credit, RunCheckNeverReportsMismatchOnExampleFabrics) {
+  for (const std::uint64_t nodes : {16ull, 128ull}) {
+    const Fabric fabric(topo::paper_cluster(nodes));
+    const auto tables = route::DModKRouter{}.compute(fabric);
+    CheckOptions options;
+    options.credit_loops = true;
+    const CheckReport report = run_check(fabric, tables, options);
+    ASSERT_TRUE(report.credit.has_value());
+    EXPECT_TRUE(report.credit->acyclic);
+    EXPECT_TRUE(has_rule(report.diagnostics, "credit-loop"));
+    EXPECT_FALSE(has_rule(report.diagnostics, "credit-cdg-mismatch"))
+        << nodes << "-node cluster: prover and CDG must agree";
+    EXPECT_EQ(report.diagnostics.exit_code(/*strict=*/true), 0);
+  }
+}
+
+TEST(Credit, RunCheckReportsACraftedLoopWithoutMismatch) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  ForwardingTables tables = route::DModKRouter{}.compute(fabric);
+  const topo::NodeId leaf =
+      fabric.port(fabric.port(fabric.port_id(fabric.host_node(0), 0)).peer)
+          .node;
+  tables.set_out_port(leaf, 0, fabric.node(leaf).num_down_ports);
+
+  CheckOptions options;
+  options.credit_loops = true;
+  const CheckReport report = run_check(fabric, tables, options);
+  ASSERT_TRUE(report.credit.has_value());
+  EXPECT_FALSE(report.credit->acyclic);
+  EXPECT_TRUE(has_rule(report.diagnostics, "credit-loop"));
+  EXPECT_FALSE(has_rule(report.diagnostics, "credit-cdg-mismatch"))
+      << "both analyses see the crafted cycle";
+  EXPECT_EQ(report.diagnostics.exit_code(), 1);
+}
+
+}  // namespace
+}  // namespace ftcf::check

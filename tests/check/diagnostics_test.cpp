@@ -94,6 +94,78 @@ TEST(Diagnostics, JsonIsDeterministicAndEscaped) {
   EXPECT_LT(a.str().find("\"alpha\""), a.str().find("\"tool\""));
 }
 
+TEST(Diagnostics, SuppressionParsingHandlesPaddingAndComments) {
+  struct Case {
+    const char* text;
+    std::size_t entries;
+    const char* first_rule;
+  };
+  // Trailing comments, blank lines and whitespace padding must all parse to
+  // the same clean entries a tidy file would.
+  const Case cases[] = {
+      {"rlft-cbb  # trailing comment\n", 1, "rlft-cbb"},
+      {"\n\n  \t\nrlft-cbb\n\n", 1, "rlft-cbb"},
+      {"  rlft-cbb  \n", 1, "rlft-cbb"},
+      {"order-mismatch : rank 3 \n", 1, "order-mismatch"},
+      {"\t order-mismatch:rank 3\t# why: legacy racks\n", 1, "order-mismatch"},
+      {"# only a comment\n\n", 0, ""},
+      {"rlft-cbb\nrlft-cbb:level 1\n", 2, "rlft-cbb"},
+  };
+  for (const Case& c : cases) {
+    const Suppressions sup = Suppressions::parse_string(c.text);
+    EXPECT_EQ(sup.size(), c.entries) << '"' << c.text << '"';
+    if (c.entries > 0) {
+      ASSERT_FALSE(sup.rules().empty()) << '"' << c.text << '"';
+      EXPECT_EQ(sup.rules().front(), c.first_rule) << '"' << c.text << '"';
+    }
+  }
+  // Padded location entries still match findings at that location.
+  Diagnostics diag;
+  diag.set_suppressions(Suppressions::parse_string("order-mismatch : rank 3\n"));
+  diag.warning("order-mismatch", "rank 3", "padded entry must match");
+  EXPECT_EQ(diag.suppressed(), 1u);
+  EXPECT_TRUE(diag.findings().empty());
+}
+
+TEST(Diagnostics, KnownRuleCatalogAnswersMembership) {
+  EXPECT_TRUE(is_known_rule("cdg-cycle"));
+  EXPECT_TRUE(is_known_rule("hsd-violation"));
+  EXPECT_TRUE(is_known_rule("cert-ok"));
+  EXPECT_TRUE(is_known_rule("vl-assignment"));
+  EXPECT_TRUE(is_known_rule("credit-cdg-mismatch"));
+  EXPECT_TRUE(is_known_rule("blame-order-mismatch"))
+      << "blame-<rule> cross-references are known iff <rule> is";
+  EXPECT_FALSE(is_known_rule("blame-no-such-rule"));
+  EXPECT_FALSE(is_known_rule("no-such-rule"));
+  EXPECT_FALSE(is_known_rule(""));
+  for (const std::string_view rule : known_rule_ids())
+    EXPECT_TRUE(is_known_rule(rule)) << rule;
+}
+
+TEST(Diagnostics, BaselineRoundTripsThroughParse) {
+  Diagnostics diag;
+  diag.warning("rlft-cbb", "level 1", "w1");
+  diag.warning("order-mismatch", "", "w2");
+  diag.warning("order-mismatch", "", "same entry deduplicated");
+  diag.error("cdg-cycle", "", "e1");
+
+  std::ostringstream oss;
+  write_baseline(diag, oss);
+  const std::string text = oss.str();
+  EXPECT_NE(text.find("# suppression baseline"), std::string::npos) << text;
+  EXPECT_NE(text.find("rlft-cbb:level 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("order-mismatch"), std::string::npos) << text;
+
+  // A fresh run with the written baseline suppresses the same findings.
+  Diagnostics again;
+  again.set_suppressions(Suppressions::parse_string(text));
+  again.warning("rlft-cbb", "level 1", "w1");
+  again.warning("order-mismatch", "", "w2");
+  again.error("cdg-cycle", "", "e1");
+  EXPECT_EQ(again.suppressed(), 3u);
+  EXPECT_EQ(again.exit_code(/*strict=*/true), 0);
+}
+
 TEST(Diagnostics, SuppressedFindingsLeaveJsonSummaryHonest) {
   Diagnostics diag;
   diag.set_suppressions(Suppressions::parse_string("rlft-cbb\n"));

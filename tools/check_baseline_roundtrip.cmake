@@ -1,0 +1,31 @@
+# Suppression-baseline round trip: a config with warnings fails --strict,
+# --write-baseline captures them, and rerunning with --suppress on that
+# baseline passes --strict (exit 0).
+if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "check_baseline_roundtrip.cmake needs -DTOOL= and -DOUT_DIR=")
+endif()
+set(baseline "${OUT_DIR}/check_baseline.sup")
+# --order random trips order-mismatch (a warning), so --strict exits 1.
+execute_process(
+  COMMAND ${TOOL} check --nodes 16 --order random --strict
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "pre-baseline strict run expected exit 1, got ${rc}")
+endif()
+execute_process(
+  COMMAND ${TOOL} check --nodes 16 --order random --write-baseline ${baseline}
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--write-baseline run exited ${rc}")
+endif()
+execute_process(
+  COMMAND ${TOOL} check --nodes 16 --order random --suppress ${baseline}
+          --strict
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "baselined strict run expected exit 0, got ${rc}:\n${stdout}")
+endif()

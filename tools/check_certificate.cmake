@@ -1,0 +1,53 @@
+# Acceptance pin for the contention-freedom certifier on the 3-level
+# 648-node RLFT (PGFT(3; 6,6,18; 1,6,6; 1,1,1)):
+#   * D-Mod-K + topology order + Shift CPS certifies (exit 0, cert-ok,
+#     contention_free:true) and the certificate JSON is byte-identical
+#     between --threads 1 and --threads 8;
+#   * the adversarial order is rejected (exit 1) with an hsd-violation
+#     naming the hot link and a blame-order-mismatch cross-reference.
+if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "check_certificate.cmake needs -DTOOL= and -DOUT_DIR=")
+endif()
+set(spec "PGFT(3\; 6,6,18\; 1,6,6\; 1,1,1)")
+set(one "${OUT_DIR}/cert_t1.json")
+set(eight "${OUT_DIR}/cert_t8.json")
+foreach(pair "1;${one}" "8;${eight}")
+  list(GET pair 0 threads)
+  list(GET pair 1 out)
+  execute_process(
+    COMMAND ${TOOL} check --spec ${spec} --order topology --cps shift
+            --certify --cert-out ${out} --threads ${threads}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "certify --threads ${threads} exited ${rc}:\n${stdout}")
+  endif()
+  if(NOT stdout MATCHES "cert-ok")
+    message(FATAL_ERROR "certify run did not emit cert-ok:\n${stdout}")
+  endif()
+endforeach()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${one} ${eight}
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "certificate JSON differs between --threads 1 and --threads 8")
+endif()
+file(READ ${one} cert)
+if(NOT cert MATCHES "\"contention_free\":true")
+  message(FATAL_ERROR "certificate not contention_free:true:\n${cert}")
+endif()
+
+execute_process(
+  COMMAND ${TOOL} check --spec ${spec} --order adversarial --cps shift
+          --certify
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "adversarial certify expected exit 1, got ${rc}")
+endif()
+if(NOT stdout MATCHES "hsd-violation")
+  message(FATAL_ERROR "adversarial run missing hsd-violation:\n${stdout}")
+endif()
+if(NOT stdout MATCHES "blame-order-mismatch")
+  message(FATAL_ERROR "adversarial run missing blame-order-mismatch:\n${stdout}")
+endif()

@@ -378,8 +378,9 @@ int cmd_inject(int argc, const char* const* argv) {
 
 int cmd_check(int argc, const char* const* argv) {
   util::Cli cli("ftcf_tool check",
-                "static analysis: CDG deadlock proof, walk cross-check and "
-                "RLFT/theorem-precondition lints");
+                "static analysis: CDG deadlock proof, walk cross-check, "
+                "RLFT/theorem-precondition lints, contention-freedom "
+                "certificates, per-VL and credit-loop provers");
   add_fabric_options(cli);
   cli.add_option("router", "dmodk|ftree|updown|random", "dmodk");
   cli.add_option("seed", "random-router seed", "1");
@@ -390,6 +391,15 @@ int cmd_check(int argc, const char* const* argv) {
   cli.add_option("cps", "also lint a CPS (see hsd; '' = skip)", "");
   cli.add_option("suppress", "suppression/baseline file (rule[:location])", "");
   cli.add_option("json", "deterministic JSON report file ('-' = skip)", "-");
+  cli.add_flag("certify", "emit a per-stage HSD=1 certificate or root-cause "
+               "blame (requires --order and --cps)");
+  cli.add_option("cert-out", "certificate JSON file ('-' = skip)", "-");
+  cli.add_option("vls", "propose a virtual-lane assignment of at most N "
+                 "lanes whose per-lane CDGs are acyclic (0 = off)", "0");
+  cli.add_flag("credit-loops", "prove the packet simulator's credit "
+               "flow-control graph loop-free, cross-checked against the CDG");
+  cli.add_option("write-baseline", "write a suppression baseline covering "
+                 "the current findings ('-' = skip)", "-");
   cli.add_flag("strict", "treat warnings as failures (exit 1)");
   cli.add_flag("profile", "time analysis phases, report at exit");
   if (!cli.parse(argc, argv)) return 0;
@@ -436,6 +446,11 @@ int cmd_check(int argc, const char* const* argv) {
                         "'");
     options.suppressions = check::Suppressions::parse(is);
   }
+  options.certify = cli.flag("certify");
+  if (options.certify && (!ordering || !sequence))
+    throw util::Error("--certify requires --order and --cps");
+  options.propose_vls = static_cast<std::uint32_t>(cli.uinteger("vls"));
+  options.credit_loops = cli.flag("credit-loops");
 
   const check::CheckReport report = check::run_check(fabric, tables, options);
 
@@ -446,6 +461,47 @@ int cmd_check(int argc, const char* const* argv) {
             << (report.cdg.acyclic ? "acyclic (deadlock-free)"
                                    : "CYCLIC (deadlock hazard)")
             << '\n';
+  if (report.certificate) {
+    const check::Certificate& cert = *report.certificate;
+    std::cout << "certificate: "
+              << (cert.contention_free ? "contention-free" : "VOID") << ", "
+              << cert.stages.size() << " stage(s), " << cert.blames.size()
+              << " violation(s)\n";
+  }
+  if (report.vl)
+    std::cout << "VL: " << check::vl_assignment_to_string(report.vl->assignment)
+              << (report.vl->analysis.all_acyclic() ? " [all lanes acyclic]"
+                                                    : " [CYCLIC lane]")
+              << '\n';
+  if (report.credit)
+    std::cout << "credit: " << report.credit->num_dependencies
+              << " buffer dependencies over "
+              << report.credit->num_buffered_channels
+              << " finite-buffered channels, "
+              << (report.credit->acyclic ? "loop-free" : "LOOPED") << '\n';
+  if (report.certificate && cli.str("cert-out") != "-") {
+    std::ofstream os(cli.str("cert-out"));
+    if (!os)
+      throw util::Error("cannot open certificate file '" +
+                        cli.str("cert-out") + "'");
+    // Content-only meta, like the JSON report: byte-identical per --threads.
+    check::write_certificate_json(
+        os, *report.certificate,
+        {{"tool", "ftcf_tool check"},
+         {"topology", fabric.spec().to_string()},
+         {"router", lft_file.empty() ? cli.str("router") : "lft:" + lft_file},
+         {"order", cli.str("order")},
+         {"cps", cli.str("cps")}});
+    std::cout << "wrote " << cli.str("cert-out") << '\n';
+  }
+  if (cli.str("write-baseline") != "-") {
+    std::ofstream os(cli.str("write-baseline"));
+    if (!os)
+      throw util::Error("cannot open baseline file '" +
+                        cli.str("write-baseline") + "'");
+    check::write_baseline(report.diagnostics, os);
+    std::cout << "wrote " << cli.str("write-baseline") << '\n';
+  }
   if (cli.str("json") != "-") {
     std::ofstream os(cli.str("json"));
     if (!os)
