@@ -168,6 +168,16 @@ void record_metrics(obs::MetricsRegistry& metrics, const CheckReport& report) {
     metrics.counter("check.cert.violations")
         .inc(report.certificate->blames.size());
   }
+  if (report.telemetry) {
+    metrics.counter("check.telemetry.stages")
+        .inc(report.telemetry->stages.size());
+    metrics.counter("check.telemetry.mismatches")
+        .inc(report.telemetry->mismatches);
+    metrics.counter("check.telemetry.inconclusive")
+        .inc(report.telemetry->inconclusive);
+    metrics.gauge("check.telemetry.consistent")
+        .set(report.telemetry->consistent() ? 1.0 : 0.0);
+  }
   if (report.vl) {
     metrics.gauge("check.vl.lanes").set(report.vl->assignment.num_lanes);
     metrics.gauge("check.vl.acyclic")
@@ -216,6 +226,15 @@ CheckReport run_check(const topo::Fabric& fabric,
     report.certificate = certify_contention_freedom(
         fabric, tables, *options.ordering, *options.sequence);
     report_certificate(*report.certificate, report.diagnostics);
+  }
+
+  if (options.replay_telemetry) {
+    util::expects(report.certificate.has_value(),
+                  "telemetry replay needs a certificate (--certify)");
+    report.telemetry = replay_certificate_telemetry(
+        fabric, tables, *options.ordering, *options.sequence,
+        *report.certificate, options.replay);
+    report_telemetry_replay(*report.telemetry, report.diagnostics);
   }
 
   if (options.propose_vls > 0) {

@@ -27,6 +27,7 @@
 #include "check/credit.hpp"
 #include "check/diagnostics.hpp"
 #include "check/lint.hpp"
+#include "check/replay.hpp"
 #include "check/vl.hpp"
 #include "fault/degraded.hpp"
 #include "obs/metrics.hpp"
@@ -51,6 +52,13 @@ struct CheckOptions {
   /// Run the contention-freedom certifier (requires `ordering` and
   /// `sequence`; rules cert-ok / hsd-violation / blame-<rule>).
   bool certify = false;
+  /// Re-simulate a deterministic sample of the certified stages through
+  /// sim::PacketSim and compare the per-link telemetry against the static
+  /// witnesses (requires `certify`; rules cert-telemetry-ok /
+  /// cert-telemetry-mismatch).
+  bool replay_telemetry = false;
+  /// Stage-sample size and message size for the telemetry replay.
+  TelemetryReplayOptions replay;
   /// > 0: search for a destination->VL assignment with at most this many
   /// lanes whose per-lane dependency graphs are all acyclic (rules
   /// vl-assignment / vl-cycle).
@@ -75,6 +83,8 @@ struct CheckReport {
   route::LftAudit walk;
   /// Present when CheckOptions::certify was set (with ordering + sequence).
   std::optional<Certificate> certificate;
+  /// Present when CheckOptions::replay_telemetry was set (with certify).
+  std::optional<TelemetryReplay> telemetry;
   /// Present when CheckOptions::propose_vls > 0.
   std::optional<VlProposal> vl;
   /// Present when CheckOptions::credit_loops was set.

@@ -186,6 +186,8 @@ std::span<const std::string_view> known_rule_ids() noexcept {
       "cdg-cycle",
       "cdg-walk-mismatch",
       "cert-ok",
+      "cert-telemetry-mismatch",
+      "cert-telemetry-ok",
       "cps-displacement",
       "credit-cdg-mismatch",
       "credit-loop",

@@ -1,0 +1,166 @@
+#include "check/replay.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+#include "obs/heatmap.hpp"
+#include "obs/sim_hooks.hpp"
+#include "obs/trace.hpp"
+#include "sim/packet_sim.hpp"
+#include "sim/traffic.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ftcf::check {
+
+namespace {
+
+/// Stages worth replaying: loaded (num_flows > 0) and fully routable. A
+/// stage with stranded flows cannot run through the packet simulator (it
+/// would never drain), and an empty stage has nothing to compare.
+bool replayable(const StageWitness& witness) noexcept {
+  return witness.num_flows > 0 && witness.unroutable_flows == 0;
+}
+
+/// Deterministic stage sample: every blamed (routable) stage, plus evenly
+/// spaced loaded stages up to `max_stages`. Sorted ascending, no duplicates —
+/// a pure function of the certificate, never of the thread count.
+std::vector<std::size_t> sample_stages(const Certificate& certificate,
+                                       std::size_t max_stages) {
+  std::vector<std::size_t> loaded;
+  for (std::size_t s = 0; s < certificate.stages.size(); ++s)
+    if (replayable(certificate.stages[s])) loaded.push_back(s);
+
+  std::vector<std::size_t> picked;
+  if (max_stages == 0 || loaded.size() <= max_stages) {
+    picked = loaded;
+  } else if (max_stages == 1) {
+    picked.push_back(loaded.front());
+  } else {
+    for (std::size_t i = 0; i < max_stages; ++i)
+      picked.push_back(loaded[i * (loaded.size() - 1) / (max_stages - 1)]);
+  }
+  for (const StageBlame& blame : certificate.blames)
+    if (blame.stage < certificate.stages.size() &&
+        replayable(certificate.stages[blame.stage]))
+      picked.push_back(blame.stage);
+
+  std::sort(picked.begin(), picked.end());
+  picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
+  return picked;
+}
+
+}  // namespace
+
+TelemetryReplay replay_certificate_telemetry(
+    const topo::Fabric& fabric, const route::ForwardingTables& tables,
+    const order::NodeOrdering& ordering, const cps::Sequence& sequence,
+    const Certificate& certificate, const TelemetryReplayOptions& options) {
+  TelemetryReplay out;
+  const std::vector<std::size_t> subset =
+      sample_stages(certificate, options.max_stages);
+  if (subset.empty()) return out;
+
+  const std::vector<sim::StageTraffic> traffic = sim::traffic_from_cps(
+      sequence, ordering, fabric.num_hosts(), options.bytes, &subset);
+
+  // One private trace shard per sampled stage (shard i <- task i, per the
+  // ShardedTraceRecorder contract), sized so a single-stage replay on a
+  // full-bisection fabric never drops: ~one packet per flow, a handful of
+  // events per hop.
+  const std::size_t per_shard = std::max<std::size_t>(
+      std::size_t{1} << 16, fabric.num_hosts() * 64);
+  obs::ShardedTraceRecorder shards(subset.size(), per_shard);
+  out.stages.resize(subset.size());
+
+  par::parallel_for(
+      subset.size(),
+      [&](std::size_t i, std::uint32_t /*worker*/) {
+        obs::TraceRecorder& shard = shards.shard(i);
+        obs::SimObserver observer;
+        observer.trace = &shard;
+        observer.sample_period_ns = 0;  // spans only; no sampling noise
+
+        sim::PacketSim psim(fabric, tables);
+        psim.set_observer(observer);
+        (void)psim.run({traffic[i]}, sim::Progression::kSynchronized);
+
+        // The replayed stage is positionally stage 0 of its one-stage run.
+        obs::ContentionHeatmap heatmap;
+        heatmap.ingest(shard);
+
+        StageReplay& replayed = out.stages[i];
+        replayed.stage = subset[i];
+        replayed.static_max_hsd = certificate.stages[subset[i]].max_hsd;
+        replayed.dynamic_max_flows = heatmap.max_flows_in_stage(0);
+        replayed.dropped_events = shard.dropped();
+        replayed.match = replayed.dropped_events == 0 &&
+                         replayed.dynamic_max_flows == replayed.static_max_hsd;
+      },
+      par::ForOptions{.threads = 0, .grain = 1, .label = "check.replay"});
+
+  for (const StageReplay& replayed : out.stages) {
+    if (replayed.dropped_events > 0) {
+      ++out.inconclusive;
+      continue;
+    }
+    if (!replayed.match) ++out.mismatches;
+    if (replayed.match && replayed.static_max_hsd > 1)
+      ++out.contended_confirmed;
+  }
+  return out;
+}
+
+void report_telemetry_replay(const TelemetryReplay& replay,
+                             Diagnostics& diagnostics) {
+  if (replay.stages.empty()) return;
+
+  if (replay.consistent()) {
+    const std::uint64_t conclusive =
+        replay.stages.size() - replay.inconclusive;
+    std::string message =
+        "telemetry replay: " + std::to_string(conclusive) +
+        " stage(s) re-simulated, dynamic per-link flow maxima match the "
+        "static witnesses";
+    if (replay.contended_confirmed > 0)
+      message += "; " + std::to_string(replay.contended_confirmed) +
+                 " contended stage(s) confirmed dynamically";
+    if (replay.inconclusive > 0) {
+      message += "; " + std::to_string(replay.inconclusive) +
+                 " stage(s) inconclusive (trace truncated)";
+      diagnostics.warning("cert-telemetry-ok", "", std::move(message));
+    } else {
+      diagnostics.note("cert-telemetry-ok", "", std::move(message));
+    }
+    return;
+  }
+
+  constexpr std::uint64_t kMaxReported = 4;
+  std::uint64_t reported = 0;
+  for (const StageReplay& replayed : replay.stages) {
+    if (replayed.dropped_events > 0 || replayed.match) continue;
+    if (reported == kMaxReported) {
+      diagnostics.error(
+          "cert-telemetry-mismatch", "",
+          "and " + std::to_string(replay.mismatches - kMaxReported) +
+              " more mismatching stage(s)");
+      break;
+    }
+    ++reported;
+    diagnostics.error(
+        "cert-telemetry-mismatch", "stage " + std::to_string(replayed.stage),
+        "replayed telemetry saw max " +
+            std::to_string(replayed.dynamic_max_flows) +
+            " concurrent flow(s) on a link, certificate proves max HSD " +
+            std::to_string(replayed.static_max_hsd) +
+            " — the simulator and the static certifier disagree about these "
+            "routing tables");
+  }
+  if (replay.inconclusive > 0)
+    diagnostics.warning("cert-telemetry-mismatch", "",
+                        std::to_string(replay.inconclusive) +
+                            " replayed stage(s) inconclusive (trace "
+                            "truncated; raise the replay trace capacity)");
+}
+
+}  // namespace ftcf::check

@@ -1,0 +1,75 @@
+// Obs <-> check cross-validation: the dynamic witness for the static
+// certificate.
+//
+// The certifier (check/certify.hpp) *proves* per-stage HSD statically by
+// walking routes. This module re-simulates a sample of the certified stages
+// through sim::PacketSim with a trace recorder attached and extracts, from
+// the telemetry alone, the maximum number of distinct messages that crossed
+// any directed link during the stage. For deterministic single-path routing
+// with every packet delivered, that count must equal the stage witness's
+// max_hsd exactly — on clean stages (both 1) and on violating stages (both
+// the contended count). Any divergence means the simulator and the static
+// analyzer disagree about what the routing tables do, which is a bug in one
+// of them — surfaced as the `cert-telemetry-mismatch` error. Agreement earns
+// the `cert-telemetry-ok` note.
+//
+// Stages replay in parallel (one ftcf::par task per sampled stage, one
+// private trace shard per stage), and stages are sampled deterministically
+// (evenly spaced over the loaded stages, plus every blamed stage), so the
+// outcome is byte-identical at any --threads count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "check/certify.hpp"
+#include "check/diagnostics.hpp"
+#include "cps/stage.hpp"
+#include "ordering/ordering.hpp"
+#include "routing/lft.hpp"
+#include "topology/fabric.hpp"
+
+namespace ftcf::check {
+
+struct TelemetryReplayOptions {
+  /// Replay at most this many evenly spaced loaded stages (blamed stages are
+  /// always added on top). 0 disables sampling-by-count (replay everything).
+  std::size_t max_stages = 6;
+  /// Bytes per stage message; keep at/below the MTU so one message is one
+  /// packet and the flow count is exact.
+  std::uint64_t bytes = 2048;
+};
+
+/// Verdict for one replayed stage.
+struct StageReplay {
+  std::size_t stage = 0;             ///< CPS stage index
+  std::uint32_t static_max_hsd = 0;  ///< StageWitness::max_hsd
+  std::uint64_t dynamic_max_flows = 0;  ///< max distinct msgs on any link
+  std::uint64_t dropped_events = 0;  ///< > 0: trace truncated, inconclusive
+  bool match = false;                ///< dynamic == static (and conclusive)
+};
+
+struct TelemetryReplay {
+  std::vector<StageReplay> stages;  ///< ascending stage order
+  std::uint64_t mismatches = 0;     ///< conclusive stages that disagree
+  std::uint64_t inconclusive = 0;   ///< truncated-trace stages
+  std::uint64_t contended_confirmed = 0;  ///< blamed stages seen contended
+  [[nodiscard]] bool consistent() const noexcept { return mismatches == 0; }
+};
+
+/// Re-simulate a deterministic sample of the certificate's stages and compare
+/// per-link concurrent-flow maxima against the static witnesses.
+[[nodiscard]] TelemetryReplay replay_certificate_telemetry(
+    const topo::Fabric& fabric, const route::ForwardingTables& tables,
+    const order::NodeOrdering& ordering, const cps::Sequence& sequence,
+    const Certificate& certificate, const TelemetryReplayOptions& options = {});
+
+/// Map the replay onto the diagnostics engine: `cert-telemetry-ok` note when
+/// every conclusive stage matches (warning instead when stages were
+/// inconclusive), one `cert-telemetry-mismatch` error per disagreeing stage
+/// (capped).
+void report_telemetry_replay(const TelemetryReplay& replay,
+                             Diagnostics& diagnostics);
+
+}  // namespace ftcf::check

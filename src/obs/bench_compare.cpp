@@ -1,0 +1,301 @@
+#include "obs/bench_compare.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/parse.hpp"
+
+namespace ftcf::obs {
+
+namespace {
+
+/// Minimal recursive-descent JSON reader, sized for the MetricsRegistry
+/// export: objects/arrays/strings/numbers/true/false/null, no comments, no
+/// trailing commas. Values outside the sections the caller cares about are
+/// parsed and discarded (structure still validated).
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  void skip_ws() noexcept {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) noexcept {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Parse a JSON string (after ws); decodes the simple escapes the
+  /// registry writer emits; \uXXXX decodes as ASCII when it fits, '?' else.
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          std::uint32_t hex = 0;
+          for (std::size_t i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + i];
+            std::uint32_t digit = 0;
+            if (h >= '0' && h <= '9') digit = static_cast<std::uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              digit = static_cast<std::uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              digit = static_cast<std::uint32_t>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+            hex = hex * 16 + digit;
+          }
+          pos_ += 4;
+          out.push_back(hex < 0x80 ? static_cast<char>(hex) : '?');
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  /// Parse a number or the null literal; null -> NaN (the writer encodes
+  /// NaN gauges as null).
+  double parse_number_or_null() {
+    skip_ws();
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const auto v = util::parse_f64(text_.substr(start, pos_ - start));
+    if (!v) fail("expected a number");
+    return *v;
+  }
+
+  /// Parse and discard any JSON value.
+  void skip_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      ++pos_;
+      if (consume('}')) return;
+      do {
+        skip_ws();
+        (void)parse_string();
+        expect(':');
+        skip_value();
+      } while (consume(','));
+      expect('}');
+    } else if (c == '[') {
+      ++pos_;
+      if (consume(']')) return;
+      do skip_value();
+      while (consume(','));
+      expect(']');
+    } else if (c == '"') {
+      (void)parse_string();
+    } else if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+    } else {
+      (void)parse_number_or_null();
+    }
+  }
+
+  /// Walk an object, calling fn(key) positioned at each value; fn must
+  /// consume the value.
+  template <typename Fn>
+  void parse_object(Fn&& fn) {
+    expect('{');
+    if (consume('}')) return;
+    do {
+      skip_ws();
+      std::string key = parse_string();
+      expect(':');
+      fn(key);
+    } while (consume(','));
+    expect('}');
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw util::ParseError("bench json: " + what + " at byte " +
+                           std::to_string(pos_));
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+constexpr std::string_view kLowerBetterPrefix = "ns_per_op.";
+constexpr std::string_view kHigherBetterPrefix = "items_per_second.";
+
+bool has_prefix(std::string_view name, std::string_view prefix) noexcept {
+  return name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool perf_gauge(std::string_view name) noexcept {
+  return has_prefix(name, kLowerBetterPrefix) ||
+         has_prefix(name, kHigherBetterPrefix);
+}
+
+void print_percent(std::ostream& os, double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", fraction * 100.0);
+  os << buf;
+}
+
+void print_value(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  os << buf;
+}
+
+}  // namespace
+
+BenchSample parse_bench_json(std::string_view text) {
+  BenchSample out;
+  JsonCursor cur(text);
+  cur.parse_object([&](const std::string& section) {
+    if (section == "meta") {
+      cur.parse_object(
+          [&](const std::string& key) { out.meta[key] = cur.parse_string(); });
+    } else if (section == "counters") {
+      cur.parse_object([&](const std::string& key) {
+        const double v = cur.parse_number_or_null();
+        out.counters[key] =
+            std::isfinite(v) && v >= 0 ? static_cast<std::uint64_t>(v) : 0;
+      });
+    } else if (section == "gauges") {
+      cur.parse_object([&](const std::string& key) {
+        out.gauges[key] = cur.parse_number_or_null();
+      });
+    } else {
+      cur.skip_value();
+    }
+  });
+  cur.skip_ws();
+  return out;
+}
+
+BenchSample parse_bench_json(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+  return parse_bench_json(text);
+}
+
+BenchComparison compare_bench(const BenchSample& baseline,
+                              const BenchSample& current, double threshold) {
+  BenchComparison cmp;
+  cmp.threshold = threshold;
+  for (const auto& [name, base] : baseline.gauges) {
+    if (!perf_gauge(name)) continue;
+    const auto it = current.gauges.find(name);
+    if (it == current.gauges.end()) {
+      cmp.missing.push_back(name);
+      continue;
+    }
+    const double cur = it->second;
+    if (!std::isfinite(base) || !std::isfinite(cur) || base <= 0 || cur <= 0)
+      continue;
+    BenchDelta delta;
+    delta.name = name;
+    delta.baseline = base;
+    delta.current = cur;
+    delta.higher_better = has_prefix(name, kHigherBetterPrefix);
+    delta.regression =
+        delta.higher_better ? base / cur - 1.0 : cur / base - 1.0;
+    delta.regressed = delta.regression > threshold;
+    cmp.deltas.push_back(std::move(delta));
+  }
+  for (const auto& [name, cur] : current.gauges) {
+    (void)cur;
+    if (!perf_gauge(name)) continue;
+    if (baseline.gauges.find(name) == baseline.gauges.end())
+      cmp.added.push_back(name);
+  }
+  return cmp;
+}
+
+void write_bench_diff_text(std::ostream& os, const BenchComparison& cmp) {
+  for (const BenchDelta& d : cmp.deltas) {
+    os << d.name << ": ";
+    print_value(os, d.baseline);
+    os << " -> ";
+    print_value(os, d.current);
+    // Signed change of the raw gauge value; the regressed flag already folds
+    // in which direction is good for this gauge.
+    os << " (";
+    print_percent(os, d.current / d.baseline - 1.0);
+    os << ")";
+    if (d.regressed) {
+      os << "  REGRESSION (>";
+      print_value(os, cmp.threshold * 100.0);
+      os << "%)";
+    }
+    os << '\n';
+  }
+  for (const std::string& name : cmp.missing)
+    os << name << ": present in baseline, missing from current run\n";
+  for (const std::string& name : cmp.added)
+    os << name << ": new case (no baseline)\n";
+  os << "bench diff: " << cmp.deltas.size() << " case(s) compared, "
+     << cmp.regressions() << " regression(s) beyond ";
+  print_value(os, cmp.threshold * 100.0);
+  os << "%, " << cmp.missing.size() << " missing, " << cmp.added.size()
+     << " new\n";
+}
+
+}  // namespace ftcf::obs

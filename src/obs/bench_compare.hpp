@@ -1,0 +1,77 @@
+// Bench regression tracking: parse and diff the BENCH_*.json artifacts the
+// micro-benchmark harness exports (bench/micro_perf.cpp writes a
+// MetricsRegistry JSON document; see FTCF_BENCH_JSON).
+//
+// parse_bench_json is a minimal recursive-descent reader for exactly that
+// document shape — top-level "meta" / "counters" / "gauges" objects; every
+// other section is skipped structurally. compare_bench pairs up the
+// performance gauges by name and direction:
+//   * `ns_per_op.<case>`          — lower is better,
+//   * `items_per_second.<case>`   — higher is better (event/table rates),
+// and flags any case whose regression fraction exceeds the threshold
+// (default 15%). The text rendering is deterministic (name-sorted), so the
+// `tools/bench_diff` CLI built on top has a stable exit-code and output
+// contract for CI.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftcf::obs {
+
+/// One parsed BENCH_*.json document (the sections bench diffing needs).
+struct BenchSample {
+  std::map<std::string, std::string> meta;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;  ///< NaN for JSON null (skipped)
+};
+
+/// Parse a MetricsRegistry JSON export. Throws util::ParseError (with byte
+/// offset context) on malformed input.
+[[nodiscard]] BenchSample parse_bench_json(std::string_view text);
+[[nodiscard]] BenchSample parse_bench_json(std::istream& is);
+
+/// One benchmark case present in both samples.
+struct BenchDelta {
+  std::string name;          ///< full gauge name (with direction prefix)
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Regression fraction: > 0 means worse than baseline (slower ns/op or
+  /// fewer items/s), < 0 means improved. 0.10 = 10% worse.
+  double regression = 0.0;
+  bool higher_better = false;
+  bool regressed = false;  ///< regression > threshold
+};
+
+struct BenchComparison {
+  double threshold = 0.15;          ///< regression fraction that fails
+  std::vector<BenchDelta> deltas;   ///< name-sorted comparable cases
+  std::vector<std::string> missing;  ///< in baseline, absent from current
+  std::vector<std::string> added;    ///< in current, absent from baseline
+
+  [[nodiscard]] std::size_t regressions() const noexcept {
+    std::size_t n = 0;
+    for (const BenchDelta& d : deltas) n += d.regressed ? 1 : 0;
+    return n;
+  }
+  [[nodiscard]] bool regressed() const noexcept { return regressions() > 0; }
+};
+
+/// Pair the performance gauges of two samples and flag regressions beyond
+/// `threshold` (a fraction; 0.15 = 15%). Gauges without a recognized
+/// direction prefix, and cases with non-finite or non-positive values on
+/// either side, are ignored.
+[[nodiscard]] BenchComparison compare_bench(const BenchSample& baseline,
+                                            const BenchSample& current,
+                                            double threshold = 0.15);
+
+/// Render the comparison as deterministic human-readable text: one line per
+/// case ("name: base -> cur (+x.x%) REGRESSION"), then missing/added cases,
+/// then a summary line.
+void write_bench_diff_text(std::ostream& os, const BenchComparison& cmp);
+
+}  // namespace ftcf::obs

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "obs/heatmap.hpp"
 #include "obs/profile.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -17,6 +18,10 @@ void ObsCli::add_options(util::Cli& cli) {
                  "N and counts drops)",
                  std::to_string(TraceRecorder::kDefaultCapacity));
   cli.add_option("metrics", "write the metrics-registry JSON ('' = off)", "");
+  cli.add_option("heatmap",
+                 "write the per-link/per-stage/per-VL contention heatmap "
+                 "JSON ('' = off)",
+                 "");
   cli.add_option("sample-us",
                  "link-utilization/queue sampling period (sim microseconds)",
                  "10");
@@ -27,8 +32,10 @@ ObsCli::ObsCli(const util::Cli& cli)
     : trace_path_(cli.str("trace")),
       trace_csv_path_(cli.str("trace-csv")),
       metrics_path_(cli.str("metrics")),
+      heatmap_path_(cli.str("heatmap")),
       profile_(cli.flag("profile")) {
-  if (!trace_path_.empty() || !trace_csv_path_.empty())
+  if (!trace_path_.empty() || !trace_csv_path_.empty() ||
+      !heatmap_path_.empty())
     trace_ = std::make_unique<TraceRecorder>(
         static_cast<std::size_t>(cli.uinteger("trace-cap")));
   if (!metrics_path_.empty()) metrics_ = std::make_unique<MetricsRegistry>();
@@ -59,6 +66,20 @@ void ObsCli::finish(const TraceNaming& naming) {
     write_file(trace_csv_path_,
                [&](std::ostream& os) { write_trace_csv(*trace_, os); });
     util::log_info("wrote trace CSV ", trace_csv_path_);
+  }
+  if (trace_ && !heatmap_path_.empty()) {
+    ContentionHeatmap heatmap;
+    heatmap.ingest(*trace_);
+    if (trace_->dropped() > 0) {
+      util::log_warn("heatmap built from a truncated trace (",
+                     trace_->dropped(),
+                     " dropped events) — raise --trace-cap for full coverage");
+    }
+    write_file(heatmap_path_, [&](std::ostream& os) {
+      write_heatmap_json(os, heatmap, heatmap_meta_);
+    });
+    util::log_info("wrote heatmap ", heatmap_path_, " (",
+                   heatmap.cells().size(), " cells)");
   }
   if (metrics_ && !metrics_path_.empty()) {
     write_file(metrics_path_,

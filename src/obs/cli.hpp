@@ -14,6 +14,7 @@
 // single-configuration invocation when capturing a trace to inspect.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 
@@ -24,12 +25,13 @@ namespace ftcf::obs {
 
 class ObsCli {
  public:
-  /// Declare --trace, --trace-csv, --trace-cap, --metrics, --sample-us and
-  /// --profile.
+  /// Declare --trace, --trace-csv, --trace-cap, --metrics, --heatmap,
+  /// --sample-us and --profile.
   static void add_options(util::Cli& cli);
 
   /// Read the parsed options; allocates only what was asked for and enables
-  /// the profiler when --profile was given.
+  /// the profiler when --profile was given. --heatmap implies an event
+  /// recorder even without --trace/--trace-csv.
   explicit ObsCli(const util::Cli& cli);
 
   [[nodiscard]] const SimObserver& observer() const noexcept { return obs_; }
@@ -37,6 +39,18 @@ class ObsCli {
     return obs_.active() || profile_;
   }
   [[nodiscard]] MetricsRegistry* metrics() noexcept { return metrics_.get(); }
+
+  /// Attach a destination-host -> VL table for per-VL event tagging; the
+  /// table must outlive the simulator runs.
+  void set_vl_table(const std::vector<std::uint32_t>* vl_of_dst) noexcept {
+    obs_.vl_of_dst = vl_of_dst;
+  }
+
+  /// Content-only metadata for the heatmap JSON header (mirrors the
+  /// certificate writer's meta discipline: no timestamps, no thread counts).
+  void set_heatmap_meta(const std::string& key, const std::string& value) {
+    heatmap_meta_[key] = value;
+  }
 
   /// Write the requested output files (throws util::Error on I/O failure)
   /// and print the profiling table to stderr when --profile was given.
@@ -49,6 +63,8 @@ class ObsCli {
   std::string trace_path_;
   std::string trace_csv_path_;
   std::string metrics_path_;
+  std::string heatmap_path_;
+  std::map<std::string, std::string> heatmap_meta_;
   bool profile_ = false;
 };
 

@@ -94,8 +94,30 @@ Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
   return *slot;
 }
 
+void TimeSeries::decimate() {
+  // Keep retained samples at even positions (offer indices divisible by the
+  // doubled stride); compact in place, no allocation.
+  const std::size_t kept = (at_.size() + 1) / 2;
+  for (std::size_t i = 0; i < kept; ++i) {
+    at_[i] = at_[2 * i];
+    values_[i] = values_[2 * i];
+  }
+  at_.resize(kept);
+  values_.resize(kept);
+  stride_ *= 2;
+}
+
+void TimeSeries::set_capacity(std::size_t cap) {
+  capacity_ = cap < 2 ? 2 : cap;
+  while (at_.size() > capacity_) decimate();
+}
+
 TimeSeries& MetricsRegistry::series(const std::string& name) {
-  return series_[name];
+  const auto it = series_.find(name);
+  if (it != series_.end()) return it->second;
+  TimeSeries& ts = series_[name];
+  ts.set_capacity(series_capacity_);
+  return ts;
 }
 
 void MetricsRegistry::set_meta(const std::string& key,

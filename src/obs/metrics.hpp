@@ -78,14 +78,40 @@ class Histogram {
   double max_ = 0.0;
 };
 
-/// (sim-time, value) samples in recording order.
+/// (sim-time, value) samples in recording order, bounded by a configurable
+/// capacity with deterministic downsampling.
+///
+/// When the buffer is full, every second retained sample is discarded in
+/// place and the acceptance stride doubles: from then on only every
+/// `stride()`-th *offered* sample is recorded. The retained set is always
+/// "offers at indices divisible by stride()" — a pure function of the offer
+/// sequence, never of timing or thread count — so two identical runs keep
+/// byte-identical series regardless of when decimation fires. Memory is
+/// bounded by capacity() * 16 bytes per series (8 B time + 8 B value).
 class TimeSeries {
  public:
+  /// Default bound: 64 Ki samples = 1 MiB per series.
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
   void sample(sim::SimTime at, double v) {
+    const std::uint64_t index = offered_++;
+    if (index % stride_ != 0) return;
+    if (at_.size() >= capacity_) decimate();
+    if (index % stride_ != 0) return;  // stride may have just doubled
     at_.push_back(at);
     values_.push_back(v);
   }
+
+  /// Shrink (never grow) the memory bound; clamped to >= 2. Applies
+  /// immediately: an over-full series decimates until it fits.
+  void set_capacity(std::size_t cap);
+
   [[nodiscard]] std::size_t size() const noexcept { return at_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Samples offered via sample(), including ones decimated away.
+  [[nodiscard]] std::uint64_t offered() const noexcept { return offered_; }
+  /// Current acceptance stride (power of two; 1 until the first decimation).
+  [[nodiscard]] std::uint64_t stride() const noexcept { return stride_; }
   [[nodiscard]] const std::vector<sim::SimTime>& times() const noexcept {
     return at_;
   }
@@ -94,6 +120,11 @@ class TimeSeries {
   }
 
  private:
+  void decimate();
+
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t stride_ = 1;
+  std::uint64_t offered_ = 0;
   std::vector<sim::SimTime> at_;
   std::vector<double> values_;
 };
@@ -109,6 +140,12 @@ class MetricsRegistry {
   [[nodiscard]] Histogram& histogram(const std::string& name, double lo,
                                      double hi, std::size_t buckets);
   [[nodiscard]] TimeSeries& series(const std::string& name);
+
+  /// Capacity applied to series created *after* this call (existing series
+  /// keep theirs). Clamped to >= 2.
+  void set_series_capacity(std::size_t cap) noexcept {
+    series_capacity_ = cap < 2 ? 2 : cap;
+  }
 
   /// Free-form run metadata carried into the JSON export.
   void set_meta(const std::string& key, const std::string& value);
@@ -128,6 +165,7 @@ class MetricsRegistry {
   void write_json(std::ostream& os) const;
 
  private:
+  std::size_t series_capacity_ = TimeSeries::kDefaultCapacity;
   std::map<std::string, std::string> meta_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;

@@ -8,6 +8,9 @@
 // so a disabled run pays only untaken branches.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/time.hpp"
@@ -17,6 +20,10 @@ namespace ftcf::obs {
 struct SimObserver {
   TraceRecorder* trace = nullptr;      ///< event capture (not owned)
   MetricsRegistry* metrics = nullptr;  ///< aggregates/series (not owned)
+  /// Optional destination-host -> virtual-lane table (not owned; e.g.
+  /// check::VlAssignment::lane_of_dest). When attached, packet/flow events
+  /// carry the destination's VL so heatmaps get real per-VL cells.
+  const std::vector<std::uint32_t>* vl_of_dst = nullptr;
   /// Sim-time distance between link samples; <= 0 disables sampling even
   /// when a metrics registry is attached.
   sim::SimTime sample_period_ns = 10'000;
@@ -26,6 +33,14 @@ struct SimObserver {
   }
   [[nodiscard]] bool sampling() const noexcept {
     return sample_period_ns > 0 && (trace != nullptr || metrics != nullptr);
+  }
+  /// TraceEvent::vl for a destination host (0 when no table is attached or
+  /// the host has no lane; lanes clamp into the event's uint8 field).
+  [[nodiscard]] std::uint8_t vl_of(std::uint32_t dst) const noexcept {
+    if (vl_of_dst == nullptr || dst >= vl_of_dst->size()) return 0;
+    const std::uint32_t lane = (*vl_of_dst)[dst];
+    if (lane == 0xFFFF'FFFFu) return 0;  // check::kNoLane sentinel
+    return lane > 0xFF ? std::uint8_t{0xFF} : static_cast<std::uint8_t>(lane);
   }
 };
 

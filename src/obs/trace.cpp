@@ -1,8 +1,11 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
+#include <numeric>
 #include <ostream>
+#include <string_view>
 
 namespace ftcf::obs {
 
@@ -113,9 +116,60 @@ TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
   events_.reserve(capacity_);
 }
 
-void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os,
+ShardedTraceRecorder::ShardedTraceRecorder(std::size_t num_shards,
+                                           std::size_t capacity_per_shard) {
+  shards_.reserve(num_shards == 0 ? 1 : num_shards);
+  for (std::size_t i = 0; i < std::max<std::size_t>(num_shards, 1); ++i)
+    shards_.emplace_back(capacity_per_shard);
+}
+
+std::size_t ShardedTraceRecorder::total_size() const noexcept {
+  std::size_t n = 0;
+  for (const TraceRecorder& s : shards_) n += s.size();
+  return n;
+}
+
+std::uint64_t ShardedTraceRecorder::total_dropped() const noexcept {
+  std::uint64_t n = 0;
+  for (const TraceRecorder& s : shards_) n += s.dropped();
+  return n;
+}
+
+std::vector<TraceEvent> ShardedTraceRecorder::merged() const {
+  struct Tagged {
+    std::uint32_t shard;
+    std::uint32_t pos;
+  };
+  std::vector<Tagged> order;
+  order.reserve(total_size());
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    for (std::size_t i = 0; i < shards_[s].size(); ++i)
+      order.push_back({static_cast<std::uint32_t>(s),
+                       static_cast<std::uint32_t>(i)});
+  // stable total order (at, shard, intra-shard seq) — independent of how
+  // many worker threads filled the shards.
+  std::sort(order.begin(), order.end(), [this](const Tagged& x,
+                                               const Tagged& y) {
+    const sim::SimTime ax = shards_[x.shard].events()[x.pos].at;
+    const sim::SimTime ay = shards_[y.shard].events()[y.pos].at;
+    if (ax != ay) return ax < ay;
+    if (x.shard != y.shard) return x.shard < y.shard;
+    return x.pos < y.pos;
+  });
+  std::vector<TraceEvent> out;
+  out.reserve(order.size());
+  for (const Tagged& t : order)
+    out.push_back(shards_[t.shard].events()[t.pos]);
+  return out;
+}
+
+void ShardedTraceRecorder::clear() noexcept {
+  for (TraceRecorder& s : shards_) s.clear();
+}
+
+void write_chrome_trace(std::span<const TraceEvent> events,
+                        std::uint64_t dropped, std::ostream& os,
                         const TraceNaming& naming) {
-  const auto& events = recorder.events();
   os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
   EventWriter w(os);
 
@@ -191,6 +245,15 @@ void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os,
         print_ts(s, ev.at);
         s << ",\"dur\":";
         print_ts(s, ev.dur);
+        if (ev.stage != kNoStage || ev.vl != 0) {
+          s << ",\"args\":{";
+          if (ev.stage != kNoStage) {
+            s << "\"stage\":" << ev.stage;
+            if (ev.vl != 0) s << ',';
+          }
+          if (ev.vl != 0) s << "\"vl\":" << static_cast<unsigned>(ev.vl);
+          s << '}';
+        }
         w.close();
         break;
       }
@@ -244,18 +307,48 @@ void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os,
         w.close();
         break;
       }
+      default:
+        break;
     }
   }
-  os << "\n],\"otherData\":{\"dropped_events\":" << recorder.dropped()
-     << "}}\n";
+  os << "\n],\"otherData\":{\"dropped_events\":" << dropped << "}}\n";
+}
+
+void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os,
+                        const TraceNaming& naming) {
+  write_chrome_trace(std::span<const TraceEvent>(recorder.events()),
+                     recorder.dropped(), os, naming);
+}
+
+void write_chrome_trace(const ShardedTraceRecorder& recorder, std::ostream& os,
+                        const TraceNaming& naming) {
+  const std::vector<TraceEvent> merged = recorder.merged();
+  write_chrome_trace(std::span<const TraceEvent>(merged),
+                     recorder.total_dropped(), os, naming);
+}
+
+void write_trace_csv(std::span<const TraceEvent> events, std::ostream& os) {
+  os << "ts_ns,kind,a,b,c,dur_ns,vl,stage\n";
+  for (const TraceEvent& ev : events) {
+    os << ev.at << ',' << event_kind_name(ev.kind) << ',' << ev.a << ','
+       << ev.b << ',' << ev.c << ',' << ev.dur << ','
+       << static_cast<unsigned>(ev.vl) << ',';
+    if (ev.stage == kNoStage) {
+      os << "-1";
+    } else {
+      os << ev.stage;
+    }
+    os << '\n';
+  }
 }
 
 void write_trace_csv(const TraceRecorder& recorder, std::ostream& os) {
-  os << "ts_ns,kind,a,b,c,dur_ns\n";
-  for (const TraceEvent& ev : recorder.events()) {
-    os << ev.at << ',' << event_kind_name(ev.kind) << ',' << ev.a << ','
-       << ev.b << ',' << ev.c << ',' << ev.dur << '\n';
-  }
+  write_trace_csv(std::span<const TraceEvent>(recorder.events()), os);
+}
+
+void write_trace_csv(const ShardedTraceRecorder& recorder, std::ostream& os) {
+  const std::vector<TraceEvent> merged = recorder.merged();
+  write_trace_csv(std::span<const TraceEvent>(merged), os);
 }
 
 }  // namespace ftcf::obs

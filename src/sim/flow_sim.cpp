@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <vector>
 
 #include "obs/profile.hpp"
@@ -26,8 +27,15 @@ struct Flow {
   SimTime starts_at = 0;          ///< becomes active at this time
   SimTime started = 0;            ///< for latency accounting
   std::vector<PortId> path;
+  std::uint16_t stage = obs::kNoStage;  ///< CPS stage (sync runs only)
   bool active = false;            ///< consuming bandwidth
 };
+
+/// Clamp a stage index into the trace event's uint16 field.
+std::uint16_t stage_tag(std::size_t stage) noexcept {
+  return stage >= obs::kNoStage ? obs::kNoStage
+                                : static_cast<std::uint16_t>(stage);
+}
 
 class Engine {
  public:
@@ -63,8 +71,8 @@ class Engine {
           cursors_[h].insert(cursors_[h].end(), st.sends[h].begin(),
                              st.sends[h].end());
         if (obs_.trace)
-          obs_.trace->record({0, 0, obs::EventKind::kStageBegin,
-                              static_cast<std::uint32_t>(s), 0, 0});
+          trace_event(0, 0, obs::EventKind::kStageBegin,
+                      static_cast<std::uint32_t>(s), 0, 0, stage_tag(s));
       }
       next_stage_ = stages.size();
       for (std::uint64_t h = 0; h < fabric_.num_hosts(); ++h)
@@ -78,6 +86,10 @@ class Engine {
       expects(events_ < event_limit, "flow simulation exceeded event limit");
       step();
     }
+    // Async runs have no stage barrier to flush link occupancy: emit the
+    // whole-run samples now (sync runs flushed at each stage advance).
+    if (obs_.trace && !busy_by_port_vl_.empty())
+      emit_link_samples(obs::kNoStage);
 
     RunResult result;
     result.makespan = now_;
@@ -105,13 +117,49 @@ class Engine {
   }
 
  private:
+  /// Assemble one tagged trace event (brace-init would mis-map the new
+  /// vl/stage fields at the many call sites, so build it explicitly).
+  void trace_event(SimTime at, SimTime dur, obs::EventKind kind,
+                   std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                   std::uint16_t stage = obs::kNoStage, std::uint8_t vl = 0) {
+    obs::TraceEvent ev;
+    ev.at = at;
+    ev.dur = dur;
+    ev.kind = kind;
+    ev.vl = vl;
+    ev.stage = stage;
+    ev.a = a;
+    ev.b = b;
+    ev.c = c;
+    obs_.trace->record(ev);
+  }
+
+  /// Flush accumulated per-(port, VL) occupancy as kLinkSample events at
+  /// `now_`, utilization normalized over the window since the last flush.
+  void emit_link_samples(std::uint16_t stage) {
+    const double window_s = to_seconds(now_ - window_start_);
+    for (const auto& [key, busy_s] : busy_by_port_vl_) {
+      if (busy_s <= 0.0) continue;
+      const auto pid = static_cast<PortId>(key >> 8);
+      const auto vl = static_cast<std::uint8_t>(key & 0xFF);
+      const double util = window_s > 0.0 ? std::min(1.0, busy_s / window_s)
+                                         : 1.0;
+      trace_event(now_, 0, obs::EventKind::kLinkSample, pid,
+                  static_cast<std::uint32_t>(util * 1000.0), 0, stage, vl);
+    }
+    busy_by_port_vl_.clear();
+    window_start_ = now_;
+  }
+
   void advance_stage() {
     if (obs_.trace && stage_active_) {
-      obs_.trace->record(
-          {now_, 0, obs::EventKind::kStageEnd, current_stage_, 0, 0});
+      emit_link_samples(stage_tag(current_stage_));
+      trace_event(now_, 0, obs::EventKind::kStageEnd, current_stage_, 0, 0,
+                  stage_tag(current_stage_));
       stage_active_ = false;
     }
     while (next_stage_ < stages_->size()) {
+      const std::size_t stage = next_stage_;
       const StageTraffic& st = (*stages_)[next_stage_++];
       expects(st.sends.size() == fabric_.num_hosts(),
               "stage traffic must cover every host");
@@ -126,11 +174,13 @@ class Engine {
       }
       if (any) {
         active_hosts_ = std::max(active_hosts_, active);
+        loaded_stage_ = stage_tag(stage);
         if (obs_.trace) {
-          current_stage_ = static_cast<std::uint32_t>(next_stage_ - 1);
+          current_stage_ = static_cast<std::uint32_t>(stage);
           stage_active_ = true;
-          obs_.trace->record(
-              {now_, 0, obs::EventKind::kStageBegin, current_stage_, 0, 0});
+          window_start_ = now_;
+          trace_event(now_, 0, obs::EventKind::kStageBegin, current_stage_, 0,
+                      0, stage_tag(stage));
         }
         return;
       }
@@ -160,13 +210,16 @@ class Engine {
     flow.started = now_;
     flow.active = false;
     flow.rate = 0.0;
+    flow.stage = progression_ == Progression::kSynchronized ? loaded_stage_
+                                                            : obs::kNoStage;
     ++live_flows_;
     rates_dirty_ = true;
     if (obs_.trace)
-      obs_.trace->record({now_, 0, obs::EventKind::kFlowStart,
-                          static_cast<std::uint32_t>(h),
-                          static_cast<std::uint32_t>(msg.dst),
-                          static_cast<std::uint32_t>(msg.bytes / 1024)});
+      trace_event(now_, 0, obs::EventKind::kFlowStart,
+                  static_cast<std::uint32_t>(h),
+                  static_cast<std::uint32_t>(msg.dst),
+                  static_cast<std::uint32_t>(msg.bytes / 1024), flow.stage,
+                  obs_.vl_of(static_cast<std::uint32_t>(msg.dst)));
   }
 
   /// Max-min fair rates for all active flows (progressive filling).
@@ -250,6 +303,22 @@ class Engine {
 
     // Advance fluid state to next_event.
     const double dt_s = to_seconds(next_event - now_);
+    // Charge the interval's bandwidth to each used (port, VL) before flows
+    // complete below (rates are constant across the interval).
+    if (obs_.trace && dt_s > 0.0) {
+      for (const Flow& flow : flows_) {
+        if (!flow.active || flow.remaining <= 0.0 || flow.rate <= 0.0)
+          continue;
+        const std::uint8_t vl =
+            obs_.vl_of(static_cast<std::uint32_t>(flow.dst));
+        for (const PortId pid : flow.path) {
+          const double cap = capacity_[pid];
+          if (cap <= 0.0) continue;
+          busy_by_port_vl_[(static_cast<std::uint64_t>(pid) << 8) | vl] +=
+              flow.rate * dt_s / cap;
+        }
+      }
+    }
     now_ = next_event;
     ++events_;
     for (std::uint64_t h = 0; h < flows_.size(); ++h) {
@@ -265,9 +334,10 @@ class Engine {
         ++messages_delivered_;
         latency_.add(to_us(now_ - flow.started));
         if (obs_.trace)
-          obs_.trace->record({now_, 0, obs::EventKind::kFlowEnd,
-                              static_cast<std::uint32_t>(h),
-                              static_cast<std::uint32_t>(flow.dst), 0});
+          trace_event(now_, 0, obs::EventKind::kFlowEnd,
+                      static_cast<std::uint32_t>(h),
+                      static_cast<std::uint32_t>(flow.dst), 0, flow.stage,
+                      obs_.vl_of(static_cast<std::uint32_t>(flow.dst)));
         if (obs_.metrics)
           obs_.metrics->histogram("flow_sim.msg_latency_us", 0.0, 10'000.0, 100)
               .add(to_us(now_ - flow.started));
@@ -303,7 +373,12 @@ class Engine {
   Calibration calib_;
   obs::SimObserver obs_;
   std::uint32_t current_stage_ = 0;
+  std::uint16_t loaded_stage_ = obs::kNoStage;  ///< stage of current cursors
   bool stage_active_ = false;
+  SimTime window_start_ = 0;  ///< occupancy window anchor (since last flush)
+  /// (port << 8 | vl) -> busy seconds in the current window (sorted map:
+  /// flush order is deterministic).
+  std::map<std::uint64_t, double> busy_by_port_vl_;
 
   std::vector<double> capacity_;
   std::vector<std::vector<Message>> cursors_;

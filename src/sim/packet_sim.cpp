@@ -72,18 +72,26 @@ struct MsgMeta {
   SimTime start = -1;
   std::uint32_t src = 0;
   std::uint32_t max_seq_seen = 0;
+  std::uint16_t stage = obs::kNoStage;  ///< CPS stage the message belongs to
   bool any_delivered = false;
   bool failed = false;  ///< some bytes were written off (resilient runs)
 };
 
 struct HostCursor {
   std::vector<Message> msgs;       ///< messages of the current phase
+  std::vector<std::uint16_t> stage_of;  ///< CPS stage per message (parallel)
   std::size_t index = 0;           ///< current message
   std::uint64_t offset = 0;        ///< bytes already injected of it
   std::uint32_t first_msg_id = 0;  ///< msg ids are first_msg_id + index
 
   [[nodiscard]] bool done() const noexcept { return index >= msgs.size(); }
 };
+
+/// Clamp a stage index into the trace event's uint16 field.
+std::uint16_t stage_tag(std::size_t stage) noexcept {
+  return stage >= obs::kNoStage ? obs::kNoStage
+                                : static_cast<std::uint16_t>(stage);
+}
 
 /// One in-flight packet awaiting delivery confirmation (resilient runs).
 /// Resolution is single-shot: the first delivery (or the final timeout)
@@ -162,12 +170,15 @@ class Engine {
         const StageTraffic& st = stages[s];
         expects(st.sends.size() == fabric_.num_hosts(),
                 "stage traffic must cover every host");
-        for (std::uint64_t h = 0; h < st.sends.size(); ++h)
+        for (std::uint64_t h = 0; h < st.sends.size(); ++h) {
           cursors[h].msgs.insert(cursors[h].msgs.end(), st.sends[h].begin(),
                                  st.sends[h].end());
+          cursors[h].stage_of.insert(cursors[h].stage_of.end(),
+                                     st.sends[h].size(), stage_tag(s));
+        }
         if (obs_.trace)
-          obs_.trace->record({0, 0, obs::EventKind::kStageBegin,
-                              static_cast<std::uint32_t>(s), 0, 0});
+          trace_event(0, 0, obs::EventKind::kStageBegin,
+                      static_cast<std::uint32_t>(s), 0, 0, stage_tag(s));
       }
       load_cursors(std::move(cursors));
       next_stage_ = stages.size();
@@ -223,6 +234,23 @@ class Engine {
   }
 
  private:
+  /// Assemble one tagged trace event (brace-init would mis-map the new
+  /// vl/stage fields at the many call sites, so build it explicitly).
+  void trace_event(SimTime at, SimTime dur, obs::EventKind kind,
+                   std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                   std::uint16_t stage = obs::kNoStage, std::uint8_t vl = 0) {
+    obs::TraceEvent ev;
+    ev.at = at;
+    ev.dur = dur;
+    ev.kind = kind;
+    ev.vl = vl;
+    ev.stage = stage;
+    ev.a = a;
+    ev.b = b;
+    ev.c = c;
+    obs_.trace->record(ev);
+  }
+
   // --- traffic loading ------------------------------------------------------
 
   void load_cursors(std::vector<HostCursor> cursors) {
@@ -232,10 +260,13 @@ class Engine {
       cur.index = 0;
       cur.offset = 0;
       cur.first_msg_id = static_cast<std::uint32_t>(msgs_.size());
-      for (const Message& msg : cur.msgs) {
+      for (std::size_t i = 0; i < cur.msgs.size(); ++i) {
+        const Message& msg = cur.msgs[i];
         expects(msg.dst < fabric_.num_hosts() && msg.dst != h,
                 "message destination invalid");
-        msgs_.push_back(MsgMeta{msg.bytes, -1, static_cast<std::uint32_t>(h)});
+        MsgMeta meta{msg.bytes, -1, static_cast<std::uint32_t>(h)};
+        if (i < cur.stage_of.size()) meta.stage = cur.stage_of[i];
+        msgs_.push_back(meta);
         ++outstanding_msgs_;
       }
       if (!cur.msgs.empty()) ++active;
@@ -247,24 +278,27 @@ class Engine {
   /// Load the next synchronized stage (if any) and kick every host.
   void advance_stage() {
     if (obs_.trace && stage_active_) {
-      obs_.trace->record({queue_.now(), 0, obs::EventKind::kStageEnd,
-                          current_stage_, 0, 0});
+      trace_event(queue_.now(), 0, obs::EventKind::kStageEnd, current_stage_,
+                  0, 0, stage_tag(current_stage_));
       stage_active_ = false;
     }
     while (next_stage_ < stages_->size()) {
+      const std::size_t stage = next_stage_;
       const StageTraffic& st = (*stages_)[next_stage_++];
       expects(st.sends.size() == fabric_.num_hosts(),
               "stage traffic must cover every host");
       std::vector<HostCursor> cursors(fabric_.num_hosts());
-      for (std::uint64_t h = 0; h < st.sends.size(); ++h)
+      for (std::uint64_t h = 0; h < st.sends.size(); ++h) {
         cursors[h].msgs = st.sends[h];
+        cursors[h].stage_of.assign(st.sends[h].size(), stage_tag(stage));
+      }
       load_cursors(std::move(cursors));
       if (outstanding_msgs_ > 0) {  // non-empty stage loaded
         if (obs_.trace) {
-          current_stage_ = static_cast<std::uint32_t>(next_stage_ - 1);
+          current_stage_ = static_cast<std::uint32_t>(stage);
           stage_active_ = true;
-          obs_.trace->record({queue_.now(), 0, obs::EventKind::kStageBegin,
-                              current_stage_, 0, 0});
+          trace_event(queue_.now(), 0, obs::EventKind::kStageBegin,
+                      current_stage_, 0, 0, stage_tag(stage));
         }
         return;
       }
@@ -327,8 +361,8 @@ class Engine {
     if (depth > max_depth_[in_port]) {
       max_depth_[in_port] = depth;
       if (obs_.trace)
-        obs_.trace->record(
-            {queue_.now(), 0, obs::EventKind::kQueueDepth, in_port, depth, 0});
+        trace_event(queue_.now(), 0, obs::EventKind::kQueueDepth, in_port,
+                    depth, 0, msgs_[pkt.msg].stage, obs_.vl_of(pkt.dst));
     }
     if (queue.size() == 1) kick_head(pt.node, in_port);
   }
@@ -390,8 +424,8 @@ class Engine {
     queue.pop_front();
     ++packets_dropped_;
     if (obs_.trace)
-      obs_.trace->record({queue_.now(), 0, obs::EventKind::kPacketDropped,
-                          blame_port, pkt.msg, pkt.seq});
+      trace_event(queue_.now(), 0, obs::EventKind::kPacketDropped, blame_port,
+                  pkt.msg, pkt.seq, msgs_[pkt.msg].stage, obs_.vl_of(pkt.dst));
     queue_.push(queue_.now() + calib_.cable_latency_ns,
                 Ev{EvType::kCredit, fabric_.port(in_port).peer, {}});
   }
@@ -426,10 +460,8 @@ class Engine {
     dead_[port] = 1;
     dead_[peer] = 1;
     if (obs_.trace) {
-      obs_.trace->record(
-          {queue_.now(), 0, obs::EventKind::kLinkDown, port, 0, 0});
-      obs_.trace->record(
-          {queue_.now(), 0, obs::EventKind::kLinkDown, peer, 0, 0});
+      trace_event(queue_.now(), 0, obs::EventKind::kLinkDown, port, 0, 0);
+      trace_event(queue_.now(), 0, obs::EventKind::kLinkDown, peer, 0, 0);
     }
     for (const PortId end : {port, peer}) {
       const topo::Port& pt = fabric_.port(end);
@@ -454,8 +486,8 @@ class Engine {
     dead_[port] = 0;
     dead_[peer] = 0;
     if (obs_.trace) {
-      obs_.trace->record({queue_.now(), 0, obs::EventKind::kLinkUp, port, 0, 0});
-      obs_.trace->record({queue_.now(), 0, obs::EventKind::kLinkUp, peer, 0, 0});
+      trace_event(queue_.now(), 0, obs::EventKind::kLinkUp, port, 0, 0);
+      trace_event(queue_.now(), 0, obs::EventKind::kLinkUp, peer, 0, 0);
     }
     for (const PortId end : {port, peer}) {
       const topo::Port& pt = fabric_.port(end);
@@ -497,8 +529,8 @@ class Engine {
     if (credits_[out_port] == 0) {
       ++credit_stalls_;
       if (obs_.trace)
-        obs_.trace->record(
-            {queue_.now(), 0, obs::EventKind::kCreditStall, out_port, 0, 0});
+        trace_event(queue_.now(), 0, obs::EventKind::kCreditStall, out_port, 0,
+                    0);
       return;
     }
     const topo::Port& out = fabric_.port(out_port);
@@ -521,9 +553,11 @@ class Engine {
 
       const SimTime ser = transfer_time(pkt.bytes, rate_[out_port]);
       busy_ns_[out_port] += ser;
+      account_vl_busy(pkt.dst, ser);
       if (obs_.trace)
-        obs_.trace->record({queue_.now(), ser, obs::EventKind::kPacketForwarded,
-                            out_port, pkt.msg, pkt.seq});
+        trace_event(queue_.now(), ser, obs::EventKind::kPacketForwarded,
+                    out_port, pkt.msg, pkt.seq, msgs_[pkt.msg].stage,
+                    obs_.vl_of(pkt.dst));
       queue_.push(queue_.now() + ser, Ev{EvType::kOutFree, out_port, {}});
       // Return a buffer credit to the upstream sender of the input link.
       queue_.push(queue_.now() + calib_.cable_latency_ns,
@@ -571,8 +605,7 @@ class Engine {
     if (credits_[up] == 0) {
       ++credit_stalls_;
       if (obs_.trace)
-        obs_.trace->record(
-            {queue_.now(), 0, obs::EventKind::kCreditStall, up, 0, 0});
+        trace_event(queue_.now(), 0, obs::EventKind::kCreditStall, up, 0, 0);
       return;
     }
 
@@ -585,9 +618,9 @@ class Engine {
       if (p.resolved) continue;
       ++packets_retransmitted_;
       if (obs_.trace)
-        obs_.trace->record({queue_.now(), 0, obs::EventKind::kPacketRetransmit,
-                            static_cast<std::uint32_t>(h), p.pkt.msg,
-                            p.pkt.seq});
+        trace_event(queue_.now(), 0, obs::EventKind::kPacketRetransmit,
+                    static_cast<std::uint32_t>(h), p.pkt.msg, p.pkt.seq,
+                    msgs_[p.pkt.msg].stage, obs_.vl_of(p.pkt.dst));
       send_packet(up, p.pkt, p.attempts);
       return;
     }
@@ -616,8 +649,9 @@ class Engine {
       pending_.push_back(Pending{pkt, 1, false});
     }
     if (obs_.trace)
-      obs_.trace->record({queue_.now(), 0, obs::EventKind::kPacketInjected,
-                          static_cast<std::uint32_t>(h), msg_id, seq});
+      trace_event(queue_.now(), 0, obs::EventKind::kPacketInjected,
+                  static_cast<std::uint32_t>(h), msg_id, seq, meta.stage,
+                  obs_.vl_of(pkt.dst));
     send_packet(up, pkt, 1);
   }
 
@@ -629,9 +663,11 @@ class Engine {
     --credits_[up];
     const SimTime ser = transfer_time(pkt.bytes, rate_[up]);
     busy_ns_[up] += ser;
+    account_vl_busy(pkt.dst, ser);
     if (obs_.trace)
-      obs_.trace->record({queue_.now(), ser, obs::EventKind::kPacketForwarded,
-                          up, pkt.msg, pkt.seq});
+      trace_event(queue_.now(), ser, obs::EventKind::kPacketForwarded, up,
+                  pkt.msg, pkt.seq, msgs_[pkt.msg].stage,
+                  obs_.vl_of(pkt.dst));
     queue_.push(queue_.now() + ser, Ev{EvType::kOutFree, up, {}});
     queue_.push(queue_.now() + ser + calib_.cable_latency_ns,
                 Ev{EvType::kArrive, fabric_.port(up).peer, pkt});
@@ -717,8 +753,9 @@ class Engine {
     bytes_delivered_ += pkt.bytes;
     last_delivery_ = std::max(last_delivery_, queue_.now());
     if (obs_.trace)
-      obs_.trace->record({queue_.now(), 0, obs::EventKind::kPacketDelivered,
-                          pkt.dst, pkt.msg, pkt.seq});
+      trace_event(queue_.now(), 0, obs::EventKind::kPacketDelivered, pkt.dst,
+                  pkt.msg, pkt.seq, msgs_[pkt.msg].stage,
+                  obs_.vl_of(pkt.dst));
     MsgMeta& meta = msgs_[pkt.msg];
     expects(meta.remaining >= pkt.bytes, "over-delivery on a message");
     meta.remaining -= pkt.bytes;
@@ -771,8 +808,9 @@ class Engine {
       util_max = std::max(util_max, util);
       ++links_active;
       if (obs_.trace)
-        obs_.trace->record({at, 0, obs::EventKind::kLinkSample, pid,
-                            static_cast<std::uint32_t>(util * 1000.0), depth});
+        trace_event(at, 0, obs::EventKind::kLinkSample, pid,
+                    static_cast<std::uint32_t>(util * 1000.0), depth,
+                    stage_active_ ? stage_tag(current_stage_) : obs::kNoStage);
     }
     if (obs_.metrics) {
       obs_.metrics->series("packet_sim.link_util.mean")
@@ -783,6 +821,15 @@ class Engine {
       obs_.metrics->series("packet_sim.queue_depth.total")
           .sample(at, static_cast<double>(depth_total));
     }
+  }
+
+  /// Fold serialization time into the destination lane's busy total (only
+  /// when a VL table is attached; lanes appear on first use).
+  void account_vl_busy(std::uint32_t dst, SimTime ser) {
+    if (obs_.vl_of_dst == nullptr || obs_.metrics == nullptr) return;
+    const std::uint8_t lane = obs_.vl_of(dst);
+    if (vl_busy_ns_.size() <= lane) vl_busy_ns_.resize(lane + 1u, 0);
+    vl_busy_ns_[lane] += ser;
   }
 
   void export_run_metrics(const RunResult& result) {
@@ -803,6 +850,11 @@ class Engine {
     m.counter("packet_sim.link_down_events").inc(result.link_down_events);
     m.gauge("packet_sim.makespan_us").set(to_us(result.makespan));
     m.gauge("packet_sim.normalized_bw").set(result.normalized_bw);
+    for (std::size_t lane = 0; lane < vl_busy_ns_.size(); ++lane) {
+      if (vl_busy_ns_[lane] == 0) continue;
+      m.gauge("packet_sim.vl_busy_us." + std::to_string(lane))
+          .set(to_us(static_cast<SimTime>(vl_busy_ns_[lane])));
+    }
   }
 
   const Fabric& fabric_;
@@ -833,6 +885,7 @@ class Engine {
   SimTime next_sample_ = 0;
   SimTime last_sample_at_ = 0;
   std::vector<SimTime> sampled_busy_;  ///< busy_ns_ at the previous sample
+  std::vector<std::uint64_t> vl_busy_ns_;  ///< per destination lane
   std::uint32_t current_stage_ = 0;
   bool stage_active_ = false;
   std::uint64_t credit_stalls_ = 0;

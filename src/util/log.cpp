@@ -11,18 +11,47 @@ namespace ftcf::util {
 
 namespace {
 
+/// ASCII-case-insensitive comparison (env values only; no locale).
+bool iequals(std::string_view s, std::string_view t) noexcept {
+  if (s.size() != t.size()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char a = s[i];
+    const char b = t[i];
+    const char al = (a >= 'A' && a <= 'Z') ? static_cast<char>(a + 32) : a;
+    if (al != b) return false;
+  }
+  return true;
+}
+
+/// Combine both environment knobs; runs during static initialization, so
+/// warnings go straight to stderr (the logger itself is not up yet) and an
+/// invalid value costs exactly one line, never silent misbehavior.
 int level_from_env() {
-  const char* env = std::getenv("FTCF_LOG_LEVEL");
-  if (env == nullptr || *env == '\0') return static_cast<int>(LogLevel::kInfo);
-  if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0)
-    return static_cast<int>(LogLevel::kDebug);
-  if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0)
-    return static_cast<int>(LogLevel::kInfo);
-  if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "2") == 0)
-    return static_cast<int>(LogLevel::kWarn);
-  if (std::strcmp(env, "error") == 0 || std::strcmp(env, "3") == 0)
-    return static_cast<int>(LogLevel::kError);
-  return static_cast<int>(LogLevel::kInfo);  // unknown value: keep default
+  constexpr int kDefault = static_cast<int>(LogLevel::kInfo);
+  int level = kDefault;
+  if (const char* env = std::getenv("FTCF_LOG_LEVEL");
+      env != nullptr && *env != '\0') {
+    if (const auto parsed = parse_log_level(env)) {
+      level = static_cast<int>(*parsed);
+    } else {
+      std::fprintf(stderr,
+                   "ftcf: ignoring invalid FTCF_LOG_LEVEL='%s' "
+                   "(want debug|info|warn|error or 0-3), using info\n",
+                   env);
+    }
+  }
+  if (const char* env = std::getenv("FTCF_LOG_DEBUG");
+      env != nullptr && *env != '\0') {
+    if (const auto parsed = parse_env_bool(env)) {
+      if (*parsed) level = static_cast<int>(LogLevel::kDebug);
+    } else {
+      std::fprintf(stderr,
+                   "ftcf: ignoring invalid FTCF_LOG_DEBUG='%s' "
+                   "(want 1/0, true/false, on/off or yes/no)\n",
+                   env);
+    }
+  }
+  return level;
 }
 
 std::atomic<int> g_level{level_from_env()};
@@ -57,6 +86,22 @@ std::uint32_t thread_ordinal() noexcept {
 const Clock::time_point g_start_anchor = process_start();
 
 }  // namespace
+
+std::optional<LogLevel> parse_log_level(std::string_view s) noexcept {
+  if (iequals(s, "debug") || s == "0") return LogLevel::kDebug;
+  if (iequals(s, "info") || s == "1") return LogLevel::kInfo;
+  if (iequals(s, "warn") || s == "2") return LogLevel::kWarn;
+  if (iequals(s, "error") || s == "3") return LogLevel::kError;
+  return std::nullopt;
+}
+
+std::optional<bool> parse_env_bool(std::string_view s) noexcept {
+  if (s == "1" || iequals(s, "true") || iequals(s, "on") || iequals(s, "yes"))
+    return true;
+  if (s == "0" || iequals(s, "false") || iequals(s, "off") || iequals(s, "no"))
+    return false;
+  return std::nullopt;
+}
 
 void set_log_level(LogLevel level) noexcept {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);

@@ -7,13 +7,16 @@
 // per-thread id:  "[  12.345s t0 info] message".
 //
 // The threshold can be set before main() runs via the FTCF_LOG_LEVEL
-// environment variable ("debug" | "info" | "warn" | "error", or 0-3);
-// set_log_level() overrides it at runtime. For debug messages whose
-// *arguments* are expensive to build, use the FTCF_LOG_DEBUG call-site guard
-// macro below — plain log_debug() drops the message below threshold but
-// still evaluates its arguments.
+// environment variable ("debug" | "info" | "warn" | "error", or 0-3), or
+// forced to debug with a truthy FTCF_LOG_DEBUG; an unparseable value in
+// either variable earns one warning line on stderr and falls back to the
+// default instead of silently misbehaving. set_log_level() overrides both at
+// runtime. For debug messages whose *arguments* are expensive to build, use
+// the FTCF_LOG_DEBUG call-site guard macro below — plain log_debug() drops
+// the message below threshold but still evaluates its arguments.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string_view>
 
@@ -21,8 +24,18 @@ namespace ftcf::util {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+/// Parse a log-level spelling: "debug"|"info"|"warn"|"error" (any ASCII
+/// case) or "0".."3". Empty or unrecognized input yields nullopt — callers
+/// decide the fallback.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(
+    std::string_view s) noexcept;
+
+/// Parse a boolean environment value: 1/true/on/yes vs 0/false/off/no (any
+/// ASCII case). Anything else yields nullopt.
+[[nodiscard]] std::optional<bool> parse_env_bool(std::string_view s) noexcept;
+
 /// Global threshold; messages below it are dropped. Default: kInfo, or
-/// FTCF_LOG_LEVEL from the environment when set.
+/// FTCF_LOG_LEVEL / FTCF_LOG_DEBUG from the environment when set.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 

@@ -1,0 +1,157 @@
+// Telemetry replay: the dynamic (packet-sim + trace) witness must agree with
+// the static certificate's per-stage HSD maxima, on clean and contended
+// configurations alike, and map onto the cert-telemetry-ok /
+// cert-telemetry-mismatch diagnostics.
+#include "check/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "cps/generators.hpp"
+#include "routing/dmodk.hpp"
+#include "topology/presets.hpp"
+
+namespace ftcf::check {
+namespace {
+
+using topo::Fabric;
+
+std::size_t count_rule(const Diagnostics& diag, const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(diag.findings().begin(), diag.findings().end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(Replay, InOrderShiftAgreesWithCertificate) {
+  const Fabric fabric(topo::paper_cluster(16));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const auto ordering = order::NodeOrdering::topology(fabric);
+  const auto sequence = cps::shift(fabric.num_hosts());
+  const Certificate cert =
+      certify_contention_freedom(fabric, tables, ordering, sequence);
+  ASSERT_TRUE(cert.contention_free);
+
+  const TelemetryReplay replay = replay_certificate_telemetry(
+      fabric, tables, ordering, sequence, cert);
+  EXPECT_TRUE(replay.consistent());
+  EXPECT_EQ(replay.mismatches, 0u);
+  EXPECT_EQ(replay.inconclusive, 0u);
+  EXPECT_EQ(replay.contended_confirmed, 0u);
+  ASSERT_FALSE(replay.stages.empty());
+  for (const StageReplay& sr : replay.stages) {
+    EXPECT_TRUE(sr.match) << "stage " << sr.stage;
+    EXPECT_EQ(sr.static_max_hsd, 1u) << "stage " << sr.stage;
+    EXPECT_EQ(sr.dynamic_max_flows, 1u) << "stage " << sr.stage;
+    EXPECT_EQ(sr.dropped_events, 0u) << "stage " << sr.stage;
+  }
+  // Stage list is ascending and unique.
+  for (std::size_t i = 1; i < replay.stages.size(); ++i)
+    EXPECT_LT(replay.stages[i - 1].stage, replay.stages[i].stage);
+
+  Diagnostics diag;
+  report_telemetry_replay(replay, diag);
+  EXPECT_EQ(count_rule(diag, "cert-telemetry-ok"), 1u);
+  EXPECT_EQ(count_rule(diag, "cert-telemetry-mismatch"), 0u);
+  EXPECT_EQ(diag.exit_code(), 0);
+}
+
+TEST(Replay, AdversarialContentionIsConfirmedDynamically) {
+  const Fabric fabric(topo::paper_cluster(16));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const auto ordering = order::NodeOrdering::adversarial_ring(fabric);
+  const auto sequence = cps::shift(fabric.num_hosts());
+  const Certificate cert =
+      certify_contention_freedom(fabric, tables, ordering, sequence);
+  ASSERT_FALSE(cert.contention_free);
+  ASSERT_FALSE(cert.blames.empty());
+
+  const TelemetryReplay replay = replay_certificate_telemetry(
+      fabric, tables, ordering, sequence, cert);
+  // The simulator sees exactly the contention the certificate proved: every
+  // blamed stage replays with dynamic == static > 1, zero mismatches.
+  EXPECT_TRUE(replay.consistent());
+  EXPECT_GT(replay.contended_confirmed, 0u);
+  EXPECT_GE(replay.stages.size(), cert.blames.size());
+  for (const StageBlame& blame : cert.blames) {
+    const auto it = std::find_if(
+        replay.stages.begin(), replay.stages.end(),
+        [&](const StageReplay& sr) { return sr.stage == blame.stage; });
+    ASSERT_NE(it, replay.stages.end()) << "blamed stage " << blame.stage;
+    EXPECT_EQ(it->static_max_hsd, blame.max_hsd);
+    EXPECT_EQ(it->dynamic_max_flows, blame.max_hsd);
+    EXPECT_TRUE(it->match);
+  }
+}
+
+TEST(Replay, MaxStagesBoundsTheSampleOnCleanRuns) {
+  const Fabric fabric(topo::paper_cluster(16));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const auto ordering = order::NodeOrdering::topology(fabric);
+  const auto sequence = cps::shift(fabric.num_hosts());
+  const Certificate cert =
+      certify_contention_freedom(fabric, tables, ordering, sequence);
+
+  TelemetryReplayOptions options;
+  options.max_stages = 2;
+  const TelemetryReplay replay = replay_certificate_telemetry(
+      fabric, tables, ordering, sequence, cert, options);
+  EXPECT_LE(replay.stages.size(), 2u);
+  EXPECT_TRUE(replay.consistent());
+}
+
+TEST(Replay, ReplayIsDeterministicAcrossCalls) {
+  const Fabric fabric(topo::paper_cluster(16));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const auto ordering = order::NodeOrdering::adversarial_ring(fabric);
+  const auto sequence = cps::shift(fabric.num_hosts());
+  const Certificate cert =
+      certify_contention_freedom(fabric, tables, ordering, sequence);
+
+  const TelemetryReplay a = replay_certificate_telemetry(
+      fabric, tables, ordering, sequence, cert);
+  const TelemetryReplay b = replay_certificate_telemetry(
+      fabric, tables, ordering, sequence, cert);
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    EXPECT_EQ(a.stages[i].stage, b.stages[i].stage);
+    EXPECT_EQ(a.stages[i].dynamic_max_flows, b.stages[i].dynamic_max_flows);
+    EXPECT_EQ(a.stages[i].match, b.stages[i].match);
+  }
+  EXPECT_EQ(a.contended_confirmed, b.contended_confirmed);
+}
+
+TEST(Replay, FabricatedMismatchReportsCappedErrors) {
+  TelemetryReplay replay;
+  for (std::size_t i = 0; i < 7; ++i) {
+    StageReplay sr;
+    sr.stage = i;
+    sr.static_max_hsd = 1;
+    sr.dynamic_max_flows = 3;
+    sr.match = false;
+    replay.stages.push_back(sr);
+  }
+  replay.mismatches = 7;
+  EXPECT_FALSE(replay.consistent());
+
+  Diagnostics diag;
+  report_telemetry_replay(replay, diag);
+  // One error per mismatch, capped, plus an overflow note naming the rest.
+  const auto errors = count_rule(diag, "cert-telemetry-mismatch");
+  EXPECT_GE(errors, 1u);
+  EXPECT_LE(errors, 5u);
+  EXPECT_EQ(count_rule(diag, "cert-telemetry-ok"), 0u);
+  EXPECT_EQ(diag.exit_code(), 1);
+}
+
+TEST(Replay, EmptyReplayReportsNothing) {
+  const TelemetryReplay replay;  // no stages sampled (e.g. empty sequence)
+  Diagnostics diag;
+  report_telemetry_replay(replay, diag);
+  EXPECT_EQ(count_rule(diag, "cert-telemetry-mismatch"), 0u);
+  EXPECT_EQ(diag.exit_code(), 0);
+}
+
+}  // namespace
+}  // namespace ftcf::check

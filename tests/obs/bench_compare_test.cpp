@@ -1,0 +1,112 @@
+// bench_compare: BENCH_*.json parsing and the regression-diff rules the CI
+// gate (tools/bench_diff) is built on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/bench_compare.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace ftcf;
+using obs::BenchComparison;
+using obs::BenchSample;
+
+TEST(BenchCompare, ParsesRegistryExportRoundTrip) {
+  obs::MetricsRegistry registry;
+  registry.set_meta("bench", "micro_perf");
+  registry.gauge("ns_per_op.BM_Route").set(123.5);
+  registry.gauge("items_per_second.BM_Sim").set(2.5e6);
+  registry.counter("iterations.BM_Route").inc(42);
+  std::ostringstream os;
+  registry.write_json(os);
+
+  const BenchSample sample = obs::parse_bench_json(os.str());
+  EXPECT_EQ(sample.meta.at("bench"), "micro_perf");
+  EXPECT_DOUBLE_EQ(sample.gauges.at("ns_per_op.BM_Route"), 123.5);
+  EXPECT_DOUBLE_EQ(sample.gauges.at("items_per_second.BM_Sim"), 2.5e6);
+  EXPECT_EQ(sample.counters.at("iterations.BM_Route"), 42u);
+}
+
+TEST(BenchCompare, NullGaugeParsesAsNaNAndIsIgnored) {
+  const BenchSample sample = obs::parse_bench_json(
+      R"({"meta":{},"counters":{},"gauges":{"ns_per_op.BM_X":null}})");
+  EXPECT_TRUE(std::isnan(sample.gauges.at("ns_per_op.BM_X")));
+  const BenchComparison cmp = obs::compare_bench(sample, sample, 0.15);
+  EXPECT_TRUE(cmp.deltas.empty());  // non-finite values never compare
+  EXPECT_FALSE(cmp.regressed());
+}
+
+TEST(BenchCompare, MalformedJsonThrowsParseError) {
+  EXPECT_THROW((void)obs::parse_bench_json("not json"), util::ParseError);
+  EXPECT_THROW((void)obs::parse_bench_json(R"({"gauges":{)"),
+               util::ParseError);
+  EXPECT_THROW((void)obs::parse_bench_json(R"({"gauges":{"a":}})"),
+               util::ParseError);
+}
+
+BenchSample sample_with(double ns_per_op, double items_per_sec) {
+  BenchSample s;
+  s.gauges["ns_per_op.BM_A"] = ns_per_op;
+  s.gauges["items_per_second.BM_B"] = items_per_sec;
+  return s;
+}
+
+TEST(BenchCompare, DirectionAwareRegressionDetection) {
+  const BenchSample base = sample_with(100.0, 1000.0);
+  // 8% slower and 5% fewer items/s: inside the 15% envelope.
+  const BenchComparison ok =
+      obs::compare_bench(base, sample_with(108.0, 950.0), 0.15);
+  ASSERT_EQ(ok.deltas.size(), 2u);
+  EXPECT_FALSE(ok.regressed());
+
+  // ns/op doubling is a regression; items/s unchanged.
+  const BenchComparison slow =
+      obs::compare_bench(base, sample_with(200.0, 1000.0), 0.15);
+  EXPECT_EQ(slow.regressions(), 1u);
+  EXPECT_TRUE(slow.regressed());
+
+  // items/s halving is a regression even though the raw value dropped.
+  const BenchComparison fewer =
+      obs::compare_bench(base, sample_with(100.0, 500.0), 0.15);
+  EXPECT_EQ(fewer.regressions(), 1u);
+
+  // Improvements (faster, more items) never trip the gate.
+  const BenchComparison faster =
+      obs::compare_bench(base, sample_with(10.0, 9999.0), 0.15);
+  EXPECT_FALSE(faster.regressed());
+}
+
+TEST(BenchCompare, TracksMissingAndAddedCases) {
+  BenchSample base = sample_with(100.0, 1000.0);
+  BenchSample cur;
+  cur.gauges["ns_per_op.BM_A"] = 100.0;
+  cur.gauges["ns_per_op.BM_New"] = 5.0;
+  cur.gauges["unrelated.gauge"] = 7.0;  // no direction prefix: ignored
+  const BenchComparison cmp = obs::compare_bench(base, cur, 0.15);
+  ASSERT_EQ(cmp.missing.size(), 1u);
+  EXPECT_EQ(cmp.missing.front(), "items_per_second.BM_B");
+  ASSERT_EQ(cmp.added.size(), 1u);
+  EXPECT_EQ(cmp.added.front(), "ns_per_op.BM_New");
+  EXPECT_EQ(cmp.deltas.size(), 1u);
+}
+
+TEST(BenchCompare, TextRenderingIsDeterministicAndFlagsRegressions) {
+  const BenchSample base = sample_with(100.0, 1000.0);
+  const BenchComparison cmp =
+      obs::compare_bench(base, sample_with(200.0, 950.0), 0.15);
+  std::ostringstream a, b;
+  obs::write_bench_diff_text(a, cmp);
+  obs::write_bench_diff_text(b, cmp);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("REGRESSION"), std::string::npos);
+  EXPECT_NE(a.str().find("1 regression(s)"), std::string::npos);
+  // Map ordering: items_per_second.BM_B sorts before ns_per_op.BM_A.
+  EXPECT_LT(a.str().find("items_per_second.BM_B"),
+            a.str().find("ns_per_op.BM_A"));
+}
+
+}  // namespace

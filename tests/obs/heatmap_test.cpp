@@ -1,0 +1,182 @@
+// ContentionHeatmap: (stage, port, VL) cell folding, distinct-flow counting
+// (the dynamic HSD witness), stage windows and the deterministic JSON shape.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cps/generators.hpp"
+#include "obs/heatmap.hpp"
+#include "obs/sim_hooks.hpp"
+#include "obs/trace.hpp"
+#include "routing/dmodk.hpp"
+#include "sim/packet_sim.hpp"
+#include "topology/presets.hpp"
+
+namespace {
+
+using namespace ftcf;
+using obs::ContentionHeatmap;
+using obs::EventKind;
+using obs::HeatmapKey;
+using obs::TraceEvent;
+
+TraceEvent forwarded(sim::SimTime at, sim::SimTime dur, std::uint32_t port,
+                     std::uint32_t msg, std::uint16_t stage,
+                     std::uint8_t vl = 0) {
+  TraceEvent ev;
+  ev.at = at;
+  ev.dur = dur;
+  ev.kind = EventKind::kPacketForwarded;
+  ev.a = port;
+  ev.b = msg;
+  ev.stage = stage;
+  ev.vl = vl;
+  return ev;
+}
+
+TraceEvent stage_marker(sim::SimTime at, EventKind kind, std::uint32_t stage) {
+  TraceEvent ev;
+  ev.at = at;
+  ev.kind = kind;
+  ev.a = stage;
+  ev.stage = static_cast<std::uint16_t>(stage);
+  return ev;
+}
+
+TEST(Heatmap, CountsDistinctMessagesPerCell) {
+  ContentionHeatmap hm;
+  const TraceEvent evs[] = {
+      forwarded(0, 10, /*port=*/5, /*msg=*/1, /*stage=*/0),
+      forwarded(10, 10, 5, 1, 0),  // same message again: packets 2, flows 1
+      forwarded(20, 10, 5, 2, 0),  // second distinct message
+      forwarded(0, 10, 6, 3, 0),   // different port: own cell
+  };
+  hm.ingest(evs);
+  const auto& cells = hm.cells();
+  ASSERT_EQ(cells.size(), 2u);
+  const auto& hot = cells.at(HeatmapKey{0, 5, 0});
+  EXPECT_EQ(hot.packets, 3u);
+  EXPECT_EQ(hot.flows, 2u);
+  EXPECT_EQ(hot.busy_ns, 30u);
+  EXPECT_EQ(cells.at(HeatmapKey{0, 6, 0}).flows, 1u);
+}
+
+TEST(Heatmap, MaxFlowsSumsVlCellsOfOnePort) {
+  ContentionHeatmap hm;
+  const TraceEvent evs[] = {
+      forwarded(0, 1, 4, 1, 0, /*vl=*/0),
+      forwarded(1, 1, 4, 2, 0, /*vl=*/1),  // same port, other lane
+      forwarded(2, 1, 9, 3, 0, /*vl=*/0),
+      forwarded(3, 1, 9, 3, 1, /*vl=*/0),  // stage 1: separate accounting
+  };
+  hm.ingest(evs);
+  // Port 4 carries msgs {1, 2} across two VLs -> 2 concurrent flows.
+  EXPECT_EQ(hm.max_flows_in_stage(0), 2u);
+  EXPECT_EQ(hm.max_flows_in_stage(1), 1u);
+  EXPECT_EQ(hm.max_flows_in_stage(7), 0u);
+}
+
+TEST(Heatmap, StageWindowFromMarkersWithSpanFallback) {
+  ContentionHeatmap hm;
+  const TraceEvent evs[] = {
+      stage_marker(100, EventKind::kStageBegin, 0),
+      forwarded(150, 10, 2, 1, 0),
+      stage_marker(400, EventKind::kStageEnd, 0),
+      forwarded(500, 20, 2, 2, 3),  // stage 3 never got markers
+  };
+  hm.ingest(evs);
+  EXPECT_EQ(hm.stage_window_ns(0), 300u);
+  // No markers for stage 3: falls back to the full ingested span.
+  EXPECT_EQ(hm.stage_window_ns(3), 420u);
+}
+
+TEST(Heatmap, QueueAndSampleEventsFillWatermarks) {
+  ContentionHeatmap hm;
+  TraceEvent queue;
+  queue.kind = EventKind::kQueueDepth;
+  queue.a = 3;
+  queue.b = 4;
+  queue.stage = 0;
+  TraceEvent sample;
+  sample.at = 10;
+  sample.kind = EventKind::kLinkSample;
+  sample.a = 3;
+  sample.b = 987;  // util permille
+  sample.c = 6;    // queue depth
+  sample.stage = 0;
+  const TraceEvent evs[] = {queue, sample};
+  hm.ingest(evs);
+  const auto& cell = hm.cells().at(HeatmapKey{0, 3, 0});
+  EXPECT_EQ(cell.max_queue, 6u);  // sample's depth beats the watermark event
+  EXPECT_EQ(cell.max_sample_permille, 987u);
+}
+
+TEST(Heatmap, JsonShapeSortedAndNoStageLast) {
+  ContentionHeatmap hm;
+  const TraceEvent evs[] = {
+      forwarded(0, 5, 2, 1, obs::kNoStage),
+      forwarded(0, 5, 1, 1, 0),
+  };
+  hm.ingest(evs);
+  std::ostringstream os;
+  write_heatmap_json(os, hm, {{"tool", "test"}});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"meta\":{\"tool\":\"test\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"num_stages\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"total_cells\":2"), std::string::npos);
+  // Stage 0 before the out-of-stage group, which renders as -1.
+  const auto stage0 = json.find("\"stage\":0");
+  const auto nostage = json.find("\"stage\":-1");
+  ASSERT_NE(stage0, std::string::npos);
+  ASSERT_NE(nostage, std::string::npos);
+  EXPECT_LT(stage0, nostage);
+}
+
+TEST(Heatmap, UtilFallsBackToSampledPermille) {
+  ContentionHeatmap hm;
+  TraceEvent sample;
+  sample.kind = EventKind::kLinkSample;
+  sample.a = 1;
+  sample.b = 500;
+  sample.stage = 0;
+  const TraceEvent evs[] = {sample};
+  hm.ingest(evs);
+  std::ostringstream os;
+  write_heatmap_json(os, hm);
+  // busy_ns is 0, so util comes from the 500-permille sample.
+  EXPECT_NE(os.str().find("\"util\":0.5"), std::string::npos);
+}
+
+// End-to-end: a synchronized packet-sim run produces per-stage cells whose
+// max_flows match the contention-free claim (HSD = 1 per stage for the
+// in-order shift schedule of a paper preset).
+TEST(Heatmap, PacketSimSynchronizedRunYieldsPerStageCells) {
+  const topo::Fabric fabric(topo::paper_cluster(16));
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  sim::PacketSim psim(fabric, tables);
+
+  obs::TraceRecorder rec;
+  obs::SimObserver observer;
+  observer.trace = &rec;
+  observer.sample_period_ns = 0;
+  psim.set_observer(observer);
+
+  const auto ordering = order::NodeOrdering::topology(fabric);
+  const auto seq = cps::generate(cps::CpsKind::kShift, fabric.num_hosts());
+  const auto traffic =
+      sim::traffic_from_cps(seq, ordering, fabric.num_hosts(), 1024);
+  (void)psim.run(traffic, sim::Progression::kSynchronized);
+
+  ContentionHeatmap hm;
+  hm.ingest(rec);
+  ASSERT_FALSE(hm.cells().empty());
+  const auto stages = hm.stages();
+  ASSERT_GE(stages.size(), 2u);
+  for (const std::uint16_t stage : stages) {
+    if (stage == obs::kNoStage) continue;
+    EXPECT_EQ(hm.max_flows_in_stage(stage), 1u) << "stage " << stage;
+    EXPECT_GT(hm.stage_window_ns(stage), 0u);
+  }
+}
+
+}  // namespace

@@ -85,6 +85,66 @@ TEST(Metrics, SeriesKeepsRecordingOrder) {
   EXPECT_DOUBLE_EQ(s.values()[1], 0.75);
 }
 
+TEST(Metrics, SeriesDecimatesAtCapacityWithStrideDoubling) {
+  TimeSeries s;
+  s.set_capacity(4);
+  for (sim::SimTime t = 0; t < 10; ++t)
+    s.sample(t, static_cast<double>(t));
+  // Offers 0..9 with capacity 4: stride doubles 1 -> 2 -> 4, and the
+  // retained set is exactly the offers at indices divisible by the final
+  // stride — a pure function of the offer sequence, never of timing.
+  EXPECT_EQ(s.offered(), 10u);
+  EXPECT_EQ(s.stride(), 4u);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.times()[0], 0);
+  EXPECT_EQ(s.times()[1], 4);
+  EXPECT_EQ(s.times()[2], 8);
+  // Memory stays bounded: at most capacity samples (16 bytes each) are held
+  // no matter how many offers arrive.
+  for (sim::SimTime t = 10; t < 1000; ++t) s.sample(t, 0.0);
+  EXPECT_LE(s.size(), 4u);
+}
+
+TEST(Metrics, SeriesRetentionIsDeterministic) {
+  TimeSeries a, b;
+  a.set_capacity(8);
+  b.set_capacity(8);
+  for (sim::SimTime t = 0; t < 333; ++t) {
+    a.sample(t * 7, static_cast<double>(t));
+    b.sample(t * 7, static_cast<double>(t));
+  }
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.times()[i], b.times()[i]);
+    EXPECT_DOUBLE_EQ(a.values()[i], b.values()[i]);
+  }
+}
+
+TEST(Metrics, SeriesShrinkingCapacityDecimatesInPlace) {
+  TimeSeries s;
+  for (sim::SimTime t = 0; t < 16; ++t)
+    s.sample(t, static_cast<double>(t));
+  ASSERT_EQ(s.size(), 16u);
+  s.set_capacity(4);
+  EXPECT_LE(s.size(), 4u);
+  EXPECT_EQ(s.times()[0], 0);  // head of the run is always retained
+  // Capacity clamps to >= 2 so decimation always terminates.
+  s.set_capacity(0);
+  EXPECT_EQ(s.capacity(), 2u);
+}
+
+TEST(Metrics, RegistrySeriesCapacityAppliesToNewSeries) {
+  MetricsRegistry registry;
+  registry.set_series_capacity(4);
+  TimeSeries& s = registry.series("bounded");
+  EXPECT_EQ(s.capacity(), 4u);
+  for (sim::SimTime t = 0; t < 100; ++t) s.sample(t, 1.0);
+  EXPECT_LE(registry.series("bounded").size(), 4u);
+  // Default capacity documents the memory bound: kDefaultCapacity samples.
+  MetricsRegistry fresh;
+  EXPECT_EQ(fresh.series("x").capacity(), TimeSeries::kDefaultCapacity);
+}
+
 TEST(Metrics, JsonExportContainsAllSections) {
   MetricsRegistry registry;
   registry.set_meta("tool", "test");

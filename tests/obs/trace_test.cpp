@@ -156,7 +156,7 @@ TEST(TraceExport, CsvHasHeaderAndOneLinePerEvent) {
   std::ostringstream os;
   write_trace_csv(rec, os);
   const std::string csv = os.str();
-  EXPECT_EQ(csv.rfind("ts_ns,kind,a,b,c,dur_ns\n", 0), 0u);
+  EXPECT_EQ(csv.rfind("ts_ns,kind,a,b,c,dur_ns,vl,stage\n", 0), 0u);
   std::size_t lines = 0;
   for (const char ch : csv)
     if (ch == '\n') ++lines;

@@ -1,0 +1,63 @@
+// bench_diff — compare two BENCH_*.json micro-benchmark exports and fail on
+// regressions, the CI gate of the bench regression tracker:
+//
+//   bench_diff --baseline BENCH_micro_perf.json --current build/bench.json
+//              [--threshold 0.15]
+//
+// Exit codes: 0 no regression beyond the threshold, 1 at least one case
+// regressed (or a baseline case disappeared), 2 usage error / malformed
+// input. The text diff on stdout is deterministic (name-sorted).
+#include <fstream>
+#include <iostream>
+
+#include "obs/bench_compare.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/parse.hpp"
+
+namespace {
+
+ftcf::obs::BenchSample load_sample(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is)
+    throw ftcf::util::Error("cannot open bench json '" + path + "'");
+  return ftcf::obs::parse_bench_json(is);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftcf;
+  try {
+    util::Cli cli("bench_diff",
+                  "diff two BENCH_*.json exports, fail on perf regressions");
+    cli.add_option("baseline", "committed baseline BENCH_*.json", "");
+    cli.add_option("current", "freshly produced BENCH_*.json", "");
+    cli.add_option("threshold",
+                   "regression fraction that fails (0.15 = 15%)", "0.15");
+    cli.add_flag("allow-missing",
+                 "do not fail when a baseline case is absent from current");
+    if (!cli.parse(argc, argv)) return 0;
+    if (cli.str("baseline").empty() || cli.str("current").empty())
+      throw util::Error("need --baseline and --current");
+    const auto threshold = util::parse_f64(cli.str("threshold"));
+    if (!threshold || !(*threshold >= 0))
+      throw util::Error("--threshold must be a non-negative number");
+
+    const obs::BenchSample baseline = load_sample(cli.str("baseline"));
+    const obs::BenchSample current = load_sample(cli.str("current"));
+    const obs::BenchComparison cmp =
+        obs::compare_bench(baseline, current, *threshold);
+    obs::write_bench_diff_text(std::cout, cmp);
+
+    const bool missing_fails =
+        !cmp.missing.empty() && !cli.flag("allow-missing");
+    return cmp.regressed() || missing_fails ? 1 : 0;
+  } catch (const util::Error& ex) {
+    std::cerr << "error: " << ex.what() << '\n';
+    return 2;
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << '\n';
+    return 2;
+  }
+}

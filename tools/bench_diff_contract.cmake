@@ -1,0 +1,37 @@
+# Exit-code contract of tools/bench_diff on synthetic BENCH_*.json inputs:
+#   0 - all cases within the threshold,
+#   1 - a regression beyond the threshold, or a baseline case disappeared,
+#   2 - usage error / malformed JSON.
+if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "bench_diff_contract.cmake needs -DTOOL= and -DOUT_DIR=")
+endif()
+set(base "${OUT_DIR}/bench_base.json")
+set(ok "${OUT_DIR}/bench_ok.json")
+set(slow "${OUT_DIR}/bench_slow.json")
+set(gone "${OUT_DIR}/bench_gone.json")
+set(bad "${OUT_DIR}/bench_bad.json")
+file(WRITE ${base} "{\"meta\":{\"bench\":\"synthetic\"},\"counters\":{\"iterations.BM_A\":10},\"gauges\":{\"ns_per_op.BM_A\":100.0,\"items_per_second.BM_B\":1000.0}}")
+file(WRITE ${ok} "{\"meta\":{},\"counters\":{},\"gauges\":{\"ns_per_op.BM_A\":108.0,\"items_per_second.BM_B\":950.0}}")
+file(WRITE ${slow} "{\"meta\":{},\"counters\":{},\"gauges\":{\"ns_per_op.BM_A\":200.0,\"items_per_second.BM_B\":1000.0}}")
+file(WRITE ${gone} "{\"meta\":{},\"counters\":{},\"gauges\":{\"ns_per_op.BM_A\":100.0}}")
+file(WRITE ${bad} "this is not json")
+
+function(expect_exit expected)
+  execute_process(COMMAND ${TOOL} ${ARGN}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE stdout
+                  ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL ${expected})
+    message(FATAL_ERROR
+            "bench_diff ${ARGN}: expected exit ${expected}, got ${rc}\n"
+            "stdout: ${stdout}\nstderr: ${stderr}")
+  endif()
+endfunction()
+
+expect_exit(0 --baseline ${base} --current ${ok})
+expect_exit(1 --baseline ${base} --current ${slow})
+expect_exit(0 --baseline ${base} --current ${slow} --threshold 2.0)
+expect_exit(1 --baseline ${base} --current ${gone})
+expect_exit(0 --baseline ${base} --current ${gone} --allow-missing)
+expect_exit(2 --baseline ${base} --current ${bad})
+expect_exit(2 --baseline ${OUT_DIR}/does_not_exist.json --current ${ok})
+expect_exit(2 --baseline ${base})

@@ -1,0 +1,46 @@
+# cert-telemetry replay acceptance on the 3-level 648-node RLFT:
+#   * in-order Shift CPS: the replayed stages' dynamic per-link flow maxima
+#     match the static witnesses -> exit 0 with a cert-telemetry-ok note;
+#   * adversarial order: still exit 1 (hsd-violation), and the replay
+#     *confirms* the contended stages dynamically — it must not report a
+#     cert-telemetry-mismatch, which would mean the simulator and the
+#     certifier disagree.
+if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "check_replay.cmake needs -DTOOL= and -DOUT_DIR=")
+endif()
+set(spec "PGFT(3\; 6,6,18\; 1,6,6\; 1,1,1)")
+
+execute_process(
+  COMMAND ${TOOL} check --spec ${spec} --order topology --cps shift
+          --certify --replay --threads 2
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "in-order certify+replay expected exit 0, got ${rc}:\n${stdout}")
+endif()
+if(NOT stdout MATCHES "cert-telemetry-ok")
+  message(FATAL_ERROR "in-order replay missing cert-telemetry-ok:\n${stdout}")
+endif()
+if(stdout MATCHES "cert-telemetry-mismatch")
+  message(FATAL_ERROR "in-order replay reported a mismatch:\n${stdout}")
+endif()
+
+execute_process(
+  COMMAND ${TOOL} check --spec ${spec} --order adversarial --cps shift
+          --certify --replay --threads 2
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "adversarial certify+replay expected exit 1, got ${rc}:\n${stdout}")
+endif()
+if(NOT stdout MATCHES "hsd-violation")
+  message(FATAL_ERROR "adversarial run missing hsd-violation:\n${stdout}")
+endif()
+if(stdout MATCHES "cert-telemetry-mismatch")
+  message(FATAL_ERROR
+          "adversarial replay disagreed with the certifier:\n${stdout}")
+endif()
+if(NOT stdout MATCHES "confirmed dynamically")
+  message(FATAL_ERROR
+          "adversarial replay did not confirm the contended stages:\n${stdout}")
+endif()

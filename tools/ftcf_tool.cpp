@@ -22,9 +22,11 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 
 #include "analysis/hsd.hpp"
 #include "check/check.hpp"
+#include "obs/heatmap.hpp"
 #include "fault/fault_spec.hpp"
 #include "routing/degraded.hpp"
 #include "core/grouped_rd.hpp"
@@ -41,6 +43,7 @@
 #include "topology/presets.hpp"
 #include "topology/topo_io.hpp"
 #include "topology/validate.hpp"
+#include "run_report.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -258,6 +261,9 @@ int cmd_simulate(int argc, const char* const* argv) {
   cli.add_option("retries", "max send attempts per packet (0 = default)", "0");
   cli.add_flag("sync", "barrier between stages");
   cli.add_flag("adaptive", "adaptive up-port selection");
+  cli.add_option("vls", "attach a proposed destination->VL assignment of at "
+                 "most N lanes so trace/heatmap cells split per VL (0 = off)",
+                 "0");
   add_fault_options(cli);
   obs::ObsCli::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
@@ -277,6 +283,15 @@ int cmd_simulate(int argc, const char* const* argv) {
           : cps::generate(cps::parse_cps(cli.str("cps")), fabric.num_hosts());
   const auto traffic = sim::traffic_from_cps(
       seq, ordering, fabric.num_hosts(), cli.uinteger("kib") * 1024);
+
+  // The VL table must be attached before the observer is copied into the sim.
+  std::optional<check::VlAssignment> vl;
+  if (cli.uinteger("vls") > 0) {
+    vl = check::propose_vl_assignment(
+        fabric, tables, static_cast<std::uint32_t>(cli.uinteger("vls")));
+    obs_cli.set_vl_table(&vl->lane_of_dest);
+    obs_cli.set_heatmap_meta("vls", std::to_string(vl->num_lanes));
+  }
 
   sim::PacketSim psim(fabric, tables);
   psim.set_observer(obs_cli.observer());
@@ -331,6 +346,10 @@ int cmd_simulate(int argc, const char* const* argv) {
     obs_cli.metrics()->set_meta("order", cli.str("order"));
     if (faults) obs_cli.metrics()->set_meta("faults", fault_spec.to_string());
   }
+  obs_cli.set_heatmap_meta("tool", "ftcf_tool simulate");
+  obs_cli.set_heatmap_meta("topology", fabric.spec().to_string());
+  obs_cli.set_heatmap_meta("cps", cli.str("cps"));
+  obs_cli.set_heatmap_meta("order", cli.str("order"));
   obs_cli.finish(topo::trace_naming(fabric));
   return 0;
 }
@@ -394,6 +413,11 @@ int cmd_check(int argc, const char* const* argv) {
   cli.add_flag("certify", "emit a per-stage HSD=1 certificate or root-cause "
                "blame (requires --order and --cps)");
   cli.add_option("cert-out", "certificate JSON file ('-' = skip)", "-");
+  cli.add_flag("replay", "re-simulate a sample of the certified stages and "
+               "cross-check per-link telemetry against the witnesses "
+               "(requires --certify)");
+  cli.add_option("replay-stages", "stage-sample size for --replay (0 = all "
+                 "loaded stages)", "6");
   cli.add_option("vls", "propose a virtual-lane assignment of at most N "
                  "lanes whose per-lane CDGs are acyclic (0 = off)", "0");
   cli.add_flag("credit-loops", "prove the packet simulator's credit "
@@ -449,6 +473,10 @@ int cmd_check(int argc, const char* const* argv) {
   options.certify = cli.flag("certify");
   if (options.certify && (!ordering || !sequence))
     throw util::Error("--certify requires --order and --cps");
+  options.replay_telemetry = cli.flag("replay");
+  if (options.replay_telemetry && !options.certify)
+    throw util::Error("--replay requires --certify");
+  options.replay.max_stages = cli.uinteger("replay-stages");
   options.propose_vls = static_cast<std::uint32_t>(cli.uinteger("vls"));
   options.credit_loops = cli.flag("credit-loops");
 
@@ -468,6 +496,11 @@ int cmd_check(int argc, const char* const* argv) {
               << cert.stages.size() << " stage(s), " << cert.blames.size()
               << " violation(s)\n";
   }
+  if (report.telemetry)
+    std::cout << "telemetry replay: " << report.telemetry->stages.size()
+              << " stage(s) re-simulated, " << report.telemetry->mismatches
+              << " mismatch(es), " << report.telemetry->inconclusive
+              << " inconclusive\n";
   if (report.vl)
     std::cout << "VL: " << check::vl_assignment_to_string(report.vl->assignment)
               << (report.vl->analysis.all_acyclic() ? " [all lanes acyclic]"
@@ -521,17 +554,117 @@ int cmd_check(int argc, const char* const* argv) {
 
 int cmd_report(int argc, const char* const* argv) {
   util::Cli cli("ftcf_tool report",
-                "full structural/routing/congestion report for a fabric");
+                "full structural/routing/congestion report for a fabric; "
+                "with --run-out/--html-out, one merged run-report document "
+                "(simulate + certify + heatmap + metrics in one JSON)");
   add_fabric_options(cli);
   cli.add_option("trials", "random-order baseline trials", "3");
   cli.add_flag("no-theorems", "skip the exhaustive theorem checks");
+  cli.add_option("router", "dmodk|ftree|updown|random", "dmodk");
+  cli.add_option("cps", "CPS for the merged run report (see hsd)", "ring");
+  cli.add_option("order", "node ordering for the merged run report", "topology");
+  cli.add_option("kib", "message size in KiB for the merged run report", "16");
+  cli.add_option("seed", "seed for randomized choices", "1");
+  cli.add_option("run-out", "merged run-report JSON file ('-' = legacy text "
+                 "report)", "-");
+  cli.add_option("html-out", "merged run-report HTML file ('-' = skip)", "-");
   if (!cli.parse(argc, argv)) return 0;
   apply_threads(cli);
   const topo::Fabric fabric = load_fabric(cli);
-  core::ReportOptions options;
-  options.check_theorems = !cli.flag("no-theorems");
-  options.random_trials = static_cast<std::uint32_t>(cli.uinteger("trials"));
-  core::write_fabric_report(fabric, std::cout, options);
+
+  if (cli.str("run-out") == "-" && cli.str("html-out") == "-") {
+    core::ReportOptions options;
+    options.check_theorems = !cli.flag("no-theorems");
+    options.random_trials = static_cast<std::uint32_t>(cli.uinteger("trials"));
+    core::write_fabric_report(fabric, std::cout, options);
+    return 0;
+  }
+
+  // Merged run-report mode: certify the plan, re-simulate it synchronized
+  // with full telemetry, and fold every artifact into one document.
+  const auto tables = load_tables(cli, fabric, nullptr);
+  const auto ordering =
+      load_ordering(cli.str("order"), fabric, cli.uinteger("seed"));
+  const cps::Sequence seq =
+      cli.str("cps") == "grouped-rd"
+          ? core::grouped_recursive_doubling(fabric)
+          : cps::generate(cps::parse_cps(cli.str("cps")), fabric.num_hosts());
+
+  check::CheckOptions check_options;
+  check_options.ordering = &ordering;
+  check_options.sequence = &seq;
+  check_options.certify = true;
+  const check::CheckReport check_report =
+      check::run_check(fabric, tables, check_options);
+
+  const std::map<std::string, std::string> meta = {
+      {"tool", "ftcf_tool report"},
+      {"topology", fabric.spec().to_string()},
+      {"router", cli.str("router")},
+      {"cps", cli.str("cps")},
+      {"order", cli.str("order")},
+      {"kib", std::to_string(cli.uinteger("kib"))}};
+
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  obs::SimObserver observer;
+  observer.trace = &trace;
+  observer.metrics = &metrics;
+  sim::PacketSim psim(fabric, tables);
+  psim.set_observer(observer);
+  const auto traffic = sim::traffic_from_cps(
+      seq, ordering, fabric.num_hosts(), cli.uinteger("kib") * 1024);
+  const auto result = psim.run(traffic, sim::Progression::kSynchronized);
+  for (const auto& [key, value] : meta) metrics.set_meta(key, value);
+
+  obs::ContentionHeatmap heatmap;
+  heatmap.ingest(trace);
+
+  tools::RunReportDoc doc;
+  doc.meta = meta;
+  doc.summary.makespan_us = sim::to_us(result.makespan);
+  doc.summary.normalized_bw = result.normalized_bw;
+  doc.summary.bytes_delivered = result.bytes_delivered;
+  doc.summary.events = result.events;
+  doc.summary.out_of_order_packets = result.out_of_order_packets;
+  doc.summary.trace_events = trace.size();
+  doc.summary.trace_dropped = trace.dropped();
+  {
+    std::ostringstream os;
+    check::write_certificate_json(os, *check_report.certificate, meta);
+    doc.certificate_json = os.str();
+  }
+  {
+    std::ostringstream os;
+    check_report.diagnostics.write_json(os, meta);
+    doc.diagnostics_json = os.str();
+  }
+  {
+    std::ostringstream os;
+    metrics.write_json(os);
+    doc.metrics_json = os.str();
+  }
+  {
+    std::ostringstream os;
+    obs::write_heatmap_json(os, heatmap, meta);
+    doc.heatmap_json = os.str();
+  }
+
+  if (cli.str("run-out") != "-") {
+    std::ofstream os(cli.str("run-out"), std::ios::binary | std::ios::trunc);
+    if (!os)
+      throw util::Error("cannot open run report '" + cli.str("run-out") + "'");
+    tools::write_run_report_json(os, doc);
+    std::cout << "wrote " << cli.str("run-out") << '\n';
+  }
+  if (cli.str("html-out") != "-") {
+    std::ofstream os(cli.str("html-out"), std::ios::binary | std::ios::trunc);
+    if (!os)
+      throw util::Error("cannot open run report '" + cli.str("html-out") +
+                        "'");
+    tools::write_run_report_html(os, doc);
+    std::cout << "wrote " << cli.str("html-out") << '\n';
+  }
   return 0;
 }
 

@@ -1,0 +1,42 @@
+# Telemetry determinism acceptance on the 3-level 648-node RLFT: the trace,
+# metrics and contention-heatmap JSON artifacts of `ftcf_tool simulate` must
+# be byte-identical for --threads 1, 2 and 8. The packet simulator's event
+# schedule is serial-deterministic and every exporter carries content-only
+# meta, so any divergence is a real determinism bug.
+if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "heatmap_determinism.cmake needs -DTOOL= and -DOUT_DIR=")
+endif()
+set(spec "PGFT(3\; 6,6,18\; 1,6,6\; 1,1,1)")
+foreach(threads 1 2 8)
+  execute_process(
+    COMMAND ${TOOL} simulate --spec ${spec} --cps grouped-rd --sync --kib 1
+            --threads ${threads}
+            --heatmap ${OUT_DIR}/hm_t${threads}.json
+            --trace ${OUT_DIR}/tr_t${threads}.json
+            --metrics ${OUT_DIR}/mx_t${threads}.json
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "simulate --threads ${threads} exited ${rc}")
+  endif()
+endforeach()
+foreach(artifact hm tr mx)
+  foreach(threads 2 8)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                    ${OUT_DIR}/${artifact}_t1.json
+                    ${OUT_DIR}/${artifact}_t${threads}.json
+                    RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+      message(FATAL_ERROR
+              "${artifact} JSON differs between --threads 1 and ${threads}")
+    endif()
+  endforeach()
+endforeach()
+# The heatmap must actually contain per-stage cells, not an empty shell.
+file(READ ${OUT_DIR}/hm_t1.json heatmap)
+if(NOT heatmap MATCHES "\"num_stages\":")
+  message(FATAL_ERROR "heatmap JSON missing num_stages:\n${heatmap}")
+endif()
+if(heatmap MATCHES "\"total_cells\":0[,}]")
+  message(FATAL_ERROR "heatmap JSON has no cells:\n${heatmap}")
+endif()

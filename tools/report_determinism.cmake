@@ -1,0 +1,38 @@
+# The merged run report (`ftcf_tool report --run-out/--html-out`) embeds the
+# certificate, diagnostics, metrics and heatmap sub-documents; all of them
+# are deterministic, so the merged JSON and HTML must be byte-identical for
+# every --threads value.
+if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "report_determinism.cmake needs -DTOOL= and -DOUT_DIR=")
+endif()
+foreach(threads 1 8)
+  execute_process(
+    COMMAND ${TOOL} report --nodes 128 --cps shift --order topology --kib 4
+            --threads ${threads}
+            --run-out ${OUT_DIR}/run_t${threads}.json
+            --html-out ${OUT_DIR}/run_t${threads}.html
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "report --threads ${threads} exited ${rc}")
+  endif()
+endforeach()
+foreach(ext json html)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${OUT_DIR}/run_t1.${ext} ${OUT_DIR}/run_t8.${ext}
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+            "run report ${ext} differs between --threads 1 and 8")
+  endif()
+endforeach()
+# Every section must be present in the merged document.
+file(READ ${OUT_DIR}/run_t1.json report)
+foreach(section certificate diagnostics heatmap meta metrics summary)
+  if(NOT report MATCHES "\"${section}\":")
+    message(FATAL_ERROR "run report missing section '${section}':\n${report}")
+  endif()
+endforeach()
+if(report MATCHES "\"certificate\":null")
+  message(FATAL_ERROR "run report has a null certificate:\n${report}")
+endif()

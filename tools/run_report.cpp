@@ -1,0 +1,151 @@
+#include "run_report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace ftcf::tools {
+
+namespace {
+
+void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void print_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << (std::isnan(v) ? "null" : (v > 0 ? "1e308" : "-1e308"));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+/// Emit a complete sub-document verbatim (sans trailing whitespace), or null.
+void embed(std::ostream& os, const std::string& sub) {
+  if (sub.empty()) {
+    os << "null";
+    return;
+  }
+  std::string_view v = sub;
+  while (!v.empty() && (v.back() == '\n' || v.back() == '\r' ||
+                        v.back() == ' ' || v.back() == '\t'))
+    v.remove_suffix(1);
+  os << v;
+}
+
+void write_summary(std::ostream& os, const RunSummary& s) {
+  os << "{\"bytes_delivered\":" << s.bytes_delivered << ",\"events\":"
+     << s.events << ",\"makespan_us\":";
+  print_double(os, s.makespan_us);
+  os << ",\"normalized_bw\":";
+  print_double(os, s.normalized_bw);
+  os << ",\"out_of_order_packets\":" << s.out_of_order_packets
+     << ",\"trace_dropped\":" << s.trace_dropped
+     << ",\"trace_events\":" << s.trace_events << "}";
+}
+
+void html_escape(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '&': os << "&amp;"; break;
+      case '<': os << "&lt;"; break;
+      case '>': os << "&gt;"; break;
+      default: os << c;
+    }
+  }
+}
+
+void html_section(std::ostream& os, const char* title,
+                  const std::string& sub) {
+  os << "<h2>" << title << "</h2>\n";
+  if (sub.empty()) {
+    os << "<p><em>not collected for this run</em></p>\n";
+    return;
+  }
+  os << "<details open><summary>" << title << " JSON</summary><pre>";
+  html_escape(os, sub);
+  os << "</pre></details>\n";
+}
+
+}  // namespace
+
+void write_run_report_json(std::ostream& os, const RunReportDoc& doc) {
+  os << "{\n \"certificate\":";
+  embed(os, doc.certificate_json);
+  os << ",\n \"diagnostics\":";
+  embed(os, doc.diagnostics_json);
+  os << ",\n \"heatmap\":";
+  embed(os, doc.heatmap_json);
+  os << ",\n \"meta\":{";
+  bool first = true;
+  for (const auto& [key, value] : doc.meta) {
+    if (!first) os << ',';
+    first = false;
+    json_string(os, key);
+    os << ':';
+    json_string(os, value);
+  }
+  os << "},\n \"metrics\":";
+  embed(os, doc.metrics_json);
+  os << ",\n \"summary\":";
+  write_summary(os, doc.summary);
+  os << "\n}\n";
+}
+
+void write_run_report_html(std::ostream& os, const RunReportDoc& doc) {
+  os << "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n"
+        "<title>ftcf run report</title>\n"
+        "<style>body{font-family:sans-serif;margin:2em;}"
+        "table{border-collapse:collapse;}"
+        "td,th{border:1px solid #999;padding:0.3em 0.8em;text-align:left;}"
+        "pre{background:#f4f4f4;padding:1em;overflow-x:auto;}</style>\n"
+        "</head><body>\n<h1>ftcf run report</h1>\n<table>\n";
+  for (const auto& [key, value] : doc.meta) {
+    os << "<tr><th>";
+    html_escape(os, key);
+    os << "</th><td>";
+    html_escape(os, value);
+    os << "</td></tr>\n";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f us", doc.summary.makespan_us);
+  os << "<tr><th>makespan</th><td>" << buf << "</td></tr>\n";
+  std::snprintf(buf, sizeof buf, "%.1f%%", doc.summary.normalized_bw * 100.0);
+  os << "<tr><th>normalized BW</th><td>" << buf << "</td></tr>\n"
+     << "<tr><th>bytes delivered</th><td>" << doc.summary.bytes_delivered
+     << "</td></tr>\n"
+     << "<tr><th>sim events</th><td>" << doc.summary.events << "</td></tr>\n"
+     << "<tr><th>trace events</th><td>" << doc.summary.trace_events
+     << (doc.summary.trace_dropped > 0
+             ? " (TRUNCATED: " + std::to_string(doc.summary.trace_dropped) +
+                   " dropped)"
+             : "")
+     << "</td></tr>\n</table>\n";
+  html_section(os, "certificate", doc.certificate_json);
+  html_section(os, "diagnostics", doc.diagnostics_json);
+  html_section(os, "heatmap", doc.heatmap_json);
+  html_section(os, "metrics", doc.metrics_json);
+  os << "</body></html>\n";
+}
+
+}  // namespace ftcf::tools

@@ -1,0 +1,55 @@
+// Unified run report: one deterministic JSON document merging everything a
+// certified simulation run produces — the simulator's aggregate results, the
+// metrics registry, the contention heatmap, the static certificate and the
+// diagnostics findings. Lives in tools/ (not core) because it is the one
+// place that may depend on every layer at once; the library DAG below stays
+// acyclic.
+//
+// Each section is a complete sub-document emitted by its own deterministic
+// writer (obs::MetricsRegistry::write_json, obs::write_heatmap_json,
+// check::write_certificate_json, check::Diagnostics::write_json); this
+// module embeds them verbatim under sorted top-level keys, so the merged
+// report is byte-identical whenever its inputs are — in particular at any
+// --threads count. Absent sections render as JSON null.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace ftcf::tools {
+
+/// Scalar simulation outcomes surfaced at the top of the report.
+struct RunSummary {
+  double makespan_us = 0.0;
+  double normalized_bw = 0.0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t events = 0;
+  std::uint64_t out_of_order_packets = 0;
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+};
+
+/// The merged document. The *_json fields hold complete JSON sub-documents
+/// (as their writers produced them); empty string = section absent (null).
+struct RunReportDoc {
+  std::map<std::string, std::string> meta;
+  RunSummary summary;
+  std::string certificate_json;
+  std::string diagnostics_json;
+  std::string metrics_json;
+  std::string heatmap_json;
+};
+
+/// Write the report as one JSON object with sorted keys:
+///   {"certificate":...,"diagnostics":...,"heatmap":...,"meta":{...},
+///    "metrics":...,"summary":{...}}
+void write_run_report_json(std::ostream& os, const RunReportDoc& doc);
+
+/// Self-contained HTML rendering of the same document: summary table up
+/// front, every section embedded as pretty-printed JSON. No external assets,
+/// deterministic byte-for-byte.
+void write_run_report_html(std::ostream& os, const RunReportDoc& doc);
+
+}  // namespace ftcf::tools
