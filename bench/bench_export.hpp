@@ -1,0 +1,77 @@
+// Shared google-benchmark → BENCH_*.json export harness.
+//
+// Every bench binary that feeds the CI bench_diff gate uses the same two
+// pieces: a ConsoleReporter subclass that mirrors each case's ns/op,
+// iteration count and items/s into an obs::MetricsRegistry, and a writer
+// that dumps the registry to the binary's BENCH_<name>.json (overridable
+// via FTCF_BENCH_JSON; set it to "" to skip the export).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ftcf::benchio {
+
+/// ConsoleReporter that additionally collects each case's ns/op (and items/s
+/// where reported) into a MetricsRegistry for the JSON export.
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  JsonExportReporter(obs::MetricsRegistry& registry, std::string bench_name)
+      : registry_(registry), bench_name_(std::move(bench_name)) {}
+
+  bool ReportContext(const Context& context) override {
+    registry_.set_meta("bench", bench_name_);
+    registry_.set_meta("num_cpus", std::to_string(context.cpu_info.num_cpus));
+    std::ostringstream mhz;
+    mhz << context.cpu_info.cycles_per_second / 1e6;
+    registry_.set_meta("cpu_mhz", mhz.str());
+    return ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    ConsoleReporter::ReportRuns(report);
+    for (const Run& run : report) {
+      if (run.error_occurred) continue;
+      if (run.run_type != Run::RT_Iteration) continue;  // skip aggregates
+      const std::string name = run.benchmark_name();
+      // Default time unit is ns, so the adjusted real time is ns/op.
+      registry_.gauge("ns_per_op." + name).set(run.GetAdjustedRealTime());
+      registry_.counter("iterations." + name)
+          .inc(static_cast<std::uint64_t>(run.iterations));
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end())
+        registry_.gauge("items_per_second." + name).set(items->second.value);
+    }
+  }
+
+ private:
+  obs::MetricsRegistry& registry_;
+  std::string bench_name_;
+};
+
+/// Write the registry to `default_path` (FTCF_BENCH_JSON overrides; empty
+/// path skips). Returns the process exit code.
+inline int write_bench_json(const obs::MetricsRegistry& registry,
+                            const std::string& default_path) {
+  const char* env = std::getenv("FTCF_BENCH_JSON");
+  const std::string path = env != nullptr ? env : default_path;
+  if (path.empty()) return 0;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  registry.write_json(out);
+  if (!out) {
+    std::cerr << "bench export: cannot write " << path << "\n";
+    return 1;
+  }
+  std::cerr << "wrote " << path << "\n";
+  return 0;
+}
+
+}  // namespace ftcf::benchio

@@ -9,12 +9,8 @@
 // run metadata, for tracking throughput across commits.
 #include <benchmark/benchmark.h>
 
-#include <cstdlib>
-#include <fstream>
-#include <iostream>
-#include <sstream>
-
 #include "analysis/hsd.hpp"
+#include "bench_export.hpp"
 #include "core/grouped_rd.hpp"
 #include "cps/generators.hpp"
 #include "obs/metrics.hpp"
@@ -207,42 +203,6 @@ void BM_PacketSimEventRate(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketSimEventRate);
 
-/// ConsoleReporter that additionally collects each case's ns/op (and items/s
-/// where reported) into a MetricsRegistry for the JSON export.
-class JsonExportReporter : public benchmark::ConsoleReporter {
- public:
-  explicit JsonExportReporter(obs::MetricsRegistry& registry)
-      : registry_(registry) {}
-
-  bool ReportContext(const Context& context) override {
-    registry_.set_meta("bench", "micro_perf");
-    registry_.set_meta("num_cpus", std::to_string(context.cpu_info.num_cpus));
-    std::ostringstream mhz;
-    mhz << context.cpu_info.cycles_per_second / 1e6;
-    registry_.set_meta("cpu_mhz", mhz.str());
-    return ConsoleReporter::ReportContext(context);
-  }
-
-  void ReportRuns(const std::vector<Run>& report) override {
-    ConsoleReporter::ReportRuns(report);
-    for (const Run& run : report) {
-      if (run.error_occurred) continue;
-      if (run.run_type != Run::RT_Iteration) continue;  // skip aggregates
-      const std::string name = run.benchmark_name();
-      // Default time unit is ns, so the adjusted real time is ns/op.
-      registry_.gauge("ns_per_op." + name).set(run.GetAdjustedRealTime());
-      registry_.counter("iterations." + name)
-          .inc(static_cast<std::uint64_t>(run.iterations));
-      const auto items = run.counters.find("items_per_second");
-      if (items != run.counters.end())
-        registry_.gauge("items_per_second." + name).set(items->second.value);
-    }
-  }
-
- private:
-  obs::MetricsRegistry& registry_;
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -250,19 +210,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
 
   obs::MetricsRegistry registry;
-  JsonExportReporter reporter(registry);
+  benchio::JsonExportReporter reporter(registry, "micro_perf");
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-
-  const char* env = std::getenv("FTCF_BENCH_JSON");
-  const std::string path = env != nullptr ? env : "BENCH_micro_perf.json";
-  if (path.empty()) return 0;
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  registry.write_json(out);
-  if (!out) {
-    std::cerr << "micro_perf: cannot write " << path << "\n";
-    return 1;
-  }
-  std::cerr << "wrote " << path << "\n";
-  return 0;
+  return benchio::write_bench_json(registry, "BENCH_micro_perf.json");
 }

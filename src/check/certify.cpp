@@ -38,9 +38,9 @@ bool flow_uses_link(const Fabric& fabric, const route::ForwardingTables& tables,
   return false;
 }
 
-/// Pick the highest-priority lint rule that explains a collision at `stage`.
-/// Returns "" when nothing in the scratch lint findings applies.
-std::string blame_rule(const Diagnostics& lints, std::size_t stage) {
+}  // namespace
+
+std::string detail::blame_rule(const Diagnostics& lints, std::size_t stage) {
   const std::string stage_loc = "stage " + std::to_string(stage);
   const auto has = [&](std::string_view rule,
                        std::string_view location) -> bool {
@@ -61,6 +61,8 @@ std::string blame_rule(const Diagnostics& lints, std::size_t stage) {
     if (has(rule, "")) return rule;
   return "";
 }
+
+namespace {
 
 std::string flows_to_string(const std::vector<CollidingFlow>& flows) {
   std::ostringstream oss;
@@ -159,7 +161,7 @@ Certificate certify_contention_freedom(const Fabric& fabric,
     lint_sequence(sequence, lints);
     lint_tables(fabric, tables, /*degraded_expected=*/false, lints);
     for (StageBlame& blame : cert.blames)
-      blame.blamed_rule = blame_rule(lints, blame.stage);
+      blame.blamed_rule = detail::blame_rule(lints, blame.stage);
   }
   return cert;
 }
@@ -224,6 +226,30 @@ void report_certificate(const Certificate& certificate,
   }
 }
 
+void detail::write_stage_row(std::ostream& os, const StageWitness& w,
+                             std::size_t stage) {
+  os << "{\"flows\":" << w.num_flows << ",\"links_loaded\":" << w.links_loaded
+     << ",\"max_down_hsd\":" << w.max_down_hsd << ",\"max_hsd\":" << w.max_hsd
+     << ",\"max_up_hsd\":" << w.max_up_hsd << ",\"shape\":\""
+     << stage_shape_name(w.shape) << "\",\"stage\":" << stage
+     << ",\"unroutable\":" << w.unroutable_flows << '}';
+}
+
+void detail::write_blame_row(std::ostream& os, const StageBlame& blame) {
+  os << "{\"blame\":";
+  write_json_string(
+      os, blame.blamed_rule.empty() ? "unexplained" : blame.blamed_rule);
+  os << ",\"colliding\":[";
+  for (std::size_t i = 0; i < blame.colliding.size(); ++i) {
+    if (i != 0) os << ',';
+    os << "{\"dst\":" << blame.colliding[i].dst
+       << ",\"src\":" << blame.colliding[i].src << '}';
+  }
+  os << "],\"hot_link\":";
+  write_json_string(os, blame.hot_link_name);
+  os << ",\"max_hsd\":" << blame.max_hsd << ",\"stage\":" << blame.stage << '}';
+}
+
 void write_certificate_json(std::ostream& os, const Certificate& certificate,
                             const std::map<std::string, std::string>& meta) {
   os << "{\n \"meta\":{";
@@ -243,34 +269,16 @@ void write_certificate_json(std::ostream& os, const Certificate& certificate,
   os << ",\"violations\":" << certificate.blames.size() << "},\n \"stages\":[";
   first = true;
   for (std::size_t s = 0; s < certificate.stages.size(); ++s) {
-    const StageWitness& w = certificate.stages[s];
     os << (first ? "\n  " : ",\n  ");
     first = false;
-    os << "{\"flows\":" << w.num_flows
-       << ",\"links_loaded\":" << w.links_loaded
-       << ",\"max_down_hsd\":" << w.max_down_hsd
-       << ",\"max_hsd\":" << w.max_hsd << ",\"max_up_hsd\":" << w.max_up_hsd
-       << ",\"shape\":\"" << stage_shape_name(w.shape) << "\",\"stage\":" << s
-       << ",\"unroutable\":" << w.unroutable_flows << '}';
+    detail::write_stage_row(os, certificate.stages[s], s);
   }
   os << (certificate.stages.empty() ? "]" : "\n ]") << ",\n \"violations\":[";
   first = true;
   for (const StageBlame& blame : certificate.blames) {
     os << (first ? "\n  " : ",\n  ");
     first = false;
-    os << "{\"blame\":";
-    write_json_string(
-        os, blame.blamed_rule.empty() ? "unexplained" : blame.blamed_rule);
-    os << ",\"colliding\":[";
-    for (std::size_t i = 0; i < blame.colliding.size(); ++i) {
-      if (i != 0) os << ',';
-      os << "{\"dst\":" << blame.colliding[i].dst
-         << ",\"src\":" << blame.colliding[i].src << '}';
-    }
-    os << "],\"hot_link\":";
-    write_json_string(os, blame.hot_link_name);
-    os << ",\"max_hsd\":" << blame.max_hsd << ",\"stage\":" << blame.stage
-       << '}';
+    detail::write_blame_row(os, blame);
   }
   os << (certificate.blames.empty() ? "]\n}\n" : "\n ]\n}\n");
 }

@@ -102,4 +102,24 @@ void write_certificate_json(
     std::ostream& os, const Certificate& certificate,
     const std::map<std::string, std::string>& meta = {});
 
+namespace detail {
+
+/// One stage-witness JSON row (sorted keys, no surrounding whitespace) —
+/// shared by write_certificate_json and write_certificate_delta_json so the
+/// two documents stay byte-compatible per row.
+void write_stage_row(std::ostream& os, const StageWitness& witness,
+                     std::size_t stage);
+
+/// One violation JSON row (sorted keys, no surrounding whitespace).
+void write_blame_row(std::ostream& os, const StageBlame& blame);
+
+/// Pick the highest-priority lint rule that explains a collision at `stage`
+/// (order-mismatch, stage cps-displacement, rlft-*, pgft-structure,
+/// lft-incomplete); "" when nothing applies. Shared by the one-shot
+/// certifier and the incremental re-certifier.
+[[nodiscard]] std::string blame_rule(const Diagnostics& lints,
+                                     std::size_t stage);
+
+}  // namespace detail
+
 }  // namespace ftcf::check

@@ -1,0 +1,564 @@
+#include "check/recertify.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "check/depgraph.hpp"
+#include "obs/profile.hpp"
+#include "routing/trace.hpp"
+#include "util/expects.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ftcf::check {
+
+using topo::Fabric;
+using topo::NodeId;
+using topo::PortId;
+using util::expects;
+
+namespace {
+
+/// Bucket shift for one load transition `before -> after` on one class
+/// histogram; keeps the class maximum current.
+void hist_shift(std::vector<std::uint32_t>& hist, std::uint32_t& max_load,
+                std::uint32_t before, std::uint32_t after) {
+  if (before > 0) --hist[before];
+  if (after > 0) {
+    if (after >= hist.size()) hist.resize(after + 1, 0);
+    ++hist[after];
+  }
+  if (after > max_load) max_load = after;
+  while (max_load > 0 && hist[max_load] == 0) --max_load;
+}
+
+}  // namespace
+
+IncrementalCertifier::IncrementalCertifier(const Fabric& fabric,
+                                           const route::ForwardingTables& tables,
+                                           const order::NodeOrdering& ordering,
+                                           const cps::Sequence& sequence)
+    : fabric_(&fabric),
+      tables_(&tables),
+      num_ranks_(sequence.num_ranks),
+      sequence_name_(sequence.name) {
+  FTCF_PROF_SCOPE("check.recertify_build");
+
+  port_class_.resize(fabric.num_ports());
+  for (PortId pid = 0; pid < fabric.num_ports(); ++pid) {
+    const topo::Port& pt = fabric.port(pid);
+    const topo::Node& n = fabric.node(pt.node);
+    if (n.kind == topo::NodeKind::kHost)
+      port_class_[pid] = 0;
+    else
+      port_class_[pid] = pt.index >= n.num_down_ports ? 1 : 2;
+  }
+
+  const std::size_t num_stages = sequence.stages.size();
+  stages_.resize(num_stages);
+  flows_by_dest_.resize(fabric.num_hosts());
+  paths_.resize(fabric.num_hosts());
+  const std::uint64_t num_leaves = fabric.switches_at_level(1);
+
+  for (std::size_t s = 0; s < num_stages; ++s) {
+    StageState& st = stages_[s];
+    st.shape = classify_stage_shape(sequence.stages[s], sequence.num_ranks);
+    if (sequence.stages[s].empty()) continue;
+    st.flows = ordering.map_stage(sequence.stages[s]);
+    for (std::size_t p = 0; p < st.flows.size(); ++p) {
+      const cps::Pair& flow = st.flows[p];
+      if (flow.src == flow.dst) continue;
+      ++st.num_flows;
+      const std::uint32_t ordinal = first_leaf_ordinal(flow.src, flow.dst);
+      flows_by_dest_[flow.dst].push_back({static_cast<std::uint32_t>(s),
+                                          static_cast<std::uint32_t>(flow.src),
+                                          ordinal,
+                                          static_cast<std::uint32_t>(p)});
+      std::vector<LeafPath>& per_leaf = paths_[flow.dst];
+      if (per_leaf.empty()) per_leaf.resize(num_leaves);
+      per_leaf[ordinal].present = true;
+    }
+  }
+
+  // Stage slices of each destination's flow list: flows_by_dest_ was filled
+  // stage-ascending, so per-stage runs are contiguous.
+  flow_offsets_.resize(fabric.num_hosts());
+  for (std::uint64_t dest = 0; dest < fabric.num_hosts(); ++dest) {
+    std::vector<std::uint32_t>& offsets = flow_offsets_[dest];
+    offsets.assign(num_stages + 1, 0);
+    for (const FlowRef& ref : flows_by_dest_[dest]) ++offsets[ref.stage + 1];
+    for (std::size_t s = 0; s < num_stages; ++s) offsets[s + 1] += offsets[s];
+  }
+
+  // Cache every (destination, entry leaf) switch path. Destinations own
+  // disjoint cache rows, so the fill parallelizes race-free.
+  const par::ForOptions path_opts{.threads = 0, .grain = 16,
+                                  .label = "check.recertify"};
+  par::parallel_for(
+      fabric.num_hosts(),
+      [&](std::size_t dest, std::uint32_t) {
+        for (std::uint64_t o = 0; o < paths_[dest].size(); ++o) {
+          if (!paths_[dest][o].present) continue;
+          LeafPath path = walk_leafpath(dest, fabric.switch_node(1, o));
+          path.present = true;
+          paths_[dest][o] = std::move(path);
+        }
+      },
+      path_opts);
+
+  // Blame inversion index: per switch link, the packed (dest, ordinal) keys
+  // of every cached path crossing it. The dest-ascending, ordinal-ascending
+  // fill appends packed keys in increasing order, so each per-link vector is
+  // born sorted; a link repeated inside one path appends the same key twice
+  // in a row and is dropped.
+  link_paths_.resize(fabric.num_ports());
+  for (std::uint64_t dest = 0; dest < fabric.num_hosts(); ++dest)
+    for (std::uint64_t o = 0; o < paths_[dest].size(); ++o) {
+      if (!paths_[dest][o].present) continue;
+      const std::uint64_t packed = (dest << 32) | o;
+      for (const PortId pid : paths_[dest][o].links) {
+        std::vector<std::uint64_t>& keys = link_paths_[pid];
+        if (keys.empty() || keys.back() != packed) keys.push_back(packed);
+      }
+    }
+
+  // Per-stage load state from the cached paths (same walk the one-shot
+  // certifier performs, shared across the sources entering each leaf).
+  const par::ForOptions stage_opts{.threads = 0, .grain = 4,
+                                   .label = "check.recertify"};
+  par::parallel_for(
+      num_stages,
+      [&](std::size_t s, std::uint32_t) {
+        StageState& st = stages_[s];
+        if (st.flows.empty()) return;
+        st.loads.assign(fabric.num_ports(), 0);
+        for (const cps::Pair& flow : st.flows) {
+          if (flow.src == flow.dst) continue;
+          const LeafPath& path =
+              paths_[flow.dst][first_leaf_ordinal(flow.src, flow.dst)];
+          if (!path.routable) {
+            ++st.unroutable;
+            continue;
+          }
+          ++st.loads[injection_link(flow.src, flow.dst)];
+          for (const PortId pid : path.links) ++st.loads[pid];
+        }
+        for (PortId pid = 0; pid < st.loads.size(); ++pid) {
+          const std::uint32_t load = st.loads[pid];
+          if (load == 0) continue;
+          ++st.links_loaded;
+          hist_shift(st.hist[0], st.max_load[0], 0, load);
+          const std::uint8_t cls = port_class_[pid];
+          if (cls != 0) hist_shift(st.hist[cls], st.max_load[cls], 0, load);
+          if (load >= 2) st.hot_pids.push_back(pid);  // pid-ascending scan
+        }
+      },
+      stage_opts);
+
+  // Static lints (fabric wiring, ordering, stage shapes) never change under
+  // churn; only lint_tables must re-run when a certificate needs blames.
+  lint_fabric(fabric, base_lints_);
+  lint_ordering(fabric, ordering, base_lints_);
+  lint_sequence(sequence, base_lints_);
+}
+
+std::uint32_t IncrementalCertifier::first_leaf_ordinal(std::uint64_t src,
+                                                       std::uint64_t dst) const {
+  const NodeId host = fabric_->host_node(src);
+  const topo::Node& n = fabric_->node(host);
+  const NodeId leaf = fabric_->neighbor(
+      host, n.num_down_ports + route::host_up_port(*fabric_, src, dst));
+  return fabric_->node(leaf).ordinal;
+}
+
+PortId IncrementalCertifier::injection_link(std::uint64_t src,
+                                            std::uint64_t dst) const {
+  const NodeId host = fabric_->host_node(src);
+  const topo::Node& n = fabric_->node(host);
+  return fabric_->port_id(
+      host, n.num_down_ports + route::host_up_port(*fabric_, src, dst));
+}
+
+IncrementalCertifier::LeafPath IncrementalCertifier::walk_leafpath(
+    std::uint64_t dest, NodeId leaf) const {
+  LeafPath path;
+  const NodeId dst_node = fabric_->host_node(dest);
+  NodeId at = leaf;
+  const std::size_t max_links = 2ull * fabric_->height() + 2;
+  for (std::size_t hop = 0;; ++hop) {
+    util::ensures(hop <= max_links, "forwarding tables loop");
+    if (!tables_->has_entry(at, dest)) return path;  // prefix kept for blame
+    const PortId out = fabric_->port_id(at, tables_->out_port(at, dest));
+    path.links.push_back(out);
+    at = fabric_->port(fabric_->port(out).peer).node;
+    if (at == dst_node) {
+      path.routable = true;
+      return path;
+    }
+  }
+}
+
+void IncrementalCertifier::bump(StageState& st, PortId pid, int dir) {
+  std::uint32_t& load = st.loads[pid];
+  expects(dir > 0 || load > 0, "negative link load in incremental recert");
+  const std::uint32_t before = load;
+  const std::uint32_t after = dir > 0 ? before + 1 : before - 1;
+  load = after;
+  if (before == 0) ++st.links_loaded;
+  if (after == 0) --st.links_loaded;
+  hist_shift(st.hist[0], st.max_load[0], before, after);
+  const std::uint8_t cls = port_class_[pid];
+  if (cls != 0) hist_shift(st.hist[cls], st.max_load[cls], before, after);
+  if (before < 2 && after >= 2) {
+    const auto it = std::lower_bound(st.hot_pids.begin(), st.hot_pids.end(), pid);
+    st.hot_pids.insert(it, pid);
+  } else if (before >= 2 && after < 2) {
+    const auto it = std::lower_bound(st.hot_pids.begin(), st.hot_pids.end(), pid);
+    st.hot_pids.erase(it);
+  }
+}
+
+void IncrementalCertifier::apply_flow(StageState& st, const LeafPath& path,
+                                      PortId inject, int dir) {
+  if (!path.routable) {
+    expects(dir > 0 || st.unroutable > 0,
+            "negative unroutable count in incremental recert");
+    if (dir > 0)
+      ++st.unroutable;
+    else
+      --st.unroutable;
+    return;
+  }
+  bump(st, inject, dir);
+  for (const PortId pid : path.links) bump(st, pid, dir);
+}
+
+bool IncrementalCertifier::flow_crosses(std::uint64_t src, std::uint64_t dst,
+                                        const LeafPath& path,
+                                        PortId link) const {
+  if (src == dst) return false;
+  if (injection_link(src, dst) == link) return true;
+  return std::find(path.links.begin(), path.links.end(), link) !=
+         path.links.end();
+}
+
+PortId IncrementalCertifier::hottest(const StageState& st) const {
+  // The one-shot analyzer reports the lowest PortId attaining the maximum;
+  // every load >= 2 lives in hot_pids, which is pid-ascending.
+  for (const PortId pid : st.hot_pids)
+    if (st.loads[pid] == st.max_load[0]) return pid;
+  expects(false, "stage maximum missing from hot-link index");
+  return topo::kInvalidPort;
+}
+
+StageWitness IncrementalCertifier::witness(const StageState& st) const {
+  StageWitness w;
+  w.shape = st.shape;
+  w.max_hsd = st.max_load[0];
+  w.max_up_hsd = st.max_load[1];
+  w.max_down_hsd = st.max_load[2];
+  w.num_flows = st.num_flows;
+  w.links_loaded = st.links_loaded;
+  w.unroutable_flows = st.unroutable;
+  return w;
+}
+
+void IncrementalCertifier::index_path_links(
+    std::uint64_t dest, std::uint32_t ordinal,
+    const std::vector<PortId>& links, bool add) {
+  const std::uint64_t packed = (dest << 32) | ordinal;
+  for (const PortId pid : links) {
+    std::vector<std::uint64_t>& keys = link_paths_[pid];
+    const auto it = std::lower_bound(keys.begin(), keys.end(), packed);
+    const bool found = it != keys.end() && *it == packed;
+    // Insert-if-absent / erase-if-found keeps a link repeated inside one
+    // path as a single key, mirroring the build-time dedup.
+    if (add && !found)
+      keys.insert(it, packed);
+    else if (!add && found)
+      keys.erase(it);
+  }
+}
+
+void IncrementalCertifier::collect_colliding(std::size_t stage, PortId hot,
+                                             StageBlame& blame) const {
+  // Injection links are host ports; a switch hot link can only be crossed
+  // via a cached path, so the link index names every candidate directly.
+  // A host hot link (a source sending twice in one stage) falls back to the
+  // certifier's all-flow rescan.
+  if (port_class_[hot] == 0) {
+    const StageState& st = stages_[stage];
+    for (const cps::Pair& flow : st.flows) {
+      if (blame.colliding.size() == kMaxCollidingShown) break;
+      if (flow.src == flow.dst) continue;
+      const LeafPath& path =
+          paths_[flow.dst][first_leaf_ordinal(flow.src, flow.dst)];
+      if (flow_crosses(flow.src, flow.dst, path, hot))
+        blame.colliding.push_back({flow.src, flow.dst});
+    }
+    return;
+  }
+  struct Hit {
+    std::uint32_t pair;
+    std::uint64_t src;
+    std::uint64_t dst;
+  };
+  std::vector<Hit> hits;
+  for (const std::uint64_t packed : link_paths_[hot]) {
+    const std::uint64_t dest = packed >> 32;
+    const auto ordinal = static_cast<std::uint32_t>(packed);
+    const std::vector<FlowRef>& refs = flows_by_dest_[dest];
+    const std::vector<std::uint32_t>& offsets = flow_offsets_[dest];
+    for (std::uint32_t i = offsets[stage]; i < offsets[stage + 1]; ++i)
+      if (refs[i].ordinal == ordinal)
+        hits.push_back({refs[i].pair, refs[i].src, dest});
+  }
+  // Stage-pair order, first kMaxCollidingShown — byte-identical to the
+  // one-shot certifier's in-order rescan.
+  std::sort(hits.begin(), hits.end(),
+            [](const Hit& a, const Hit& b) { return a.pair < b.pair; });
+  if (hits.size() > kMaxCollidingShown) hits.resize(kMaxCollidingShown);
+  for (const Hit& hit : hits) blame.colliding.push_back({hit.src, hit.dst});
+}
+
+std::vector<StageBlame> IncrementalCertifier::build_blames() const {
+  std::vector<StageBlame> blames;
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const StageState& st = stages_[s];
+    if (st.max_load[0] <= 1) continue;
+    StageBlame blame;
+    blame.stage = s;
+    blame.max_hsd = st.max_load[0];
+    blame.hot_link = hottest(st);
+    blame.hot_link_name = channel_to_string(*fabric_, blame.hot_link);
+    collect_colliding(s, blame.hot_link, blame);
+    blames.push_back(std::move(blame));
+  }
+  if (!blames.empty()) {
+    Diagnostics lints = base_lints_;
+    lint_tables(*fabric_, *tables_, /*degraded_expected=*/false, lints);
+    for (StageBlame& blame : blames)
+      blame.blamed_rule = detail::blame_rule(lints, blame.stage);
+  }
+  return blames;
+}
+
+CertificateDelta IncrementalCertifier::update(const route::RepairDelta& delta) {
+  FTCF_PROF_SCOPE("check.recertify_update");
+  CertificateDelta out;
+  out.entries_changed = delta.entries_changed;
+  out.changed_dests = delta.changed_dests.size();
+  out.rows_filled = delta.row_filled_dests.size();
+
+  // Row fills touch flow paths only when the revived switch is a leaf: the
+  // filled destinations are fully pristine, and no surviving entry pointed
+  // into the switch while it was dead, so for an upper switch the new row
+  // is load-invisible until some later event reroutes a column through it.
+  const bool leaf_fill =
+      !delta.row_filled_dests.empty() &&
+      delta.row_switch != topo::kInvalidNode &&
+      fabric_->node(delta.row_switch).level == 1;
+  const std::uint32_t row_ordinal =
+      leaf_fill ? fabric_->node(delta.row_switch).ordinal : 0;
+
+  // Re-path the affected (destination, leaf) cache rows against the
+  // repaired tables, copy-on-write, so old and new paths coexist while the
+  // per-stage loads are shifted. A changed *column* usually leaves most of
+  // its cached paths byte-identical (only the entry leaves whose rows moved
+  // matter), so each fresh row records which ordinals actually differ — a
+  // flow over an unchanged path would subtract and re-add the exact same
+  // loads, and is skipped wholesale.
+  struct FreshRow {
+    std::uint64_t dest = 0;
+    std::vector<LeafPath> paths;
+    std::vector<std::uint8_t> changed;  ///< per ordinal
+    bool any_changed = false;
+    bool fill_only = false;  ///< row fill: only row_ordinal can move
+  };
+  const auto path_differs = [](const LeafPath& a, const LeafPath& b) {
+    return a.routable != b.routable || a.links != b.links;
+  };
+  std::vector<FreshRow> fresh;
+  {
+    FTCF_PROF_SCOPE("check.recertify_repath");
+    for (const std::uint64_t dest : delta.changed_dests)
+      if (!paths_[dest].empty())  // else: no flow targets this host
+        fresh.push_back({dest, {}, {}, false, false});
+    if (leaf_fill) {
+      for (const std::uint64_t dest : delta.row_filled_dests)
+        if (!paths_[dest].empty() && paths_[dest][row_ordinal].present)
+          fresh.push_back({dest, {}, {}, false, true});
+      std::sort(fresh.begin(), fresh.end(),
+                [](const FreshRow& a, const FreshRow& b) {
+                  return a.dest < b.dest;
+                });
+    }
+    // Rows are disjoint and read only the (immutable within this pass)
+    // tables, so the re-walks parallelize; row order was fixed above.
+    const par::ForOptions repath_opts{.threads = 0, .grain = 8,
+                                      .label = "check.recertify"};
+    par::parallel_for(
+        fresh.size(),
+        [&](std::size_t i, std::uint32_t) {
+          FreshRow& row = fresh[i];
+          row.paths = paths_[row.dest];
+          row.changed.assign(row.paths.size(), 0);
+          const std::uint64_t first = row.fill_only ? row_ordinal : 0;
+          const std::uint64_t last =
+              row.fill_only ? row_ordinal + 1 : row.paths.size();
+          for (std::uint64_t o = first; o < last; ++o) {
+            if (!row.paths[o].present) continue;
+            LeafPath path = walk_leafpath(row.dest, fabric_->switch_node(1, o));
+            path.present = true;
+            if (path_differs(path, row.paths[o])) {
+              row.changed[o] = 1;
+              row.any_changed = true;
+            }
+            row.paths[o] = std::move(path);
+          }
+        },
+        repath_opts);
+  }
+
+  // Collect the affected flows per stage: exactly those whose cached entry
+  // path differs under the repaired tables.
+  struct Touched {
+    std::uint32_t src;
+    std::uint32_t ordinal;
+    std::uint64_t dst;
+  };
+  std::vector<std::vector<Touched>> touched(stages_.size());
+  const auto lookup_fresh = [&fresh](std::uint64_t dest) -> const FreshRow& {
+    const auto it = std::lower_bound(
+        fresh.begin(), fresh.end(), dest,
+        [](const FreshRow& row, std::uint64_t d) { return row.dest < d; });
+    expects(it != fresh.end() && it->dest == dest,
+            "re-walked flow without a re-pathed cache row");
+    return *it;
+  };
+  for (const FreshRow& row : fresh) {
+    if (!row.any_changed) continue;
+    for (const FlowRef& ref : flows_by_dest_[row.dest])
+      if (row.changed[ref.ordinal])
+        touched[ref.stage].push_back({ref.src, ref.ordinal, row.dest});
+  }
+
+  std::vector<std::size_t> dirty_stages;
+  for (std::size_t s = 0; s < stages_.size(); ++s)
+    if (!touched[s].empty()) dirty_stages.push_back(s);
+  out.stages_touched = dirty_stages.size();
+  if (!dirty_stages.empty()) out.applied = true;
+
+  // Shift each dirty stage's loads: subtract the old cached path of every
+  // affected flow, add its re-walked path. Stages own disjoint state, so
+  // this parallelizes; witness comparison happens in the same task.
+  std::vector<std::uint8_t> witness_changed(dirty_stages.size(), 0);
+  std::vector<StageWitness> new_witness(dirty_stages.size());
+  const par::ForOptions opts{.threads = 0, .grain = 8,
+                             .label = "check.recertify"};
+  par::parallel_for(
+      dirty_stages.size(),
+      [&](std::size_t i, std::uint32_t) {
+        StageState& st = stages_[dirty_stages[i]];
+        const StageWitness before = witness(st);
+        for (const Touched& t : touched[dirty_stages[i]]) {
+          const PortId inject = injection_link(t.src, t.dst);
+          apply_flow(st, paths_[t.dst][t.ordinal], inject, -1);
+          apply_flow(st, lookup_fresh(t.dst).paths[t.ordinal], inject, +1);
+        }
+        const StageWitness after = witness(st);
+        new_witness[i] = after;
+        witness_changed[i] =
+            after.max_hsd != before.max_hsd ||
+            after.max_up_hsd != before.max_up_hsd ||
+            after.max_down_hsd != before.max_down_hsd ||
+            after.links_loaded != before.links_loaded ||
+            after.unroutable_flows != before.unroutable_flows;
+      },
+      opts);
+
+  for (std::size_t i = 0; i < dirty_stages.size(); ++i) {
+    out.flows_rewalked += touched[dirty_stages[i]].size();
+    if (!witness_changed[i]) continue;
+    ++out.stages_changed;
+    if (out.changed_witnesses.size() < kMaxDeltaStagesShown)
+      out.changed_witnesses.emplace_back(dirty_stages[i], new_witness[i]);
+  }
+
+  for (FreshRow& row : fresh) {
+    for (std::uint64_t o = 0; o < row.changed.size(); ++o) {
+      if (!row.changed[o]) continue;
+      const auto ordinal = static_cast<std::uint32_t>(o);
+      index_path_links(row.dest, ordinal, paths_[row.dest][o].links,
+                       /*add=*/false);
+      index_path_links(row.dest, ordinal, row.paths[o].links, /*add=*/true);
+    }
+    paths_[row.dest] = std::move(row.paths);
+  }
+
+  out.contention_free = true;
+  for (const StageState& st : stages_)
+    if (st.max_load[0] > 1 || st.unroutable > 0) {
+      out.contention_free = false;
+      break;
+    }
+  {
+    FTCF_PROF_SCOPE("check.recertify_blames");
+    out.blames = build_blames();
+  }
+  return out;
+}
+
+Certificate IncrementalCertifier::certificate() const {
+  Certificate cert;
+  cert.num_ranks = num_ranks_;
+  cert.sequence_name = sequence_name_;
+  cert.contention_free = true;
+  cert.stages.reserve(stages_.size());
+  for (const StageState& st : stages_) {
+    cert.stages.push_back(witness(st));
+    if (st.unroutable > 0 || st.max_load[0] > 1) cert.contention_free = false;
+  }
+  cert.blames = build_blames();
+  return cert;
+}
+
+void write_certificate_delta_json(std::ostream& os,
+                                  const CertificateDelta& delta,
+                                  const std::map<std::string, std::string>& meta) {
+  os << "{\n \"meta\":{";
+  bool first = true;
+  for (const auto& [key, value] : meta) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, key);
+    os << ':';
+    write_json_string(os, value);
+  }
+  os << "},\n \"delta\":{\"applied\":" << (delta.applied ? "true" : "false")
+     << ",\"changed_dests\":" << delta.changed_dests
+     << ",\"contention_free\":" << (delta.contention_free ? "true" : "false")
+     << ",\"entries_changed\":" << delta.entries_changed
+     << ",\"flows_rewalked\":" << delta.flows_rewalked
+     << ",\"rows_filled\":" << delta.rows_filled
+     << ",\"stages_changed\":" << delta.stages_changed
+     << ",\"stages_shown\":" << delta.changed_witnesses.size()
+     << ",\"stages_touched\":" << delta.stages_touched
+     << ",\"violations\":" << delta.blames.size() << "},\n \"stages\":[";
+  first = true;
+  for (const auto& [stage, w] : delta.changed_witnesses) {
+    os << (first ? "\n  " : ",\n  ");
+    first = false;
+    detail::write_stage_row(os, w, stage);
+  }
+  os << (delta.changed_witnesses.empty() ? "]" : "\n ]")
+     << ",\n \"violations\":[";
+  first = true;
+  for (const StageBlame& blame : delta.blames) {
+    os << (first ? "\n  " : ",\n  ");
+    first = false;
+    detail::write_blame_row(os, blame);
+  }
+  os << (delta.blames.empty() ? "]\n}\n" : "\n ]\n}\n");
+}
+
+}  // namespace ftcf::check

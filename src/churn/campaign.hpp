@@ -1,0 +1,100 @@
+// Churn campaign runner: replay a resolved timeline through the incremental
+// repair + re-certification engines, asserting per-event invariants.
+//
+// Per event the campaign
+//   * applies the event to route::IncrementalRepair (dirty-column LFT
+//     repair) and feeds the RepairDelta to check::IncrementalCertifier
+//     (dirty-flow re-certification);
+//   * asserts connectivity agreement: for a deterministic sample of source
+//     hosts, the BFS up*/down* oracle (fault::updown_reachable_hosts) must
+//     agree with a forwarding-table walk on *every* destination — the
+//     degraded chooser is complete for up/down paths, so any disagreement is
+//     a routing bug (util::InvariantError);
+//   * asserts the channel dependency graph of the repaired tables stays
+//     acyclic (deadlock freedom under churn);
+//   * optionally (full_oracle) recomputes tables and certificate from
+//     scratch and asserts byte-identity — the differential oracle.
+//
+// Latency goes through ftcf::obs only (FTCF_PROF_SCOPE + optional
+// MetricsRegistry); the CampaignReport itself holds nothing wall-clock —
+// event times are sim times, all counts are deterministic folds — so
+// write_campaign_json is byte-identical at any --threads value.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/recertify.hpp"
+#include "churn/timeline.hpp"
+#include "cps/stage.hpp"
+#include "obs/metrics.hpp"
+#include "ordering/ordering.hpp"
+
+namespace ftcf::churn {
+
+struct CampaignOptions {
+  /// Source hosts sampled per event for the BFS connectivity oracle; every
+  /// destination is checked for each sampled source. 0 disables the check;
+  /// >= num_hosts checks every pair.
+  std::uint64_t sample_srcs = 8;
+  /// Base seed for the per-event source samples (util::derive_seed stream).
+  std::uint64_t seed = 1;
+  /// Re-prove CDG deadlock freedom after every event.
+  bool check_cdg = true;
+  /// Differential oracle: full table + certificate recompute per event,
+  /// asserted equal to the incremental state. Expensive; for tests/CI.
+  bool full_oracle = false;
+  /// Optional metrics sink (event counters, HSD/unrouted trajectories).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// One replayed event with its post-event fabric state.
+struct EventOutcome {
+  ChurnEvent event;
+  std::string label;                   ///< event_to_string rendering
+  bool applied = false;                ///< changed some health bit
+  std::uint64_t entries_changed = 0;   ///< LFT slots rewritten
+  std::uint64_t changed_dests = 0;     ///< recomputed LFT columns
+  std::uint64_t rows_filled = 0;       ///< switch-repair fast-path fills
+  std::uint64_t flows_rewalked = 0;    ///< re-certified flows
+  std::uint64_t stages_touched = 0;
+  std::uint64_t stages_changed = 0;    ///< stages whose witness moved
+  bool contention_free = false;
+  std::uint32_t max_hsd = 0;           ///< max over all stages, post-event
+  std::uint64_t unroutable_flows = 0;  ///< total over all stages, post-event
+  std::uint64_t unrouted = 0;          ///< (switch, dest) slots unrouted
+  std::uint64_t rerouted = 0;          ///< entries off pristine D-Mod-K
+  std::uint64_t non_pristine = 0;      ///< dests deviating from pristine
+  std::uint64_t reachable_pairs = 0;   ///< sampled pairs the oracle connects
+  std::uint64_t unreachable_pairs = 0;
+  bool cdg_acyclic = true;
+};
+
+struct CampaignReport {
+  std::uint64_t num_events = 0;
+  std::uint64_t applied_events = 0;
+  bool final_contention_free = false;
+  std::uint64_t connectivity_checks = 0;  ///< sampled (src, *) oracle sweeps
+  std::uint64_t cdg_checks = 0;
+  std::uint64_t oracle_checks = 0;        ///< full differential recomputes
+  std::vector<EventOutcome> events;
+};
+
+/// Replay `timeline` over `fabric`. Throws util::InvariantError on the
+/// first violated invariant; a returned report means every check passed.
+[[nodiscard]] CampaignReport run_campaign(const topo::Fabric& fabric,
+                                          const Timeline& timeline,
+                                          const order::NodeOrdering& ordering,
+                                          const cps::Sequence& sequence,
+                                          const CampaignOptions& options = {});
+
+/// Deterministic campaign document:
+/// {"meta":{...},"campaign":{...},"events":[...]} — keys sorted, events in
+/// replay order, no timestamps; byte-identical at any thread count.
+void write_campaign_json(std::ostream& os, const CampaignReport& report,
+                         const std::map<std::string, std::string>& meta = {});
+
+}  // namespace ftcf::churn

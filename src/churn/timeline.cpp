@@ -1,0 +1,174 @@
+#include "churn/timeline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ftcf::churn {
+
+using fault::Fault;
+using fault::FaultKind;
+using fault::FaultState;
+using topo::Fabric;
+using topo::NodeId;
+using topo::PortId;
+
+namespace {
+
+/// Switch-switch cables identified by their up-going endpoint, ascending
+/// PortId — the same universe and order `rand-links` samples from.
+std::vector<PortId> switch_cables(const Fabric& fabric) {
+  std::vector<PortId> cables;
+  for (PortId pid = 0; pid < fabric.num_ports(); ++pid) {
+    const topo::Port& pt = fabric.port(pid);
+    const topo::Node& n = fabric.node(pt.node);
+    if (n.kind != topo::NodeKind::kSwitch) continue;
+    if (pt.index < n.num_down_ports) continue;  // count each cable once
+    cables.push_back(pid);
+  }
+  return cables;
+}
+
+NodeId resolve_switch(const Fabric& fabric, const std::string& name) {
+  const NodeId id = FaultState::resolve_node(fabric, name);
+  if (fabric.node(id).kind != topo::NodeKind::kSwitch)
+    throw util::SpecError("churn timeline: '" + name +
+                          "' is a host, not a switch");
+  return id;
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kFailCable:
+      return "fail-cable";
+    case EventKind::kRepairCable:
+      return "repair-cable";
+    case EventKind::kFailSwitch:
+      return "fail-switch";
+    case EventKind::kRepairSwitch:
+      return "repair-switch";
+  }
+  return "unknown";
+}
+
+std::string event_to_string(const Fabric& fabric, const ChurnEvent& event) {
+  std::string out = event_kind_name(event.kind);
+  out += ' ';
+  if (event.kind == EventKind::kFailSwitch ||
+      event.kind == EventKind::kRepairSwitch) {
+    out += fabric.node_name(event.node);
+    return out;
+  }
+  const topo::Port& pt = fabric.port(event.cable);
+  const topo::Port& peer = fabric.port(pt.peer);
+  out += fabric.node_name(pt.node);
+  out += "[port " + std::to_string(pt.index) + "] <-> ";
+  out += fabric.node_name(peer.node);
+  out += "[port " + std::to_string(peer.index) + ']';
+  return out;
+}
+
+Timeline resolve_timeline(const Fabric& fabric, const fault::FaultSpec& spec) {
+  Timeline timeline;
+  for (const Fault& fault : spec.faults) {
+    switch (fault.kind) {
+      case FaultKind::kLinkDown:
+        if (fault.at == 0) {
+          timeline.static_spec.faults.push_back(fault);
+        } else {
+          timeline.events.push_back(
+              {fault.at, EventKind::kFailCable,
+               FaultState::resolve_cable(fabric, fault.node, fault.port),
+               topo::kInvalidNode});
+        }
+        break;
+      case FaultKind::kSwitchDown:
+        if (fault.at == 0) {
+          timeline.static_spec.faults.push_back(fault);
+        } else {
+          timeline.events.push_back({fault.at, EventKind::kFailSwitch,
+                                     topo::kInvalidPort,
+                                     resolve_switch(fabric, fault.node)});
+        }
+        break;
+      case FaultKind::kDegradedRate:
+        timeline.static_spec.faults.push_back(fault);
+        break;
+      case FaultKind::kLinkFlap: {
+        const PortId cable =
+            FaultState::resolve_cable(fabric, fault.node, fault.port);
+        timeline.events.push_back(
+            {fault.down_at, EventKind::kFailCable, cable, topo::kInvalidNode});
+        if (fault.up_at != sim::kNever)
+          timeline.events.push_back({fault.up_at, EventKind::kRepairCable,
+                                     cable, topo::kInvalidNode});
+        break;
+      }
+      case FaultKind::kRandomLinks: {
+        if (fault.at == 0) {
+          timeline.static_spec.faults.push_back(fault);
+          break;
+        }
+        // Same sample rand-links takes, killed at the event time instead.
+        std::vector<PortId> cables = switch_cables(fabric);
+        util::Xoshiro256 rng(fault.seed);
+        util::shuffle(cables, rng);
+        const std::uint64_t take =
+            std::min<std::uint64_t>(fault.count, cables.size());
+        for (std::uint64_t i = 0; i < take; ++i)
+          timeline.events.push_back(
+              {fault.at, EventKind::kFailCable, cables[i], topo::kInvalidNode});
+        break;
+      }
+      case FaultKind::kRepairLink:
+        timeline.events.push_back(
+            {fault.at, EventKind::kRepairCable,
+             FaultState::resolve_cable(fabric, fault.node, fault.port),
+             topo::kInvalidNode});
+        break;
+      case FaultKind::kRepairSwitch:
+        timeline.events.push_back({fault.at, EventKind::kRepairSwitch,
+                                   topo::kInvalidPort,
+                                   resolve_switch(fabric, fault.node)});
+        break;
+      case FaultKind::kMtbf: {
+        std::vector<PortId> cables = switch_cables(fabric);
+        util::Xoshiro256 sampler(util::derive_seed(fault.seed, 0));
+        util::shuffle(cables, sampler);
+        const std::uint64_t take =
+            std::min<std::uint64_t>(fault.count, cables.size());
+        const sim::SimTime mtbf = fault.down_at;
+        const sim::SimTime mttr = fault.up_at;
+        for (std::uint64_t i = 0; i < take; ++i) {
+          // Per-cable stream: derive_seed gives cable i an independent
+          // generator, so schedules decorrelate across cables and seeds.
+          util::Xoshiro256 rng(util::derive_seed(fault.seed, 1 + i));
+          sim::SimTime t = 0;
+          for (;;) {
+            t += 1 + static_cast<sim::SimTime>(
+                         rng.below(2 * static_cast<std::uint64_t>(mtbf)));
+            if (t > fault.horizon) break;
+            timeline.events.push_back(
+                {t, EventKind::kFailCable, cables[i], topo::kInvalidNode});
+            t += 1 + static_cast<sim::SimTime>(
+                         rng.below(2 * static_cast<std::uint64_t>(mttr)));
+            if (t > fault.horizon) break;
+            timeline.events.push_back(
+                {t, EventKind::kRepairCable, cables[i], topo::kInvalidNode});
+          }
+        }
+        break;
+      }
+    }
+  }
+  // Time-ascending; stable so same-time events keep their spec order.
+  std::stable_sort(
+      timeline.events.begin(), timeline.events.end(),
+      [](const ChurnEvent& a, const ChurnEvent& b) { return a.at < b.at; });
+  return timeline;
+}
+
+}  // namespace ftcf::churn

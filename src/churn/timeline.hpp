@@ -1,0 +1,71 @@
+// Churn timelines: a FaultSpec resolved into a deterministic, time-ordered
+// stream of cable/switch fail/repair events.
+//
+// The fault grammar mixes *static* faults (present from t=0) with *timed*
+// ones (`@t=`, flap, repair, mtbf). resolve_timeline splits a spec into
+//   * static_spec — the t=0 faults, resolvable by fault::FaultState into the
+//     baseline health the churn engine starts from, and
+//   * events      — every timed fault and repair, expanded and sorted by
+//     event time (ties keep spec order), each resolved to a concrete cable
+//     (PortId) or switch (NodeId).
+//
+// `mtbf:COUNT:MTBF_US:MTTR_US:HORIZON_US:SEED` expands to a random
+// alternating fail/repair schedule over COUNT sampled switch-switch cables.
+// Sampling uses the same cable universe and shuffle as `rand-links`; every
+// cable's event stream draws from its own util::derive_seed(seed, 1 + i)
+// generator — never `seed + i`, which would correlate adjacent seeds — so
+// the expansion is reproducible and independent per cable. Gap lengths are
+// integer draws from [1, 2*MTBF] (mean ~MTBF) and [1, 2*MTTR]; events past
+// the horizon are dropped. No floating point, no wall clock: the same spec
+// and fabric always resolve to the same timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/degraded.hpp"
+#include "fault/fault_spec.hpp"
+#include "topology/fabric.hpp"
+
+namespace ftcf::churn {
+
+enum class EventKind : std::uint8_t {
+  kFailCable,
+  kRepairCable,
+  kFailSwitch,
+  kRepairSwitch,
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;
+
+/// One resolved churn event. Cable events carry one endpoint PortId (either
+/// endpoint identifies the cable); switch events carry the NodeId.
+struct ChurnEvent {
+  sim::SimTime at = 0;
+  EventKind kind = EventKind::kFailCable;
+  topo::PortId cable = topo::kInvalidPort;
+  topo::NodeId node = topo::kInvalidNode;
+};
+
+/// Render "fail-cable S1_000[port 6] <-> S2_000[port 0]" or
+/// "repair-switch S2_003" (no time: reports carry `at` separately).
+[[nodiscard]] std::string event_to_string(const topo::Fabric& fabric,
+                                          const ChurnEvent& event);
+
+/// A resolved churn timeline: the t=0 baseline plus the event stream.
+struct Timeline {
+  /// The static faults (link/switch/rand-links at t=0, rate factors) —
+  /// resolve with fault::FaultState for the baseline health.
+  fault::FaultSpec static_spec;
+  /// Timed events, ascending by `at`; equal times keep spec order.
+  std::vector<ChurnEvent> events;
+};
+
+/// Split and resolve `spec` against `fabric`. Throws util::SpecError when a
+/// churn event names an unknown node, an out-of-range port, or targets a
+/// host where a switch is required.
+[[nodiscard]] Timeline resolve_timeline(const topo::Fabric& fabric,
+                                        const fault::FaultSpec& spec);
+
+}  // namespace ftcf::churn

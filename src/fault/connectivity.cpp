@@ -1,0 +1,85 @@
+#include "fault/connectivity.hpp"
+
+#include <algorithm>
+
+namespace ftcf::fault {
+
+using topo::Fabric;
+using topo::NodeId;
+using topo::PortId;
+
+std::vector<std::uint8_t> updown_reachable_hosts(const Fabric& fabric,
+                                                 const LinkHealth& health,
+                                                 std::uint64_t src) {
+  std::vector<std::uint8_t> out(fabric.num_hosts(), 0);
+  const NodeId src_node = fabric.host_node(src);
+  if (!health.node_up(src_node)) return out;
+
+  // Up phase: the set of switches a packet from src can occupy while still
+  // climbing. Seeded by src's alive injection cables; a switch in the set
+  // extends it through every alive up-link to an alive parent. Levels are
+  // processed bottom-up, which is a topological order for up-links.
+  std::vector<std::uint8_t> up_reach(fabric.num_nodes(), 0);
+  const topo::Node& src_n = fabric.node(src_node);
+  bool injects = false;
+  for (std::uint32_t i = 0; i < src_n.num_up_ports; ++i) {
+    const PortId up = fabric.port_id(src_node, src_n.num_down_ports + i);
+    if (!health.link_up(up)) continue;
+    const NodeId leaf = fabric.port(fabric.port(up).peer).node;
+    if (!health.node_up(leaf)) continue;
+    up_reach[leaf] = 1;
+    injects = true;
+  }
+  if (!injects) return out;
+  out[src] = 1;
+
+  for (std::uint32_t l = 1; l < fabric.height(); ++l) {
+    for (std::uint64_t o = 0; o < fabric.switches_at_level(l); ++o) {
+      const NodeId sw = fabric.switch_node(l, o);
+      if (!up_reach[sw]) continue;
+      const topo::Node& node = fabric.node(sw);
+      for (std::uint32_t q = 0; q < node.num_up_ports; ++q) {
+        const PortId up = fabric.port_id(sw, node.num_down_ports + q);
+        if (!health.link_up(up)) continue;
+        const NodeId parent = fabric.port(fabric.port(up).peer).node;
+        if (health.node_up(parent)) up_reach[parent] = 1;
+      }
+    }
+  }
+
+  // Down phase: from any switch the packet can occupy (turning down is
+  // allowed at every level), descend through alive down-links to alive
+  // children. Top-down level order is topological for down-links.
+  std::vector<std::uint8_t>& down_reach = up_reach;  // turn is free: reuse
+  for (std::uint32_t l = fabric.height(); l >= 2; --l) {
+    for (std::uint64_t o = 0; o < fabric.switches_at_level(l); ++o) {
+      const NodeId sw = fabric.switch_node(l, o);
+      if (!down_reach[sw]) continue;
+      const topo::Node& node = fabric.node(sw);
+      for (std::uint32_t d = 0; d < node.num_down_ports; ++d) {
+        const PortId down = fabric.port_id(sw, d);
+        if (!health.link_up(down)) continue;
+        const NodeId child = fabric.port(fabric.port(down).peer).node;
+        if (health.node_up(child)) down_reach[child] = 1;
+      }
+    }
+  }
+
+  // Delivery: a host is reachable when some reachable leaf has an alive
+  // cable to it and the host itself is alive.
+  for (std::uint64_t o = 0; o < fabric.switches_at_level(1); ++o) {
+    const NodeId leaf = fabric.switch_node(1, o);
+    if (!down_reach[leaf]) continue;
+    const topo::Node& node = fabric.node(leaf);
+    for (std::uint32_t d = 0; d < node.num_down_ports; ++d) {
+      const PortId down = fabric.port_id(leaf, d);
+      if (!health.link_up(down)) continue;
+      const NodeId host = fabric.port(fabric.port(down).peer).node;
+      if (!health.node_up(host)) continue;
+      out[fabric.host_index(host)] = 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace ftcf::fault

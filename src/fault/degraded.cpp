@@ -24,6 +24,18 @@ bool parse_index(std::string_view text, std::uint64_t& out) {
 
 }  // namespace
 
+bool LinkHealth::host_up(std::uint64_t j) const {
+  const NodeId host = fabric->host_node(j);
+  if (!node_up(host)) return false;
+  const topo::Node& n = fabric->node(host);
+  for (std::uint32_t i = 0; i < n.num_up_ports; ++i) {
+    const PortId up = fabric->port_id(host, n.num_down_ports + i);
+    if (!link_up(up)) continue;
+    if (node_up(fabric->port(fabric->port(up).peer).node)) return true;
+  }
+  return false;
+}
+
 NodeId FaultState::resolve_node(const Fabric& fabric, const std::string& name) {
   std::uint64_t index = 0;
   // Aliases first: leafK, spineK, Ll_Sk.
@@ -56,14 +68,14 @@ NodeId FaultState::resolve_node(const Fabric& fabric, const std::string& name) {
                   "' (use a fabric name, leafK, spineK or Ll_Sk)");
 }
 
-PortId FaultState::resolve_cable(const std::string& node,
-                                 std::uint32_t index) const {
-  const NodeId id = resolve_node(*fabric_, node);
-  const topo::Node& n = fabric_->node(id);
+PortId FaultState::resolve_cable(const Fabric& fabric, const std::string& node,
+                                 std::uint32_t index) {
+  const NodeId id = resolve_node(fabric, node);
+  const topo::Node& n = fabric.node(id);
   if (index >= n.num_down_ports + n.num_up_ports)
     throw SpecError("fault spec: node '" + node + "' has no port " +
                     std::to_string(index));
-  return fabric_->port_id(id, index);
+  return fabric.port_id(id, index);
 }
 
 FaultState::FaultState(const Fabric& fabric, const FaultSpec& spec)
@@ -74,19 +86,33 @@ FaultState::FaultState(const Fabric& fabric, const FaultSpec& spec)
 
   for (const Fault& fault : spec.faults) {
     switch (fault.kind) {
-      case FaultKind::kLinkDown:
-        kill_cable(resolve_cable(fault.node, fault.port));
+      case FaultKind::kLinkDown: {
+        const PortId port = resolve_cable(fabric, fault.node, fault.port);
+        // A timed link fault is a scripted death, not a static hole.
+        if (fault.at > 0)
+          flaps_.push_back(FlapEvent{port, fault.at, sim::kNever});
+        else
+          kill_cable(port);
         break;
+      }
       case FaultKind::kSwitchDown: {
         const NodeId id = resolve_node(fabric, fault.node);
         if (fabric.node(id).kind != topo::NodeKind::kSwitch)
           throw SpecError("fault spec: switch fault targets non-switch '" +
                           fault.node + "'");
-        kill_switch(id);
+        if (fault.at > 0) {
+          // A timed switch death: every adjacent cable dies at that time.
+          const topo::Node& n = fabric.node(id);
+          for (std::uint32_t i = 0; i < n.num_down_ports + n.num_up_ports; ++i)
+            flaps_.push_back(
+                FlapEvent{fabric.port_id(id, i), fault.at, sim::kNever});
+        } else {
+          kill_switch(id);
+        }
         break;
       }
       case FaultKind::kDegradedRate: {
-        const PortId port = resolve_cable(fault.node, fault.port);
+        const PortId port = resolve_cable(fabric, fault.node, fault.port);
         const PortId peer = fabric.port(port).peer;
         // Degrade both directions (a renegotiated cable is symmetric).
         if (rate_factor_[port] == 1.0 && rate_factor_[peer] == 1.0)
@@ -96,7 +122,7 @@ FaultState::FaultState(const Fabric& fabric, const FaultSpec& spec)
         break;
       }
       case FaultKind::kLinkFlap: {
-        const PortId port = resolve_cable(fault.node, fault.port);
+        const PortId port = resolve_cable(fabric, fault.node, fault.port);
         flaps_.push_back(FlapEvent{port, fault.down_at, fault.up_at});
         break;
       }
@@ -115,9 +141,34 @@ FaultState::FaultState(const Fabric& fabric, const FaultSpec& spec)
         util::shuffle(cables, rng);
         const std::uint64_t take =
             std::min<std::uint64_t>(fault.count, cables.size());
-        for (std::uint64_t i = 0; i < take; ++i) kill_cable(cables[i]);
+        for (std::uint64_t i = 0; i < take; ++i) {
+          if (fault.at > 0)
+            flaps_.push_back(FlapEvent{cables[i], fault.at, sim::kNever});
+          else
+            kill_cable(cables[i]);
+        }
         break;
       }
+      case FaultKind::kRepairLink: {
+        // A repair applies to the state built so far: the cable must be
+        // statically down (killed by an earlier token) and comes back at
+        // the scripted time.
+        const PortId port = resolve_cable(fabric, fault.node, fault.port);
+        if (link_up(port))
+          throw SpecError("fault spec: repair of a cable that is not down: '" +
+                          fault.to_string() +
+                          "' (order the link fault before its repair)");
+        repairs_.push_back(RepairEvent{port, fault.at});
+        break;
+      }
+      case FaultKind::kRepairSwitch:
+        throw SpecError(
+            "fault spec: repair:switch is timeline-only — replay it with "
+            "'ftcf_tool churn'");
+      case FaultKind::kMtbf:
+        throw SpecError(
+            "fault spec: mtbf schedules are timeline-only — replay them with "
+            "'ftcf_tool churn'");
     }
   }
 }
@@ -140,15 +191,7 @@ void FaultState::kill_switch(NodeId node) {
 }
 
 bool FaultState::host_up(std::uint64_t j) const {
-  const NodeId host = fabric_->host_node(j);
-  if (node_down_[host]) return false;
-  const topo::Node& n = fabric_->node(host);
-  for (std::uint32_t i = 0; i < n.num_up_ports; ++i) {
-    const PortId up = fabric_->port_id(host, n.num_down_ports + i);
-    if (link_down_[up]) continue;
-    if (!node_down_[fabric_->port(fabric_->port(up).peer).node]) return true;
-  }
-  return false;
+  return health().host_up(j);
 }
 
 std::vector<std::uint64_t> FaultState::surviving_hosts() const {

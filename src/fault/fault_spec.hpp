@@ -10,12 +10,20 @@
 //   * flap schedule   — a cable dying at a scripted sim time, optionally
 //                       reviving later (the mid-run fault event);
 //   * random links    — a seed-reproducible sample of switch-switch cables
-//                       to kill (deterministic: same seed, same cables).
+//                       to kill (deterministic: same seed, same cables);
+//   * repair          — a previously-failed cable or switch coming back at a
+//                       scripted time (churn timelines; repair:link also
+//                       drives the packet simulator's mid-run revival);
+//   * mtbf schedule   — a random fail/repair timeline over sampled cables,
+//                       MTBF/MTTR driven, seeded via util::derive_seed.
 //
 // Text grammar (one spec = comma-separated faults; see docs/FAULTS.md):
-//   link:NODE:PORT              rate:NODE:PORT:FACTOR
-//   switch:NODE                 flap:NODE:PORT:DOWN_US[:UP_US]
-//   rand-links:COUNT:SEED
+//   link:NODE:PORT[@t=T]        rate:NODE:PORT:FACTOR
+//   switch:NODE[@t=T]           flap:NODE:PORT:DOWN_US[:UP_US]
+//   rand-links:COUNT:SEED[@t=T]
+//   repair:link:NODE:PORT@t=T   repair:switch:NODE@t=T
+//   mtbf:COUNT:MTBF_US:MTTR_US:HORIZON_US:SEED
+// T is a number with an optional unit suffix (us, ms, s; default us).
 // NODE is a fabric node name ("S2_005", "H0013") or one of the aliases
 // leafK (level-1 switch K), spineK (top-level switch K), or Ll_Sk (level l,
 // ordinal k). Parse failures throw util::ParseError naming the bad token.
@@ -35,6 +43,9 @@ enum class FaultKind : std::uint8_t {
   kDegradedRate,
   kLinkFlap,
   kRandomLinks,
+  kRepairLink,
+  kRepairSwitch,
+  kMtbf,
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
@@ -45,16 +56,22 @@ struct Fault {
   std::string node;              ///< target node name/alias (not kRandomLinks)
   std::uint32_t port = 0;        ///< port index on `node` (link/rate/flap)
   double rate_factor = 1.0;      ///< kDegradedRate: fraction of nominal, (0,1]
-  sim::SimTime down_at = 0;      ///< kLinkFlap: death time (ns)
-  sim::SimTime up_at = sim::kNever;  ///< kLinkFlap: revival time, kNever=none
-  std::uint64_t count = 0;       ///< kRandomLinks: cables to kill
-  std::uint64_t seed = 1;        ///< kRandomLinks: sampling seed
+  sim::SimTime down_at = 0;      ///< kLinkFlap: death time; kMtbf: MTBF (ns)
+  sim::SimTime up_at = sim::kNever;  ///< kLinkFlap: revival; kMtbf: MTTR (ns)
+  std::uint64_t count = 0;       ///< kRandomLinks/kMtbf: cables to touch
+  std::uint64_t seed = 1;        ///< kRandomLinks/kMtbf: sampling seed
+  /// Event time of the `@t=` suffix (ns); 0 = static (present from t=0).
+  /// Repairs require a positive time — a fault cannot be repaired before
+  /// it exists.
+  sim::SimTime at = 0;
+  sim::SimTime horizon = 0;      ///< kMtbf: schedule end (ns)
 
   [[nodiscard]] std::string to_string() const;
 };
 
-/// An ordered list of faults. Order matters only for reporting; the resolved
-/// FaultState is the union of all faults.
+/// An ordered list of faults. Order matters only for reporting and for
+/// repair tokens (a repair applies to the state built so far); the resolved
+/// FaultState is otherwise the union of all faults.
 struct FaultSpec {
   std::vector<Fault> faults;
 

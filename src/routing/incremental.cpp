@@ -1,0 +1,325 @@
+#include "routing/incremental.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "obs/profile.hpp"
+#include "util/expects.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ftcf::route {
+
+using fault::FaultState;
+using fault::LinkHealth;
+using topo::Fabric;
+using topo::NodeId;
+using topo::PortId;
+using util::expects;
+
+namespace {
+
+std::uint32_t entry_or_unrouted(const ForwardingTables& tables, NodeId sw,
+                                std::uint64_t dest) {
+  return tables.has_entry(sw, dest) ? tables.out_port(sw, dest) : kUnroutedPort;
+}
+
+}  // namespace
+
+IncrementalRepair::IncrementalRepair(const Fabric& fabric,
+                                     const LinkHealth& initial)
+    : fabric_(&fabric),
+      link_down_(fabric.num_ports(), 0),
+      node_down_(fabric.num_nodes(), 0),
+      cable_failed_(fabric.num_ports(), 0),
+      tables_(fabric),
+      dest_stats_(fabric.num_hosts()),
+      column_links_(fabric.num_hosts()),
+      non_pristine_(fabric.num_hosts(), 0) {
+  FTCF_PROF_SCOPE("incremental_repair_build");
+  expects(initial.fabric == &fabric,
+          "incremental repair health view targets a foreign fabric");
+  for (PortId p = 0; p < fabric.num_ports(); ++p)
+    link_down_[p] = initial.link_up(p) ? 0 : 1;
+  for (NodeId n = 0; n < fabric.num_nodes(); ++n)
+    node_down_[n] = initial.node_up(n) ? 0 : 1;
+  // A cable down while both endpoints are alive is an independent cable
+  // fault; one adjacent to a dead node is attributed to that node (and so
+  // revives with it).
+  for (PortId p = 0; p < fabric.num_ports(); ++p) {
+    if (canonical(p) != p || !link_down_[p]) continue;
+    const NodeId a = fabric.port(p).node;
+    const NodeId b = fabric.port(fabric.port(p).peer).node;
+    if (!node_down_[a] && !node_down_[b]) cable_failed_[p] = 1;
+  }
+  std::vector<std::uint64_t> all(fabric.num_hosts());
+  std::iota(all.begin(), all.end(), std::uint64_t{0});
+  recompute_columns(all, nullptr);
+}
+
+IncrementalRepair::IncrementalRepair(const FaultState& state)
+    : IncrementalRepair(state.fabric(), state.health()) {}
+
+DegradedStats IncrementalRepair::stats() const {
+  DegradedStats out;
+  for (const DestStats& ds : dest_stats_) {
+    out.entries_programmed += ds.programmed;
+    out.entries_rerouted += ds.rerouted;
+    out.entries_unrouted += ds.unrouted;
+    if (!ds.reachable) ++out.unreachable_hosts;
+  }
+  return out;
+}
+
+std::uint64_t IncrementalRepair::non_pristine_dests() const {
+  return static_cast<std::uint64_t>(
+      std::count_if(non_pristine_.begin(), non_pristine_.end(),
+                    [](std::uint32_t n) { return n > 0; }));
+}
+
+bool IncrementalRepair::column_uses(
+    std::uint64_t dest, const std::vector<PortId>& cables) const {
+  const std::vector<PortId>& col = column_links_[dest];
+  for (const PortId c : cables)
+    if (std::binary_search(col.begin(), col.end(), c)) return true;
+  return false;
+}
+
+void IncrementalRepair::refresh_dest(std::uint64_t dest) {
+  std::vector<PortId>& col = column_links_[dest];
+  col.clear();
+  std::uint32_t deviations = 0;
+  for (const NodeId sw : fabric_->switch_ids()) {
+    if (node_down_[sw]) continue;
+    if (!tables_.has_entry(sw, dest)) {
+      ++deviations;
+      continue;
+    }
+    const std::uint32_t port_idx = tables_.out_port(sw, dest);
+    col.push_back(canonical(fabric_->port_id(sw, port_idx)));
+    if (port_idx != pristine_dmodk_port(*fabric_, sw, dest)) ++deviations;
+  }
+  std::sort(col.begin(), col.end());
+  col.erase(std::unique(col.begin(), col.end()), col.end());
+  non_pristine_[dest] = deviations;
+}
+
+void IncrementalRepair::recompute_columns(
+    const std::vector<std::uint64_t>& dests, RepairDelta* delta) {
+  if (dests.empty()) return;
+  const auto switch_ids = fabric_->switch_ids();
+
+  // Snapshot the pre-event columns so the post-route diff can report which
+  // destinations actually changed and by how many entries.
+  std::vector<std::vector<std::uint32_t>> before;
+  if (delta != nullptr) {
+    before.resize(dests.size());
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+      before[i].reserve(switch_ids.size());
+      for (const NodeId sw : switch_ids)
+        before[i].push_back(entry_or_unrouted(tables_, sw, dests[i]));
+    }
+  }
+
+  // Distinct destinations occupy disjoint LFT slots, so routing them
+  // concurrently is race-free; stats and bookkeeping fold serially below
+  // in ascending destination order for byte determinism.
+  const par::ForOptions opts{0, 1, "route.incremental"};
+  const std::uint32_t width = par::region_width(dests.size(), opts);
+  std::vector<DestinationRouter> routers;
+  routers.reserve(width);
+  for (std::uint32_t w = 0; w < width; ++w)
+    routers.emplace_back(*fabric_, health());
+  std::vector<DestStats> fresh(dests.size());
+  par::parallel_for(
+      dests.size(),
+      [&](std::size_t i, std::uint32_t worker) {
+        fresh[i] = routers[worker].route(dests[i], tables_);
+      },
+      opts);
+
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    const std::uint64_t dest = dests[i];
+    if (delta != nullptr) {
+      std::uint64_t changed = 0;
+      for (std::size_t j = 0; j < switch_ids.size(); ++j)
+        if (before[i][j] != entry_or_unrouted(tables_, switch_ids[j], dest))
+          ++changed;
+      if (changed > 0) {
+        delta->changed_dests.push_back(dest);
+        delta->entries_changed += changed;
+      }
+    }
+    dest_stats_[dest] = fresh[i];
+    refresh_dest(dest);
+  }
+}
+
+RepairDelta IncrementalRepair::fail_cable(PortId port) {
+  RepairDelta delta;
+  const PortId peer = fabric_->port(port).peer;
+  const PortId cable = canonical(port);
+  const bool was_down = link_down_[port] != 0;
+  // Record the independent fault even when the link is already down from a
+  // dead endpoint: repairing that switch must not revive this cable.
+  cable_failed_[cable] = 1;
+  if (was_down) {
+    delta.stats = stats();
+    return delta;
+  }
+  link_down_[port] = 1;
+  link_down_[peer] = 1;
+  delta.applied = true;
+
+  const std::vector<PortId> changed{cable};
+  std::vector<std::uint64_t> dirty;
+  for (std::uint64_t d = 0; d < fabric_->num_hosts(); ++d)
+    if (column_uses(d, changed)) dirty.push_back(d);
+  recompute_columns(dirty, &delta);
+  delta.stats = stats();
+  return delta;
+}
+
+RepairDelta IncrementalRepair::repair_cable(PortId port) {
+  RepairDelta delta;
+  const PortId peer = fabric_->port(port).peer;
+  const PortId cable = canonical(port);
+  if (!cable_failed_[cable]) {
+    delta.stats = stats();
+    return delta;
+  }
+  cable_failed_[cable] = 0;
+  const NodeId a = fabric_->port(port).node;
+  const NodeId b = fabric_->port(peer).node;
+  if (node_down_[a] || node_down_[b]) {
+    // The cable itself is mended but an endpoint is still dead; the link
+    // revives with the switch repair.
+    delta.stats = stats();
+    return delta;
+  }
+  link_down_[port] = 0;
+  link_down_[peer] = 0;
+  delta.applied = true;
+
+  std::vector<std::uint64_t> dirty;
+  for (std::uint64_t d = 0; d < fabric_->num_hosts(); ++d)
+    if (non_pristine_[d] > 0) dirty.push_back(d);
+  recompute_columns(dirty, &delta);
+  delta.stats = stats();
+  return delta;
+}
+
+RepairDelta IncrementalRepair::fail_switch(NodeId sw) {
+  expects(fabric_->node(sw).kind == topo::NodeKind::kSwitch,
+          "fail_switch targets a non-switch");
+  RepairDelta delta;
+  if (node_down_[sw]) {
+    delta.stats = stats();
+    return delta;
+  }
+  node_down_[sw] = 1;
+  delta.applied = true;
+
+  // Equivalent to failing every adjacent cable that was still up.
+  std::vector<PortId> newly_down;
+  const topo::Node& node = fabric_->node(sw);
+  for (std::uint32_t i = 0; i < node.num_down_ports + node.num_up_ports; ++i) {
+    const PortId pid = fabric_->port_id(sw, i);
+    const PortId peer = fabric_->port(pid).peer;
+    if (!link_down_[pid]) newly_down.push_back(canonical(pid));
+    link_down_[pid] = 1;
+    link_down_[peer] = 1;
+  }
+  std::sort(newly_down.begin(), newly_down.end());
+
+  std::vector<std::uint64_t> dirty;
+  std::vector<std::uint8_t> is_dirty(fabric_->num_hosts(), 0);
+  for (std::uint64_t d = 0; d < fabric_->num_hosts(); ++d) {
+    if (!column_uses(d, newly_down)) continue;
+    dirty.push_back(d);
+    is_dirty[d] = 1;
+  }
+  // Destinations whose column avoids the dead switch entirely cannot have
+  // an entry there (an entry's out-cable is adjacent); their only change is
+  // that the switch's unrouted contribution leaves the bookkeeping.
+  for (std::uint64_t d = 0; d < fabric_->num_hosts(); ++d) {
+    if (is_dirty[d]) continue;
+    expects(!tables_.has_entry(sw, d),
+            "non-dirty destination has an entry at the failed switch");
+    expects(dest_stats_[d].unrouted > 0 && non_pristine_[d] > 0,
+            "failed switch missing from destination bookkeeping");
+    --dest_stats_[d].unrouted;
+    --non_pristine_[d];
+  }
+  recompute_columns(dirty, &delta);
+  delta.stats = stats();
+  return delta;
+}
+
+RepairDelta IncrementalRepair::repair_switch(NodeId sw) {
+  expects(fabric_->node(sw).kind == topo::NodeKind::kSwitch,
+          "repair_switch targets a non-switch");
+  RepairDelta delta;
+  if (!node_down_[sw]) {
+    delta.stats = stats();
+    return delta;
+  }
+  node_down_[sw] = 0;
+  delta.applied = true;
+  delta.row_switch = sw;
+
+  // Adjacent cables revive with the switch unless independently failed or
+  // attached to another dead node.
+  const topo::Node& node = fabric_->node(sw);
+  for (std::uint32_t i = 0; i < node.num_down_ports + node.num_up_ports; ++i) {
+    const PortId pid = fabric_->port_id(sw, i);
+    const PortId peer = fabric_->port(pid).peer;
+    const NodeId other = fabric_->port(peer).node;
+    const std::uint8_t down =
+        (cable_failed_[canonical(pid)] || node_down_[other]) ? 1 : 0;
+    link_down_[pid] = down;
+    link_down_[peer] = down;
+  }
+
+  // Fully pristine destinations only need the revived switch's row filled:
+  // every other alive switch already holds the first-scanned (pristine)
+  // candidate, which an improving event cannot displace. The fill is
+  // validated against the chooser's acceptance rule; failures demote the
+  // destination to a full recompute.
+  std::vector<std::uint64_t> dirty;
+  for (std::uint64_t d = 0; d < fabric_->num_hosts(); ++d) {
+    if (non_pristine_[d] > 0) {
+      dirty.push_back(d);
+      continue;
+    }
+    const std::uint32_t port_idx = pristine_dmodk_port(*fabric_, sw, d);
+    const PortId pid = fabric_->port_id(sw, port_idx);
+    bool ok = !link_down_[pid];
+    if (ok) {
+      const NodeId target = fabric_->port(fabric_->port(pid).peer).node;
+      if (node_down_[target])
+        ok = false;
+      else if (fabric_->node(target).kind == topo::NodeKind::kHost)
+        ok = true;  // alive cable + alive host == deliverable
+      else
+        ok = tables_.has_entry(target, d);  // entry <=> viable when alive
+    }
+    if (!ok) {
+      dirty.push_back(d);
+      continue;
+    }
+    tables_.set_out_port(sw, d, port_idx);
+    delta.row_filled_dests.push_back(d);
+    ++delta.entries_changed;
+    ++dest_stats_[d].programmed;
+    dest_stats_[d].reachable = true;
+    const PortId cable = canonical(pid);
+    std::vector<PortId>& col = column_links_[d];
+    const auto it = std::lower_bound(col.begin(), col.end(), cable);
+    if (it == col.end() || *it != cable) col.insert(it, cable);
+  }
+  recompute_columns(dirty, &delta);
+  delta.stats = stats();
+  return delta;
+}
+
+}  // namespace ftcf::route

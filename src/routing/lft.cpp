@@ -42,6 +42,10 @@ bool ForwardingTables::has_entry(topo::NodeId sw, std::uint64_t dest) const {
   return table_[slot(sw, dest)] != kUnroutedPort;
 }
 
+void ForwardingTables::clear_entry(topo::NodeId sw, std::uint64_t dest) {
+  table_[slot(sw, dest)] = kUnroutedPort;
+}
+
 bool ForwardingTables::complete() const noexcept {
   return std::none_of(table_.begin(), table_.end(), [](std::uint32_t port) {
     return port == kUnroutedPort;

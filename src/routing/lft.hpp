@@ -24,6 +24,16 @@ class ForwardingTables {
   /// True when the (switch, destination) entry has been programmed.
   [[nodiscard]] bool has_entry(topo::NodeId sw, std::uint64_t dest) const;
 
+  /// Revert the (switch, destination) entry to unprogrammed. The repair
+  /// engine uses this when a path component dies out from under an entry.
+  void clear_entry(topo::NodeId sw, std::uint64_t dest);
+
+  /// Entry-wise equality over the same fabric — the incremental-repair
+  /// differential oracle's definition of "identical tables".
+  friend bool operator==(const ForwardingTables& a, const ForwardingTables& b) {
+    return a.table_ == b.table_;
+  }
+
   [[nodiscard]] const topo::Fabric& fabric() const noexcept { return *fabric_; }
 
   /// True once every (switch, destination) entry has been programmed.

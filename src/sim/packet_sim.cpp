@@ -305,9 +305,9 @@ class Engine {
     }
   }
 
-  /// Translate the fault state's flap schedule into kLinkDown/kLinkUp events
-  /// and remember each port's revival time (consulted while it is dead to
-  /// decide wait-vs-drop).
+  /// Translate the fault state's flap and repair schedules into
+  /// kLinkDown/kLinkUp events and remember each port's revival time
+  /// (consulted while it is dead to decide wait-vs-drop).
   void schedule_flaps() {
     for (const fault::FlapEvent& f : faults_->flaps()) {
       const PortId peer = fabric_.port(f.port).peer;
@@ -315,6 +315,16 @@ class Engine {
       revives_at_[peer] = f.up_at;
       queue_.push(f.down_at, Ev{EvType::kLinkDown, f.port, {}});
       if (f.up_at != kNever) queue_.push(f.up_at, Ev{EvType::kLinkUp, f.port, {}});
+    }
+    // A repaired cable is dead from t=0 (the static resolution already
+    // marked it) and revives at up_at — exactly a flap whose down event
+    // has already happened. Setting revives_at_ before the first host kick
+    // makes senders park on the dead cable instead of writing it off.
+    for (const fault::RepairEvent& r : faults_->repairs()) {
+      const PortId peer = fabric_.port(r.port).peer;
+      revives_at_[r.port] = r.up_at;
+      revives_at_[peer] = r.up_at;
+      queue_.push(r.up_at, Ev{EvType::kLinkUp, r.port, {}});
     }
   }
 

@@ -1,0 +1,106 @@
+// Direct IncrementalCertifier coverage: the certificate-delta document and
+// the incremental-vs-full certificate equality it promises. The streaming
+// engine's end-to-end behaviour (timelines, oracles, reports) lives in
+// tests/churn/.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/certify.hpp"
+#include "check/recertify.hpp"
+#include "cps/generators.hpp"
+#include "fault/degraded.hpp"
+#include "routing/incremental.hpp"
+#include "topology/presets.hpp"
+
+namespace ftcf::check {
+namespace {
+
+struct Rig {
+  Rig()
+      : fabric(topo::fig4b_pgft16()),
+        state(fabric, fault::parse_faults("")),
+        repair(state),
+        ordering(order::NodeOrdering::topology(fabric)),
+        sequence(cps::shift(fabric.num_hosts())),
+        recert(fabric, repair.tables(), ordering, sequence) {}
+
+  [[nodiscard]] std::string full_json() const {
+    const Certificate cert = certify_contention_freedom(
+        fabric, repair.tables(), ordering, sequence);
+    std::ostringstream oss;
+    write_certificate_json(oss, cert, {});
+    return oss.str();
+  }
+  [[nodiscard]] std::string incremental_json() const {
+    std::ostringstream oss;
+    write_certificate_json(oss, recert.certificate(), {});
+    return oss.str();
+  }
+
+  topo::Fabric fabric;
+  fault::FaultState state;
+  route::IncrementalRepair repair;
+  order::NodeOrdering ordering;
+  cps::Sequence sequence;
+  IncrementalCertifier recert;
+};
+
+TEST(Recertify, CertificateTracksFullCertifyThroughFailAndRepair) {
+  Rig rig;
+  const topo::NodeId leaf = rig.fabric.switch_node(1, 0);
+  const topo::PortId cable =
+      rig.fabric.port_id(leaf, rig.fabric.node(leaf).num_down_ports);
+
+  EXPECT_EQ(rig.incremental_json(), rig.full_json());
+  (void)rig.recert.update(rig.repair.fail_cable(cable));
+  EXPECT_EQ(rig.incremental_json(), rig.full_json());
+  (void)rig.recert.update(rig.repair.repair_cable(cable));
+  EXPECT_EQ(rig.incremental_json(), rig.full_json());
+}
+
+TEST(Recertify, DeltaJsonNamesTheDamageAndTheVerdict) {
+  Rig rig;
+  const topo::NodeId leaf = rig.fabric.switch_node(1, 0);
+  const topo::PortId cable =
+      rig.fabric.port_id(leaf, rig.fabric.node(leaf).num_down_ports);
+  const CertificateDelta delta = rig.recert.update(rig.repair.fail_cable(cable));
+  ASSERT_TRUE(delta.applied);
+  EXPECT_GT(delta.flows_rewalked, 0u);
+  EXPECT_EQ(delta.changed_witnesses.size(),
+            std::min<std::uint64_t>(delta.stages_changed, kMaxDeltaStagesShown));
+
+  std::ostringstream oss;
+  write_certificate_delta_json(oss, delta, {{"event", "fail-cable test"}});
+  const std::string doc = oss.str();
+  EXPECT_NE(doc.find("\"event\":\"fail-cable test\""), std::string::npos);
+  EXPECT_NE(doc.find("\"applied\":true"), std::string::npos);
+  EXPECT_NE(doc.find("\"flows_rewalked\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"stages\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"violations\":["), std::string::npos);
+
+  // Deterministic: the same delta renders to the same bytes.
+  std::ostringstream again;
+  write_certificate_delta_json(again, delta, {{"event", "fail-cable test"}});
+  EXPECT_EQ(doc, again.str());
+}
+
+TEST(Recertify, UnappliedDeltaRendersEmptySections) {
+  Rig rig;
+  // A delta that routed nothing new: repairing an already-healthy fabric is
+  // modelled by an empty RepairDelta.
+  const CertificateDelta delta = rig.recert.update(route::RepairDelta{});
+  EXPECT_FALSE(delta.applied);
+  EXPECT_EQ(delta.flows_rewalked, 0u);
+  EXPECT_TRUE(delta.contention_free);
+
+  std::ostringstream oss;
+  write_certificate_delta_json(oss, delta, {});
+  const std::string doc = oss.str();
+  EXPECT_NE(doc.find("\"applied\":false"), std::string::npos);
+  EXPECT_NE(doc.find("\"stages\":[]"), std::string::npos);
+  EXPECT_NE(doc.find("\"violations\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftcf::check

@@ -1,0 +1,138 @@
+// Churn campaign runner: per-event differential oracle on small fabrics,
+// recovery back to the contention-free pristine state, deterministic report
+// JSON and the obs metrics trajectory.
+#include "churn/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "cps/generators.hpp"
+#include "fault/fault_spec.hpp"
+#include "obs/metrics.hpp"
+#include "topology/presets.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ftcf::churn {
+namespace {
+
+using fault::parse_faults;
+using topo::Fabric;
+
+struct Rig {
+  explicit Rig(const std::string& faults)
+      : fabric(topo::fig4b_pgft16()),
+        timeline(resolve_timeline(fabric, parse_faults(faults))),
+        ordering(order::NodeOrdering::topology(fabric)),
+        sequence(cps::shift(fabric.num_hosts())) {}
+  Fabric fabric;
+  Timeline timeline;
+  order::NodeOrdering ordering;
+  cps::Sequence sequence;
+};
+
+// A mixed timeline exercising all four event kinds plus an MTBF schedule,
+// on top of a statically-degraded baseline.
+const char kMixedSpec[] =
+    "link:leaf1:5,"
+    "mtbf:4:100:60:3000:13,"
+    "switch:S2_1@t=500us,repair:switch:S2_1@t=1500us,"
+    "link:leaf0:4@t=200us,repair:link:leaf0:4@t=900us";
+
+TEST(Campaign, FullOracleHoldsOverMixedTimeline) {
+  Rig rig(kMixedSpec);
+  ASSERT_GE(rig.timeline.events.size(), 10u);
+  CampaignOptions options;
+  options.sample_srcs = rig.fabric.num_hosts();  // every pair, every event
+  options.full_oracle = true;
+  const CampaignReport report = run_campaign(
+      rig.fabric, rig.timeline, rig.ordering, rig.sequence, options);
+  EXPECT_EQ(report.num_events, rig.timeline.events.size());
+  EXPECT_EQ(report.oracle_checks, report.num_events);
+  EXPECT_EQ(report.cdg_checks, report.num_events + 1);   // + baseline
+  EXPECT_EQ(report.connectivity_checks, report.num_events + 1);
+  EXPECT_GT(report.applied_events, 0u);
+  for (const EventOutcome& e : report.events) EXPECT_TRUE(e.cdg_acyclic);
+}
+
+TEST(Campaign, FailRepairPairRecoversThePristineCertificate) {
+  Rig rig("link:leaf0:4@t=10us,repair:link:leaf0:4@t=20us");
+  CampaignOptions options;
+  options.sample_srcs = rig.fabric.num_hosts();
+  options.full_oracle = true;
+  const CampaignReport report = run_campaign(
+      rig.fabric, rig.timeline, rig.ordering, rig.sequence, options);
+  ASSERT_EQ(report.events.size(), 2u);
+
+  // The failure reroutes some columns; the repair undoes every deviation.
+  const EventOutcome& fail = report.events[0];
+  EXPECT_TRUE(fail.applied);
+  EXPECT_GT(fail.entries_changed, 0u);
+  EXPECT_GT(fail.non_pristine, 0u);
+  const EventOutcome& repair = report.events[1];
+  EXPECT_TRUE(repair.applied);
+  EXPECT_EQ(repair.non_pristine, 0u);
+  EXPECT_EQ(repair.unrouted, 0u);
+  EXPECT_EQ(repair.rerouted, 0u);
+  EXPECT_TRUE(repair.contention_free);
+  EXPECT_EQ(repair.max_hsd, 1u);
+  EXPECT_TRUE(report.final_contention_free);
+  // Shift over the in-order topology placement never loses connectivity to
+  // a single cable failure on this fabric.
+  EXPECT_EQ(fail.unreachable_pairs, 0u);
+}
+
+TEST(Campaign, UnappliedEventsAreRecordedButChangeNothing) {
+  // Failing a cable twice: the second failure hits an already-dead cable.
+  Rig rig("link:leaf0:4@t=10us,link:leaf0:4@t=20us");
+  const CampaignReport report = run_campaign(rig.fabric, rig.timeline,
+                                             rig.ordering, rig.sequence);
+  ASSERT_EQ(report.events.size(), 2u);
+  EXPECT_TRUE(report.events[0].applied);
+  EXPECT_FALSE(report.events[1].applied);
+  EXPECT_EQ(report.events[1].entries_changed, 0u);
+  EXPECT_EQ(report.applied_events, 1u);
+}
+
+TEST(Campaign, ReportJsonIsByteIdenticalAcrossThreadCounts) {
+  auto render = [] {
+    Rig rig(kMixedSpec);
+    CampaignOptions options;
+    options.sample_srcs = 4;
+    const CampaignReport report = run_campaign(
+        rig.fabric, rig.timeline, rig.ordering, rig.sequence, options);
+    std::ostringstream os;
+    write_campaign_json(os, report, {{"tool", "campaign_test"}});
+    return os.str();
+  };
+  const std::uint32_t saved = par::default_threads();
+  par::set_default_threads(1);
+  const std::string at_one = render();
+  par::set_default_threads(4);
+  const std::string at_four = render();
+  par::set_default_threads(saved);
+  EXPECT_EQ(at_one, at_four);
+  EXPECT_NE(at_one.find("\"kind\":\"fail-switch\""), std::string::npos);
+  EXPECT_NE(at_one.find("\"kind\":\"repair-cable\""), std::string::npos);
+}
+
+TEST(Campaign, MetricsRecordTheDegradationTrajectory) {
+  Rig rig("switch:S2_0@t=100us,repair:switch:S2_0@t=300us");
+  obs::MetricsRegistry metrics;
+  CampaignOptions options;
+  options.sample_srcs = 0;  // metrics only
+  options.metrics = &metrics;
+  const CampaignReport report = run_campaign(
+      rig.fabric, rig.timeline, rig.ordering, rig.sequence, options);
+  EXPECT_EQ(report.connectivity_checks, 0u);
+  std::ostringstream os;
+  metrics.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("churn.events"), std::string::npos);
+  EXPECT_NE(json.find("churn.non_pristine"), std::string::npos);
+  EXPECT_NE(json.find("churn.max_hsd"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftcf::churn

@@ -1,0 +1,157 @@
+// Churn timeline resolution: static/timed splitting, deterministic MTBF
+// expansion, stable event ordering and the switch/host target contract.
+#include "churn/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "fault/fault_spec.hpp"
+#include "topology/presets.hpp"
+#include "util/error.hpp"
+
+namespace ftcf::churn {
+namespace {
+
+using fault::parse_faults;
+using topo::Fabric;
+
+Timeline resolve(const Fabric& fabric, const std::string& spec) {
+  return resolve_timeline(fabric, parse_faults(spec));
+}
+
+TEST(Timeline, TimedEventsSortWhileStaticFaultsStayBehind) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  const Timeline tl = resolve(
+      fabric,
+      "link:leaf1:5,repair:link:leaf0:4@t=50us,link:leaf0:4@t=20us,"
+      "switch:S2_0@t=10us,rate:leaf0:4:0.5");
+  // The always-dead cable and the rate factor are baseline state, not events.
+  EXPECT_EQ(tl.static_spec.faults.size(), 2u);
+  ASSERT_EQ(tl.events.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      tl.events.begin(), tl.events.end(),
+      [](const ChurnEvent& a, const ChurnEvent& b) { return a.at < b.at; }));
+  EXPECT_EQ(tl.events[0].kind, EventKind::kFailSwitch);
+  EXPECT_EQ(tl.events[0].at, 10'000);
+  EXPECT_EQ(tl.events[1].kind, EventKind::kFailCable);
+  EXPECT_EQ(tl.events[2].kind, EventKind::kRepairCable);
+  EXPECT_EQ(tl.events[2].at, 50'000);
+  // The fail and its repair resolve to the same cable.
+  EXPECT_EQ(tl.events[1].cable, tl.events[2].cable);
+}
+
+TEST(Timeline, EqualTimesKeepSpecOrder) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  const Timeline tl =
+      resolve(fabric, "switch:S2_1@t=10us,link:leaf0:4@t=10us");
+  ASSERT_EQ(tl.events.size(), 2u);
+  EXPECT_EQ(tl.events[0].kind, EventKind::kFailSwitch);
+  EXPECT_EQ(tl.events[1].kind, EventKind::kFailCable);
+}
+
+TEST(Timeline, FlapExpandsToFailRepairPair) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  const Timeline tl = resolve(fabric, "flap:leaf0:4:100:300");
+  ASSERT_EQ(tl.events.size(), 2u);
+  EXPECT_EQ(tl.events[0].kind, EventKind::kFailCable);
+  EXPECT_EQ(tl.events[0].at, 100'000);
+  EXPECT_EQ(tl.events[1].kind, EventKind::kRepairCable);
+  EXPECT_EQ(tl.events[1].at, 300'000);
+  EXPECT_EQ(tl.events[0].cable, tl.events[1].cable);
+
+  // A flap that never revives contributes only the death.
+  const Timeline oneway = resolve(fabric, "flap:leaf0:4:100");
+  ASSERT_EQ(oneway.events.size(), 1u);
+  EXPECT_EQ(oneway.events[0].kind, EventKind::kFailCable);
+}
+
+TEST(Timeline, TimedRandLinksExpandToDistinctCables) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  const Timeline tl = resolve(fabric, "rand-links:3:7@t=30us");
+  ASSERT_EQ(tl.events.size(), 3u);
+  std::set<topo::PortId> cables;
+  for (const ChurnEvent& e : tl.events) {
+    EXPECT_EQ(e.kind, EventKind::kFailCable);
+    EXPECT_EQ(e.at, 30'000);
+    cables.insert(e.cable);
+  }
+  EXPECT_EQ(cables.size(), 3u);
+  // Same spec, same expansion; static form goes to the baseline instead.
+  const Timeline again = resolve(fabric, "rand-links:3:7@t=30us");
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(tl.events[i].cable, again.events[i].cable);
+  const Timeline statics = resolve(fabric, "rand-links:3:7");
+  EXPECT_TRUE(statics.events.empty());
+  EXPECT_EQ(statics.static_spec.faults.size(), 1u);
+}
+
+TEST(Timeline, MtbfExpansionIsDeterministicPerCableAlternating) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  const std::string spec = "mtbf:4:100:50:2000:9";
+  const Timeline tl = resolve(fabric, spec);
+  const Timeline again = resolve(fabric, spec);
+  ASSERT_EQ(tl.events.size(), again.events.size());
+  EXPECT_FALSE(tl.events.empty());
+  for (std::size_t i = 0; i < tl.events.size(); ++i) {
+    EXPECT_EQ(tl.events[i].at, again.events[i].at);
+    EXPECT_EQ(tl.events[i].kind, again.events[i].kind);
+    EXPECT_EQ(tl.events[i].cable, again.events[i].cable);
+  }
+
+  // Per cable: strictly increasing times, alternating fail/repair starting
+  // with a failure, everything inside the horizon.
+  std::map<topo::PortId, std::vector<const ChurnEvent*>> per_cable;
+  for (const ChurnEvent& e : tl.events) {
+    EXPECT_GT(e.at, 0);
+    EXPECT_LE(e.at, 2000 * 1000);
+    per_cable[e.cable].push_back(&e);
+  }
+  EXPECT_LE(per_cable.size(), 4u);
+  for (const auto& [cable, events] : per_cable) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(events[i]->kind, i % 2 == 0 ? EventKind::kFailCable
+                                            : EventKind::kRepairCable);
+      if (i > 0) {
+        EXPECT_GT(events[i]->at, events[i - 1]->at);
+      }
+    }
+  }
+}
+
+TEST(Timeline, MtbfSeedsAreIndependentStreams) {
+  // util::derive_seed keeps adjacent base seeds uncorrelated — the schedules
+  // for seed 9 and seed 10 must not share their event times.
+  const Fabric fabric(topo::fig4b_pgft16());
+  const Timeline a = resolve(fabric, "mtbf:4:100:50:2000:9");
+  const Timeline b = resolve(fabric, "mtbf:4:100:50:2000:10");
+  std::set<sim::SimTime> times_a;
+  for (const ChurnEvent& e : a.events) times_a.insert(e.at);
+  std::size_t shared = 0;
+  for (const ChurnEvent& e : b.events) shared += times_a.count(e.at);
+  EXPECT_LT(shared, std::min(a.events.size(), b.events.size()) / 2 + 1);
+}
+
+TEST(Timeline, SwitchEventOnHostThrows) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  EXPECT_THROW((void)resolve(fabric, "switch:H0000@t=10us"), util::SpecError);
+  EXPECT_THROW((void)resolve(fabric, "repair:switch:H0003@t=10us"),
+               util::SpecError);
+}
+
+TEST(Timeline, EventToStringNamesBothCableEndpoints) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  const Timeline tl = resolve(fabric, "link:leaf0:4@t=20us,switch:S2_0@t=9us");
+  ASSERT_EQ(tl.events.size(), 2u);
+  const std::string sw = event_to_string(fabric, tl.events[0]);
+  EXPECT_NE(sw.find("fail-switch"), std::string::npos);
+  EXPECT_NE(sw.find("S2_0"), std::string::npos);
+  const std::string cable = event_to_string(fabric, tl.events[1]);
+  EXPECT_NE(cable.find("fail-cable"), std::string::npos);
+  EXPECT_NE(cable.find("<->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftcf::churn

@@ -1,0 +1,140 @@
+// Degraded D-Mod-K multi-fault fallback combos against the BFS up*/down*
+// connectivity oracle: the fallback chain is parallel rail → sibling spine
+// in the parent group → write-off, and at every rung the programmed tables
+// must route *exactly* the pairs the graph still connects.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/connectivity.hpp"
+#include "routing/degraded.hpp"
+#include "routing/trace.hpp"
+#include "topology/presets.hpp"
+
+namespace ftcf::fault {
+namespace {
+
+using topo::Fabric;
+using topo::NodeId;
+using topo::PortId;
+
+/// Forwarding-table walk mirroring what the hardware does: inject on the
+/// host's D-Mod-K up cable, then follow LFT entries to the destination.
+bool tables_route(const Fabric& fabric, const route::ForwardingTables& tables,
+                  const LinkHealth& health, std::uint64_t src,
+                  std::uint64_t dst) {
+  const NodeId host = fabric.host_node(src);
+  const topo::Node& hn = fabric.node(host);
+  const PortId inject = fabric.port_id(
+      host, hn.num_down_ports + route::host_up_port(fabric, src, dst));
+  if (!health.node_up(host) || !health.link_up(inject)) return false;
+  NodeId at = fabric.port(fabric.port(inject).peer).node;
+  const NodeId dst_node = fabric.host_node(dst);
+  const std::size_t max_links = 2ull * fabric.height() + 2;
+  for (std::size_t hop = 0; hop <= max_links; ++hop) {
+    if (!tables.has_entry(at, dst)) return false;
+    const PortId out = fabric.port_id(at, tables.out_port(at, dst));
+    at = fabric.port(fabric.port(out).peer).node;
+    if (at == dst_node) return true;
+  }
+  return false;
+}
+
+/// All-pairs agreement: the degraded tables route (src, dst) iff the BFS
+/// oracle proves an alive up*/down* path. Returns the unreachable count.
+std::uint64_t assert_oracle_agreement(const Fabric& fabric,
+                                      const FaultState& state) {
+  const auto tables = route::compute_degraded_dmodk(state);
+  const LinkHealth health = state.health();
+  std::uint64_t unreachable = 0;
+  for (std::uint64_t src = 0; src < fabric.num_hosts(); ++src) {
+    const std::vector<std::uint8_t> oracle =
+        updown_reachable_hosts(fabric, health, src);
+    EXPECT_EQ(static_cast<bool>(oracle[src]), health.host_up(src));
+    for (std::uint64_t dst = 0; dst < fabric.num_hosts(); ++dst) {
+      if (dst == src) continue;
+      const bool routed = tables_route(fabric, tables, health, src, dst);
+      EXPECT_EQ(routed, static_cast<bool>(oracle[dst]))
+          << "src " << src << " dst " << dst;
+      if (!oracle[dst]) ++unreachable;
+    }
+  }
+  return unreachable;
+}
+
+TEST(ConnectivityOracle, SingleRailFailureKeepsEveryPair) {
+  // fig4b has p2 = 2 rails per (leaf, spine) pair: the parallel-rail
+  // fallback absorbs one dead cable with zero connectivity loss.
+  const Fabric fabric(topo::fig4b_pgft16());
+  const FaultState state(fabric, parse_faults("link:leaf0:4"));
+  EXPECT_EQ(assert_oracle_agreement(fabric, state), 0u);
+}
+
+TEST(ConnectivityOracle, BothRailsForceParentGroupFallback) {
+  // Killing both rails to one spine exhausts the parallel-rail rung; the
+  // chooser must climb through the other spine, still losing nothing.
+  const Fabric fabric(topo::fig4b_pgft16());
+  const FaultState state(fabric, parse_faults("link:leaf0:4,link:leaf0:5"));
+  route::DegradedStats stats;
+  (void)route::compute_degraded_dmodk(state, &stats);
+  EXPECT_GT(stats.entries_rerouted, 0u);
+  EXPECT_EQ(stats.entries_unrouted, 0u);
+  EXPECT_EQ(assert_oracle_agreement(fabric, state), 0u);
+}
+
+TEST(ConnectivityOracle, SpineDeathPlusRailLossStaysConnected) {
+  // A dead spine and a dead rail toward the surviving spine: one rail per
+  // leaf remains, and it must carry everything.
+  const Fabric fabric(topo::fig4b_pgft16());
+  const FaultState state(fabric, parse_faults("switch:spine0,link:leaf1:6"));
+  EXPECT_EQ(assert_oracle_agreement(fabric, state), 0u);
+}
+
+TEST(ConnectivityOracle, SeveredLeafIsWrittenOffConsistently) {
+  // All up cables of leaf0 dead: its hosts keep intra-leaf connectivity but
+  // every cross-leaf pair involving them is gone — tables and oracle must
+  // agree on exactly which pairs died.
+  const Fabric fabric(topo::fig4b_pgft16());
+  const topo::Node& leaf = fabric.node(fabric.switch_node(1, 0));
+  std::string spec;
+  for (std::uint32_t up = 0; up < leaf.num_up_ports; ++up) {
+    if (!spec.empty()) spec += ',';
+    spec += "link:leaf0:" + std::to_string(leaf.num_down_ports + up);
+  }
+  const FaultState state(fabric, parse_faults(spec));
+  route::DegradedStats stats;
+  (void)route::compute_degraded_dmodk(state, &stats);
+  EXPECT_GT(stats.entries_unrouted, 0u);
+  // 4 severed hosts x 12 remote dsts, both directions.
+  EXPECT_EQ(assert_oracle_agreement(fabric, state), 2u * 4u * 12u);
+}
+
+TEST(ConnectivityOracle, RandomMultiFaultCombosAgreeEverywhere) {
+  // Randomized sweep: several cables plus a switch, across seeds. Whatever
+  // fallback rung each destination lands on, agreement must be exact.
+  const Fabric fabric(topo::fig4b_pgft16());
+  for (std::uint64_t trial = 1; trial <= 6; ++trial) {
+    const std::string spec =
+        "rand-links:3:" + std::to_string(trial) +
+        (trial % 2 == 0 ? ",switch:spine1" : "");
+    const FaultState state(fabric, parse_faults(spec));
+    (void)assert_oracle_agreement(fabric, state);
+  }
+}
+
+TEST(ConnectivityOracle, PaperClusterCombosAgreeEverywhere) {
+  // Same sweep on the 128-host paper cluster (w2 > 1): the parent-group
+  // fallback has real alternatives to pick from here.
+  const Fabric fabric(topo::paper_cluster(128));
+  for (std::uint64_t trial = 1; trial <= 3; ++trial) {
+    const FaultState state(
+        fabric,
+        parse_faults("rand-links:4:" + std::to_string(trial) + ",switch:S2_1"));
+    (void)assert_oracle_agreement(fabric, state);
+  }
+}
+
+}  // namespace
+}  // namespace ftcf::fault

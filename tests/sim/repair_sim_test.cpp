@@ -1,0 +1,107 @@
+// Mid-run repair of statically-failed links in the packet simulator: senders
+// whose path crosses the dead cable park until the scripted revival instead
+// of writing messages off, and a run whose traffic only needs the cable
+// after its repair is byte-identical to the pristine run.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/degraded.hpp"
+#include "routing/dmodk.hpp"
+#include "routing/trace.hpp"
+#include "sim/packet_sim.hpp"
+#include "topology/presets.hpp"
+
+namespace ftcf::sim {
+namespace {
+
+using fault::FaultState;
+using fault::parse_faults;
+using topo::Fabric;
+
+/// A (src, dst) pair from leaf0 whose pristine D-Mod-K path crosses leaf0's
+/// up port `port` — traffic that needs the cable under test.
+std::pair<std::uint64_t, std::uint64_t> pair_crossing(
+    const Fabric& fabric, const route::ForwardingTables& tables,
+    std::uint32_t port) {
+  const topo::NodeId leaf = fabric.switch_node(1, 0);
+  for (std::uint64_t dst = 4; dst < fabric.num_hosts(); ++dst)
+    if (tables.has_entry(leaf, dst) && tables.out_port(leaf, dst) == port)
+      return {0, dst};
+  ADD_FAILURE() << "no destination routes over leaf0 port " << port;
+  return {0, 4};
+}
+
+TEST(RepairSim, ParkedSendersDeliverEverythingAfterTheRepair) {
+  const Fabric fabric(topo::fig4b_pgft16());
+  const auto tables = route::DModKRouter{}.compute(fabric);
+  const auto [src, dst] = pair_crossing(fabric, tables, 4);
+  StageTraffic stage(fabric.num_hosts());
+  stage.add(src, dst, 16 * 1024);
+  const std::vector<StageTraffic> stages{stage};
+
+  // Without the repair the dead cable eats the message.
+  const FaultState broken(fabric, parse_faults("link:leaf0:4"));
+  PacketSim dead_sim(fabric, tables);
+  dead_sim.set_fault_state(&broken);
+  const RunResult lost = dead_sim.run(stages, Progression::kSynchronized);
+  EXPECT_EQ(lost.messages_failed, 1u);
+  EXPECT_EQ(lost.bytes_delivered, 0u);
+
+  // With a scripted revival the sender parks and delivers everything.
+  const FaultState repaired(
+      fabric, parse_faults("link:leaf0:4,repair:link:leaf0:4@t=400us"));
+  PacketSim sim(fabric, tables);
+  sim.set_fault_state(&repaired);
+  const RunResult result = sim.run(stages, Progression::kSynchronized);
+  EXPECT_EQ(result.messages_failed, 0u);
+  EXPECT_EQ(result.bytes_delivered, 16u * 1024u);
+  EXPECT_EQ(result.packets_dropped, 0u);
+  EXPECT_GE(result.makespan, 400'000);
+}
+
+TEST(RepairSim, PostRepairRunsReturnToThePristinePath) {
+  // Stage 0 stays away from leaf0 entirely; the repair lands mid-stage-0,
+  // so by the time stage 1 pushes traffic over the revived cable the run
+  // must be indistinguishable from a never-faulted fabric.
+  const Fabric fabric(topo::fig4b_pgft16());
+  const auto tables = route::DModKRouter{}.compute(fabric);
+
+  StageTraffic remote(fabric.num_hosts());
+  for (std::uint64_t h = 4; h < fabric.num_hosts(); ++h)
+    remote.add(h, 4 + (h - 4 + 1) % 12, 64 * 1024);
+  StageTraffic over_cable(fabric.num_hosts());
+  const auto [src, dst] = pair_crossing(fabric, tables, 4);
+  over_cable.add(src, dst, 32 * 1024);
+  const std::vector<StageTraffic> stages{remote, over_cable};
+
+  PacketSim pristine_sim(fabric, tables);
+  const RunResult pristine =
+      pristine_sim.run(stages, Progression::kSynchronized);
+  EXPECT_EQ(pristine.messages_failed, 0u);
+
+  // Repair at half of stage 0's span: strictly before any packet needs the
+  // cable, strictly after t=0.
+  const sim::SimTime repair_us =
+      std::max<sim::SimTime>(1, pristine.makespan / 4000);
+  const FaultState state(
+      fabric, parse_faults("link:leaf0:4,repair:link:leaf0:4@t=" +
+                           std::to_string(repair_us) + "us"));
+  PacketSim repaired_sim(fabric, tables);
+  repaired_sim.set_fault_state(&state);
+  const RunResult repaired =
+      repaired_sim.run(stages, Progression::kSynchronized);
+
+  EXPECT_EQ(repaired.makespan, pristine.makespan);
+  EXPECT_EQ(repaired.bytes_delivered, pristine.bytes_delivered);
+  EXPECT_EQ(repaired.messages_delivered, pristine.messages_delivered);
+  EXPECT_EQ(repaired.packets_delivered, pristine.packets_delivered);
+  EXPECT_EQ(repaired.out_of_order_packets, pristine.out_of_order_packets);
+  EXPECT_EQ(repaired.packets_dropped, 0u);
+  EXPECT_EQ(repaired.packets_retransmitted, 0u);
+  EXPECT_EQ(repaired.messages_failed, 0u);
+  EXPECT_EQ(repaired.duplicate_packets, 0u);
+}
+
+}  // namespace
+}  // namespace ftcf::sim

@@ -5,8 +5,11 @@
 //              [--threshold 0.15]
 //
 // Exit codes: 0 no regression beyond the threshold, 1 at least one case
-// regressed (or a baseline case disappeared), 2 usage error / malformed
-// input. The text diff on stdout is deterministic (name-sorted).
+// regressed, 2 usage error / malformed input. Benchmarks present in only
+// one side are skipped with a warning on stderr — a renamed or newly-added
+// bench must not break CI for unrelated changes — unless --strict-missing
+// makes disappeared baseline cases fail. The text diff on stdout is
+// deterministic (name-sorted).
 #include <fstream>
 #include <iostream>
 
@@ -35,8 +38,9 @@ int main(int argc, char** argv) {
     cli.add_option("current", "freshly produced BENCH_*.json", "");
     cli.add_option("threshold",
                    "regression fraction that fails (0.15 = 15%)", "0.15");
-    cli.add_flag("allow-missing",
-                 "do not fail when a baseline case is absent from current");
+    cli.add_flag("strict-missing",
+                 "fail when a baseline case is absent from current "
+                 "(default: warn and skip)");
     if (!cli.parse(argc, argv)) return 0;
     if (cli.str("baseline").empty() || cli.str("current").empty())
       throw util::Error("need --baseline and --current");
@@ -50,8 +54,14 @@ int main(int argc, char** argv) {
         obs::compare_bench(baseline, current, *threshold);
     obs::write_bench_diff_text(std::cout, cmp);
 
+    for (const std::string& name : cmp.missing)
+      std::cerr << "warning: baseline case '" << name
+                << "' absent from current (skipped)\n";
+    for (const std::string& name : cmp.added)
+      std::cerr << "warning: current case '" << name
+                << "' absent from baseline (skipped)\n";
     const bool missing_fails =
-        !cmp.missing.empty() && !cli.flag("allow-missing");
+        !cmp.missing.empty() && cli.flag("strict-missing");
     return cmp.regressed() || missing_fails ? 1 : 0;
   } catch (const util::Error& ex) {
     std::cerr << "error: " << ex.what() << '\n';

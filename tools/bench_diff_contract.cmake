@@ -1,6 +1,7 @@
 # Exit-code contract of tools/bench_diff on synthetic BENCH_*.json inputs:
-#   0 - all cases within the threshold,
-#   1 - a regression beyond the threshold, or a baseline case disappeared,
+#   0 - all cases within the threshold (one-sided cases warn and skip),
+#   1 - a regression beyond the threshold, or a baseline case disappeared
+#       under --strict-missing,
 #   2 - usage error / malformed JSON.
 if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR)
   message(FATAL_ERROR "bench_diff_contract.cmake needs -DTOOL= and -DOUT_DIR=")
@@ -30,8 +31,8 @@ endfunction()
 expect_exit(0 --baseline ${base} --current ${ok})
 expect_exit(1 --baseline ${base} --current ${slow})
 expect_exit(0 --baseline ${base} --current ${slow} --threshold 2.0)
-expect_exit(1 --baseline ${base} --current ${gone})
-expect_exit(0 --baseline ${base} --current ${gone} --allow-missing)
+expect_exit(0 --baseline ${base} --current ${gone})
+expect_exit(1 --baseline ${base} --current ${gone} --strict-missing)
 expect_exit(2 --baseline ${base} --current ${bad})
 expect_exit(2 --baseline ${OUT_DIR}/does_not_exist.json --current ${ok})
 expect_exit(2 --baseline ${base})

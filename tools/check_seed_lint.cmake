@@ -1,0 +1,38 @@
+# Seed-derivation lint: deriving a per-trial/per-cable seed by *addition*
+# (`seed + t`) silently correlates runs — the ensembles for adjacent base
+# seeds share all but one derived stream. util::derive_seed (src/util/rng.hpp)
+# is the only sanctioned derivation; this lint fails on any `seed... +` or
+# `+ ...seed` arithmetic in non-comment source, keeping the mistake from
+# creeping back in (the churn MTBF expansion in particular leans on it).
+if(NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "check_seed_lint.cmake needs -DREPO_ROOT=")
+endif()
+
+file(GLOB_RECURSE sources RELATIVE ${REPO_ROOT}
+     ${REPO_ROOT}/src/*.cpp ${REPO_ROOT}/src/*.hpp
+     ${REPO_ROOT}/tools/*.cpp ${REPO_ROOT}/tests/*.cpp
+     ${REPO_ROOT}/bench/*.cpp ${REPO_ROOT}/examples/*.cpp)
+
+set(violations "")
+foreach(rel IN LISTS sources)
+  file(READ ${REPO_ROOT}/${rel} content)
+  # Split into lines while protecting embedded semicolons (list separators).
+  string(REPLACE ";" "\\;" content "${content}")
+  string(REPLACE "\n" ";" content "${content}")
+  set(lineno 0)
+  foreach(line IN LISTS content)
+    math(EXPR lineno "${lineno} + 1")
+    string(REGEX REPLACE "//.*$" "" code "${line}")
+    if(code MATCHES "[sS]eed[a-zA-Z0-9_]*[ \t]*\\+" OR
+       code MATCHES "\\+[ \t]*[a-zA-Z0-9_]*[sS]eed([^a-zA-Z0-9_]|$)")
+      string(APPEND violations "  ${rel}:${lineno}: ${line}\n")
+    endif()
+  endforeach()
+endforeach()
+
+if(NOT violations STREQUAL "")
+  message(FATAL_ERROR
+          "seed derivation by addition found (use util::derive_seed):\n"
+          "${violations}")
+endif()
+message(STATUS "seed lint clean")

@@ -1,0 +1,58 @@
+# Churn campaign acceptance on the paper's 3-level 648-node RLFT:
+#   * a >= 50-event random MTBF timeline (plus a switch fail/repair pair)
+#     replays under --full-oracle, so after EVERY event the incremental LFT
+#     repair is asserted equal to a from-scratch compute_degraded_dmodk and
+#     the incremental certificate JSON byte-identical to a from-scratch
+#     certify — at --threads 1 AND --threads 8;
+#   * the campaign report JSON is byte-identical across thread counts.
+if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "churn_determinism.cmake needs -DTOOL= and -DOUT_DIR=")
+endif()
+
+set(spec "PGFT(3\; 6,6,18\; 1,6,6\; 1,1,1)")
+set(faults "mtbf:8:800:300:4000:11,switch:L2_S3@t=500us,repair:switch:L2_S3@t=2500us")
+
+function(run_churn threads out)
+  execute_process(
+    COMMAND ${TOOL} churn --spec ${spec} --faults ${faults}
+            --sample-srcs 2 --full-oracle --threads ${threads}
+            --report ${out}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "churn --threads ${threads} failed (exit ${rc})\n"
+            "stdout: ${stdout}\nstderr: ${stderr}")
+  endif()
+  if(NOT stdout MATCHES "full-oracle checks")
+    message(FATAL_ERROR "churn --threads ${threads}: no oracle summary\n"
+            "stdout: ${stdout}")
+  endif()
+endfunction()
+
+run_churn(1 ${OUT_DIR}/churn_t1.json)
+run_churn(8 ${OUT_DIR}/churn_t8.json)
+
+file(READ ${OUT_DIR}/churn_t1.json report_t1)
+file(READ ${OUT_DIR}/churn_t8.json report_t8)
+if(NOT report_t1 STREQUAL report_t8)
+  message(FATAL_ERROR
+          "campaign reports differ between --threads 1 and --threads 8")
+endif()
+
+# The timeline must actually exercise the engine: >= 50 events, all four
+# event kinds replayed, every event oracle-checked.
+string(REGEX MATCH "\"num_events\":([0-9]+)" _ "${report_t1}")
+if(CMAKE_MATCH_1 LESS 50)
+  message(FATAL_ERROR
+          "expected a >= 50-event timeline, got ${CMAKE_MATCH_1}")
+endif()
+string(REGEX MATCH "\"oracle_checks\":([0-9]+)" _ "${report_t1}")
+if(CMAKE_MATCH_1 LESS 50)
+  message(FATAL_ERROR
+          "expected >= 50 full-oracle checks, got ${CMAKE_MATCH_1}")
+endif()
+foreach(kind fail-cable repair-cable fail-switch repair-switch)
+  if(NOT report_t1 MATCHES "\"kind\":\"${kind}\"")
+    message(FATAL_ERROR "timeline never replayed a ${kind} event")
+  endif()
+endforeach()
+message(STATUS "churn determinism + differential oracle ok")

@@ -13,6 +13,9 @@
 //   ftcf_tool check    --nodes 324 --router dmodk [--lft tables.lft]
 //                      [--order topology] [--cps shift] [--json report.json]
 //                      [--suppress baseline.txt] [--strict]
+//   ftcf_tool churn    --nodes 648 --faults "mtbf:8:500:200:5000:7"
+//                      [--cps shift] [--sample-srcs 8] [--full-oracle]
+//                      [--report campaign.json] [--metrics m.json]
 //
 // `--topo` reads a topology file; `--spec` builds from a PGFT tuple; the
 // preset shorthand `--nodes 324` uses the paper's cluster catalog.
@@ -26,6 +29,7 @@
 
 #include "analysis/hsd.hpp"
 #include "check/check.hpp"
+#include "churn/campaign.hpp"
 #include "obs/heatmap.hpp"
 #include "fault/fault_spec.hpp"
 #include "routing/degraded.hpp"
@@ -46,6 +50,7 @@
 #include "run_report.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/expects.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -691,11 +696,108 @@ int cmd_theorems(int argc, const char* const* argv) {
   return t1.holds && t2.holds && t3.holds ? 0 : 1;
 }
 
+int cmd_churn(int argc, const char* const* argv) {
+  util::Cli cli("ftcf_tool churn",
+                "replay a fault/repair timeline with incremental D-Mod-K "
+                "repair, incremental re-certification and per-event "
+                "invariant checks");
+  add_fabric_options(cli);
+  add_fault_options(cli);
+  cli.add_option("cps", "CPS name (see hsd)", "shift");
+  cli.add_option("order", "node ordering (see hsd)", "topology");
+  cli.add_option("seed", "seed for ordering and connectivity samples", "1");
+  cli.add_option("sample-srcs",
+                 "BFS-oracle source hosts sampled per event (0 = skip)", "8");
+  cli.add_option("report", "campaign report JSON ('-' = skip)", "-");
+  cli.add_option("metrics", "metrics JSON ('-' = skip)", "-");
+  cli.add_flag("full-oracle",
+               "recompute tables and certificate from scratch after every "
+               "event and assert byte-identity (the differential oracle)");
+  cli.add_flag("no-cdg", "skip the per-event CDG deadlock-freedom proof");
+  cli.add_flag("profile", "time phases, report at exit");
+  if (!cli.parse(argc, argv)) return 0;
+  apply_threads(cli);
+  if (cli.flag("profile")) {
+    obs::Profiler::instance().set_enabled(true);
+    obs::enable_par_timing();
+  }
+  const topo::Fabric fabric = load_fabric(cli);
+
+  const fault::FaultSpec fault_spec = load_fault_spec(cli);
+  const churn::Timeline timeline = churn::resolve_timeline(fabric, fault_spec);
+  const auto ordering =
+      load_ordering(cli.str("order"), fabric, cli.uinteger("seed"));
+  const cps::Sequence seq =
+      cli.str("cps") == "grouped-rd"
+          ? core::grouped_recursive_doubling(fabric)
+          : cps::generate(cps::parse_cps(cli.str("cps")), fabric.num_hosts());
+
+  obs::MetricsRegistry metrics;
+  churn::CampaignOptions options;
+  options.sample_srcs = cli.uinteger("sample-srcs");
+  options.seed = cli.uinteger("seed");
+  options.check_cdg = !cli.flag("no-cdg");
+  options.full_oracle = cli.flag("full-oracle");
+  options.metrics = &metrics;
+
+  churn::CampaignReport report;
+  try {
+    report = churn::run_campaign(fabric, timeline, ordering, seq, options);
+  } catch (const util::InvariantError& ex) {
+    std::cerr << "churn invariant VIOLATED: " << ex.what() << '\n';
+    return 1;
+  }
+
+  util::Table table({"metric", "value"});
+  table.add_row({"timeline events", std::to_string(report.num_events)});
+  table.add_row({"applied", std::to_string(report.applied_events)});
+  table.add_row({"connectivity sweeps",
+                 std::to_string(report.connectivity_checks)});
+  table.add_row({"CDG proofs", std::to_string(report.cdg_checks)});
+  table.add_row({"full-oracle checks", std::to_string(report.oracle_checks)});
+  table.add_row({"final contention-free",
+                 report.final_contention_free ? "yes" : "no"});
+  if (!report.events.empty()) {
+    const churn::EventOutcome& last = report.events.back();
+    table.add_row({"final max HSD", std::to_string(last.max_hsd)});
+    table.add_row({"final unrouted entries", std::to_string(last.unrouted)});
+    table.add_row({"final non-pristine dests",
+                   std::to_string(last.non_pristine)});
+  }
+  table.print(std::cout);
+
+  const std::map<std::string, std::string> meta = {
+      {"tool", "ftcf_tool churn"},
+      {"fabric", fabric.spec().to_string()},
+      {"cps", cli.str("cps")},
+      {"order", cli.str("order")},
+      {"faults", fault_spec.to_string()},
+  };
+  if (cli.str("report") != "-") {
+    std::ofstream os(cli.str("report"), std::ios::binary | std::ios::trunc);
+    if (!os)
+      throw util::Error("cannot open report '" + cli.str("report") + "'");
+    churn::write_campaign_json(os, report, meta);
+    std::cout << "wrote " << cli.str("report") << '\n';
+  }
+  if (cli.str("metrics") != "-") {
+    for (const auto& [key, value] : meta) metrics.set_meta(key, value);
+    std::ofstream os(cli.str("metrics"), std::ios::binary | std::ios::trunc);
+    if (!os)
+      throw util::Error("cannot open metrics '" + cli.str("metrics") + "'");
+    metrics.write_json(os);
+    std::cout << "wrote " << cli.str("metrics") << '\n';
+  }
+  if (cli.flag("profile")) obs::Profiler::instance().report(std::cerr);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: ftcf_tool <topo|route|hsd|simulate|inject|check|theorems|report> "
+      "usage: ftcf_tool "
+      "<topo|route|hsd|simulate|inject|check|churn|theorems|report> "
       "[options]\n"
       "       ftcf_tool <command> --help for per-command options\n";
   if (argc < 2) {
@@ -710,6 +812,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
     if (command == "inject") return cmd_inject(argc - 1, argv + 1);
     if (command == "check") return cmd_check(argc - 1, argv + 1);
+    if (command == "churn") return cmd_churn(argc - 1, argv + 1);
     if (command == "theorems") return cmd_theorems(argc - 1, argv + 1);
     if (command == "report") return cmd_report(argc - 1, argv + 1);
     std::cerr << "unknown command '" << command << "'\n" << usage;
