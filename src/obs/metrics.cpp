@@ -63,6 +63,21 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
   counts_.assign(buckets, 0);
 }
 
+void Histogram::merge(const Histogram& other) {
+  util::expects(lo_ == other.lo_ && hi_ == other.hi_ &&
+                    counts_.size() == other.counts_.size(),
+                "histogram merge requires identical shapes");
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+}
+
 void Histogram::add(double v) noexcept {
   if (count_ == 0 || v < min_) min_ = v;
   if (count_ == 0 || v > max_) max_ = v;

@@ -50,6 +50,13 @@ class Histogram {
 
   void add(double v) noexcept;
 
+  /// Fold another histogram of identical shape (lo / hi / bucket count)
+  /// into this one: bucket counts, under/overflow, count and sum add;
+  /// min/max widen. Used to merge per-partition histograms after a
+  /// partitioned simulation; merging in a fixed partition order keeps the
+  /// floating-point sum deterministic.
+  void merge(const Histogram& other);
+
   [[nodiscard]] double lo() const noexcept { return lo_; }
   [[nodiscard]] double hi() const noexcept { return hi_; }
   [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {

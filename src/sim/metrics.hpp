@@ -20,6 +20,9 @@ struct RunResult {
   /// Packets that arrived after a later packet of the same message (packet
   /// sim only; nonzero under adaptive routing, the §I transport objection).
   std::uint64_t out_of_order_packets = 0;
+  /// Simulation events dispatched. Counts the same events for any partition
+  /// count (stage-barrier bookkeeping events are excluded), so serial and
+  /// PDES runs of one workload report identical totals.
   std::uint64_t events = 0;
   std::uint64_t active_hosts = 0;      ///< hosts that injected anything
 

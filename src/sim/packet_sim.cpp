@@ -1,934 +1,15 @@
+// PacketSim: the serial shell over the shared engine core. A run is
+// run_core over the trivial single-partition map, which degenerates to the
+// classic serial event loop — this is the differential oracle the `pdes`
+// tests pin ParallelPacketSim against.
 #include "sim/packet_sim.hpp"
 
-#include <algorithm>
-#include <deque>
-#include <limits>
-#include <utility>
-
-#include "obs/profile.hpp"
-#include "sim/typed_queue.hpp"
-#include "util/expects.hpp"
-#include "util/rng.hpp"
+#include "sim/engine_core.hpp"
+#include "sim/partition.hpp"
 
 namespace ftcf::sim {
 
-using topo::Fabric;
-using topo::NodeKind;
-using topo::PortId;
-using util::expects;
-
-namespace {
-
-/// Sentinel: this packet has no pending-table entry (non-resilient runs).
-constexpr std::uint32_t kNoPend = std::numeric_limits<std::uint32_t>::max();
-
-/// The single source of truth for per-port credit grants and rates: the
-/// engine initializes itself from this, and PacketSim::buffer_topology()
-/// exposes the same values to static analysis.
-PortBuffer port_buffer(const Fabric& fabric, const Calibration& calib,
-                       PortId pid) {
-  const topo::Port& pt = fabric.port(pid);
-  const topo::Port& peer = fabric.port(pt.peer);
-  const bool to_switch = fabric.node(peer.node).kind == NodeKind::kSwitch;
-  const bool host_side = fabric.node(pt.node).kind == NodeKind::kHost ||
-                         fabric.node(peer.node).kind == NodeKind::kHost;
-  PortBuffer buffer;
-  buffer.finite = to_switch;
-  buffer.credits = to_switch ? calib.input_buffer_packets
-                             : std::numeric_limits<std::uint32_t>::max() / 2;
-  buffer.rate_bytes_per_sec =
-      host_side ? calib.host_bw_bytes_per_sec : calib.link_bw_bytes_per_sec;
-  return buffer;
-}
-
-struct Packet {
-  std::uint32_t dst = 0;
-  std::uint32_t bytes = 0;
-  std::uint32_t msg = 0;
-  std::uint32_t seq = 0;  ///< position within the message (reorder tracking)
-  std::uint32_t pend = kNoPend;  ///< pending-table slot (resilient runs only)
-};
-
-enum class EvType : std::uint8_t {
-  kArrive,
-  kOutFree,
-  kCredit,
-  kHostKick,
-  kTimeout,   ///< per-packet retransmit timer (resilient runs)
-  kLinkDown,  ///< scripted cable death (both directions)
-  kLinkUp,    ///< scripted cable revival
-};
-
-struct Ev {
-  EvType type;
-  PortId port;   ///< kArrive: receiving port; kOutFree/kCredit: source port;
-                 ///< kHostKick: host index; kTimeout: pending-table slot;
-                 ///< kLinkDown/kLinkUp: the cable's scheduled endpoint
-  Packet pkt;    ///< kArrive only
-};
-
-struct MsgMeta {
-  std::uint64_t remaining = 0;
-  SimTime start = -1;
-  std::uint32_t src = 0;
-  std::uint32_t max_seq_seen = 0;
-  std::uint16_t stage = obs::kNoStage;  ///< CPS stage the message belongs to
-  bool any_delivered = false;
-  bool failed = false;  ///< some bytes were written off (resilient runs)
-};
-
-struct HostCursor {
-  std::vector<Message> msgs;       ///< messages of the current phase
-  std::vector<std::uint16_t> stage_of;  ///< CPS stage per message (parallel)
-  std::size_t index = 0;           ///< current message
-  std::uint64_t offset = 0;        ///< bytes already injected of it
-  std::uint32_t first_msg_id = 0;  ///< msg ids are first_msg_id + index
-
-  [[nodiscard]] bool done() const noexcept { return index >= msgs.size(); }
-};
-
-/// Clamp a stage index into the trace event's uint16 field.
-std::uint16_t stage_tag(std::size_t stage) noexcept {
-  return stage >= obs::kNoStage ? obs::kNoStage
-                                : static_cast<std::uint16_t>(stage);
-}
-
-/// One in-flight packet awaiting delivery confirmation (resilient runs).
-/// Resolution is single-shot: the first delivery (or the final timeout)
-/// claims the slot; late twins of a retransmitted packet count as duplicates
-/// and touch no message accounting — so bytes are never double-counted.
-struct Pending {
-  Packet pkt;
-  std::uint32_t attempts = 1;  ///< sends so far (first injection included)
-  bool resolved = false;
-};
-
-class Engine {
- public:
-  Engine(const Fabric& fabric, const route::ForwardingTables& tables,
-         const Calibration& calib, UpSelection up_selection,
-         SimTime jitter_max_ns, std::uint64_t jitter_seed,
-         const obs::SimObserver& obs, const fault::FaultState* faults,
-         const Resilience& resilience, bool resilience_forced)
-      : fabric_(fabric),
-        tables_(tables),
-        calib_(calib),
-        up_selection_(up_selection),
-        jitter_max_ns_(jitter_max_ns),
-        jitter_seed_(jitter_seed),
-        obs_(obs),
-        faults_(faults),
-        resilience_(resilience) {
-    const std::uint32_t ports = fabric.num_ports();
-    busy_.assign(ports, false);
-    credits_.assign(ports, 0);
-    rr_.assign(ports, 0);
-    busy_ns_.assign(ports, 0);
-    max_depth_.assign(ports, 0);
-    queues_.resize(ports);
-    for (PortId pid = 0; pid < ports; ++pid) {
-      const PortBuffer buffer = port_buffer(fabric, calib, pid);
-      credits_[pid] = buffer.credits;
-      rate_.push_back(buffer.rate_bytes_per_sec);
-    }
-    cursors_.resize(fabric.num_hosts());
-    retx_.resize(fabric.num_hosts());
-    dead_.assign(ports, 0);
-    revives_at_.assign(ports, kNever);
-    resilient_ = resilience_forced || (faults_ != nullptr && !faults_->pristine());
-    if (faults_ != nullptr) {
-      expects(&faults_->fabric() == &fabric_,
-              "fault state resolved against a different fabric");
-      for (PortId pid = 0; pid < ports; ++pid) {
-        if (!faults_->link_up(pid)) dead_[pid] = 1;
-        rate_[pid] *= faults_->rate_factor(pid);
-      }
-    }
-    if (resilient_) {
-      expects(resilience_.timeout_ns > 0 && resilience_.max_attempts > 0,
-              "resilience policy must allow at least one timed attempt");
-    }
-    if (obs_.sampling()) {
-      sampling_ = true;
-      next_sample_ = obs_.sample_period_ns;
-      sampled_busy_.assign(ports, 0);
-    }
-  }
-
-  RunResult run(const std::vector<StageTraffic>& stages,
-                Progression progression, std::uint64_t event_limit) {
-    FTCF_PROF_SCOPE("packet_sim_run");
-    progression_ = progression;
-    stages_ = &stages;
-    next_stage_ = 0;
-
-    if (progression == Progression::kAsync) {
-      // Concatenate every stage into one per-host sequence. Stage identity
-      // is lost (hosts free-run), so the trace gets begin markers only.
-      std::vector<HostCursor> cursors(fabric_.num_hosts());
-      for (std::size_t s = 0; s < stages.size(); ++s) {
-        const StageTraffic& st = stages[s];
-        expects(st.sends.size() == fabric_.num_hosts(),
-                "stage traffic must cover every host");
-        for (std::uint64_t h = 0; h < st.sends.size(); ++h) {
-          cursors[h].msgs.insert(cursors[h].msgs.end(), st.sends[h].begin(),
-                                 st.sends[h].end());
-          cursors[h].stage_of.insert(cursors[h].stage_of.end(),
-                                     st.sends[h].size(), stage_tag(s));
-        }
-        if (obs_.trace)
-          trace_event(0, 0, obs::EventKind::kStageBegin,
-                      static_cast<std::uint32_t>(s), 0, 0, stage_tag(s));
-      }
-      load_cursors(std::move(cursors));
-      next_stage_ = stages.size();
-    } else {
-      advance_stage();
-    }
-
-    if (faults_ != nullptr) schedule_flaps();
-    kick_all_hosts();
-
-    while (!queue_.empty()) {
-      expects(queue_.processed() < event_limit,
-              "packet simulation exceeded its event limit");
-      if (sampling_ && queue_.next_time() > next_sample_)
-        take_samples(queue_.next_time());
-      dispatch(queue_.pop());
-    }
-    if (sampling_) {
-      take_samples(last_delivery_ + 1);
-      // Close the final partial window so short runs still get >= 1 sample.
-      if (last_delivery_ > last_sample_at_) sample_at(last_delivery_);
-    }
-    expects(outstanding_msgs_ == 0 && next_stage_ >= stages_->size(),
-            "simulation drained with undelivered traffic");
-
-    RunResult result;
-    result.makespan = last_delivery_;
-    result.bytes_delivered = bytes_delivered_;
-    result.messages_delivered = messages_delivered_;
-    result.packets_delivered = packets_delivered_;
-    result.events = queue_.processed();
-    result.active_hosts = active_hosts_;
-    result.out_of_order_packets = out_of_order_;
-    result.message_latency_us = latency_;
-    result.link_busy_ns = busy_ns_;
-    result.max_queue_depth = max_depth_;
-    result.packets_dropped = packets_dropped_;
-    result.packets_retransmitted = packets_retransmitted_;
-    result.duplicate_packets = duplicate_packets_;
-    result.messages_failed = messages_failed_;
-    result.bytes_failed = bytes_failed_;
-    result.link_down_events = link_down_events_;
-    if (result.makespan > 0 && result.active_hosts > 0) {
-      result.effective_bw_per_host =
-          static_cast<double>(result.bytes_delivered) /
-          to_seconds(result.makespan) /
-          static_cast<double>(result.active_hosts);
-      result.normalized_bw =
-          result.effective_bw_per_host / calib_.host_bw_bytes_per_sec;
-    }
-    if (obs_.metrics) export_run_metrics(result);
-    return result;
-  }
-
- private:
-  /// Assemble one tagged trace event (brace-init would mis-map the new
-  /// vl/stage fields at the many call sites, so build it explicitly).
-  void trace_event(SimTime at, SimTime dur, obs::EventKind kind,
-                   std::uint32_t a, std::uint32_t b, std::uint32_t c,
-                   std::uint16_t stage = obs::kNoStage, std::uint8_t vl = 0) {
-    obs::TraceEvent ev;
-    ev.at = at;
-    ev.dur = dur;
-    ev.kind = kind;
-    ev.vl = vl;
-    ev.stage = stage;
-    ev.a = a;
-    ev.b = b;
-    ev.c = c;
-    obs_.trace->record(ev);
-  }
-
-  // --- traffic loading ------------------------------------------------------
-
-  void load_cursors(std::vector<HostCursor> cursors) {
-    std::uint64_t active = 0;
-    for (std::uint64_t h = 0; h < cursors.size(); ++h) {
-      HostCursor& cur = cursors[h];
-      cur.index = 0;
-      cur.offset = 0;
-      cur.first_msg_id = static_cast<std::uint32_t>(msgs_.size());
-      for (std::size_t i = 0; i < cur.msgs.size(); ++i) {
-        const Message& msg = cur.msgs[i];
-        expects(msg.dst < fabric_.num_hosts() && msg.dst != h,
-                "message destination invalid");
-        MsgMeta meta{msg.bytes, -1, static_cast<std::uint32_t>(h)};
-        if (i < cur.stage_of.size()) meta.stage = cur.stage_of[i];
-        msgs_.push_back(meta);
-        ++outstanding_msgs_;
-      }
-      if (!cur.msgs.empty()) ++active;
-    }
-    active_hosts_ = std::max(active_hosts_, active);
-    cursors_ = std::move(cursors);
-  }
-
-  /// Load the next synchronized stage (if any) and kick every host.
-  void advance_stage() {
-    if (obs_.trace && stage_active_) {
-      trace_event(queue_.now(), 0, obs::EventKind::kStageEnd, current_stage_,
-                  0, 0, stage_tag(current_stage_));
-      stage_active_ = false;
-    }
-    while (next_stage_ < stages_->size()) {
-      const std::size_t stage = next_stage_;
-      const StageTraffic& st = (*stages_)[next_stage_++];
-      expects(st.sends.size() == fabric_.num_hosts(),
-              "stage traffic must cover every host");
-      std::vector<HostCursor> cursors(fabric_.num_hosts());
-      for (std::uint64_t h = 0; h < st.sends.size(); ++h) {
-        cursors[h].msgs = st.sends[h];
-        cursors[h].stage_of.assign(st.sends[h].size(), stage_tag(stage));
-      }
-      load_cursors(std::move(cursors));
-      if (outstanding_msgs_ > 0) {  // non-empty stage loaded
-        if (obs_.trace) {
-          current_stage_ = static_cast<std::uint32_t>(stage);
-          stage_active_ = true;
-          trace_event(queue_.now(), 0, obs::EventKind::kStageBegin,
-                      current_stage_, 0, 0, stage_tag(stage));
-        }
-        return;
-      }
-    }
-  }
-
-  /// Translate the fault state's flap and repair schedules into
-  /// kLinkDown/kLinkUp events and remember each port's revival time
-  /// (consulted while it is dead to decide wait-vs-drop).
-  void schedule_flaps() {
-    for (const fault::FlapEvent& f : faults_->flaps()) {
-      const PortId peer = fabric_.port(f.port).peer;
-      revives_at_[f.port] = f.up_at;
-      revives_at_[peer] = f.up_at;
-      queue_.push(f.down_at, Ev{EvType::kLinkDown, f.port, {}});
-      if (f.up_at != kNever) queue_.push(f.up_at, Ev{EvType::kLinkUp, f.port, {}});
-    }
-    // A repaired cable is dead from t=0 (the static resolution already
-    // marked it) and revives at up_at — exactly a flap whose down event
-    // has already happened. Setting revives_at_ before the first host kick
-    // makes senders park on the dead cable instead of writing it off.
-    for (const fault::RepairEvent& r : faults_->repairs()) {
-      const PortId peer = fabric_.port(r.port).peer;
-      revives_at_[r.port] = r.up_at;
-      revives_at_[peer] = r.up_at;
-      queue_.push(r.up_at, Ev{EvType::kLinkUp, r.port, {}});
-    }
-  }
-
-  // --- event dispatch -------------------------------------------------------
-
-  /// Start (or resume) every host, applying per-host stage jitter when
-  /// configured (§VII: OS jitter delays entry into each collective stage).
-  void kick_all_hosts() {
-    for (std::uint64_t h = 0; h < fabric_.num_hosts(); ++h) {
-      if (jitter_max_ns_ <= 0) {
-        host_try_send(h);
-        continue;
-      }
-      util::SplitMix64 mix(jitter_seed_ ^ (next_stage_ * 0x9e37ULL) ^ h);
-      const auto delay = static_cast<SimTime>(
-          mix.next() % static_cast<std::uint64_t>(jitter_max_ns_ + 1));
-      queue_.push(queue_.now() + delay,
-                  Ev{EvType::kHostKick, static_cast<PortId>(h), {}});
-    }
-  }
-
-  void dispatch(const Ev& ev) {
-    switch (ev.type) {
-      case EvType::kArrive: on_arrive(ev.port, ev.pkt); break;
-      case EvType::kOutFree: on_out_free(ev.port); break;
-      case EvType::kCredit: on_credit(ev.port); break;
-      case EvType::kHostKick: host_try_send(ev.port); break;
-      case EvType::kTimeout: on_timeout(ev.port); break;
-      case EvType::kLinkDown: on_link_down(ev.port); break;
-      case EvType::kLinkUp: on_link_up(ev.port); break;
-    }
-  }
-
-  void on_arrive(PortId in_port, const Packet& pkt) {
-    const topo::Port& pt = fabric_.port(in_port);
-    const topo::Node& node = fabric_.node(pt.node);
-    if (node.kind == NodeKind::kHost) {
-      deliver(pt.node, pkt);
-      return;
-    }
-    auto& queue = queues_[in_port];
-    queue.push_back(pkt);
-    const auto depth = static_cast<std::uint32_t>(queue.size());
-    if (depth > max_depth_[in_port]) {
-      max_depth_[in_port] = depth;
-      if (obs_.trace)
-        trace_event(queue_.now(), 0, obs::EventKind::kQueueDepth, in_port,
-                    depth, 0, msgs_[pkt.msg].stage, obs_.vl_of(pkt.dst));
-    }
-    if (queue.size() == 1) kick_head(pt.node, in_port);
-  }
-
-  /// Arbitration entry for the head of one input queue: try every output the
-  /// head may leave through. Every packet passes through here exactly when it
-  /// becomes a head, so this is also where resilient runs drop packets that
-  /// can never leave — no LFT entry, or a dead out-port with no scheduled
-  /// revival — instead of wedging the queue behind them. Heads parked on a
-  /// dead-but-revivable port simply wait; the kLinkUp event re-arbitrates.
-  void kick_head(topo::NodeId sw, PortId in_port) {
-    auto& queue = queues_[in_port];
-    while (!queue.empty()) {
-      const Packet pkt = queue.front();
-      if (up_selection_ == UpSelection::kDeterministic ||
-          fabric_.is_ancestor_of_host(sw, pkt.dst)) {
-        if (resilient_ && !tables_.has_entry(sw, pkt.dst)) {
-          drop_head(in_port, in_port);
-          continue;
-        }
-        const PortId out = route_port(sw, pkt.dst);
-        if (resilient_ && dead_[out]) {
-          if (revives_at_[out] == kNever) {
-            drop_head(in_port, out);
-            continue;
-          }
-          return;  // parked until the scheduled revival re-kicks this queue
-        }
-        try_forward(out);
-        return;
-      }
-      // Adaptive ascent: any live up-port may take the packet.
-      const topo::Node& node = fabric_.node(sw);
-      bool any_alive = false;
-      bool revivable = false;
-      for (std::uint32_t q = 0; q < node.num_up_ports; ++q) {
-        const PortId up = fabric_.port_id(sw, node.num_down_ports + q);
-        if (resilient_ && dead_[up]) {
-          if (revives_at_[up] != kNever) revivable = true;
-          continue;
-        }
-        any_alive = true;
-        try_forward(up);
-      }
-      if (resilient_ && !any_alive && !revivable) {
-        drop_head(in_port, in_port);
-        continue;
-      }
-      return;
-    }
-  }
-
-  /// Drop the head of `in_port`'s queue: free the buffer slot (credit goes
-  /// back to the upstream sender) and let the retransmit timer — not the
-  /// drop — decide the packet's fate.
-  void drop_head(PortId in_port, PortId blame_port) {
-    auto& queue = queues_[in_port];
-    const Packet pkt = queue.front();
-    queue.pop_front();
-    ++packets_dropped_;
-    if (obs_.trace)
-      trace_event(queue_.now(), 0, obs::EventKind::kPacketDropped, blame_port,
-                  pkt.msg, pkt.seq, msgs_[pkt.msg].stage, obs_.vl_of(pkt.dst));
-    queue_.push(queue_.now() + calib_.cable_latency_ns,
-                Ev{EvType::kCredit, fabric_.port(in_port).peer, {}});
-  }
-
-  void on_out_free(PortId out_port) {
-    busy_[out_port] = false;
-    const topo::Port& pt = fabric_.port(out_port);
-    if (fabric_.node(pt.node).kind == NodeKind::kHost) {
-      host_try_send(fabric_.host_index(pt.node));
-    } else {
-      try_forward(out_port);
-    }
-  }
-
-  void on_credit(PortId out_port) {
-    ++credits_[out_port];
-    const topo::Port& pt = fabric_.port(out_port);
-    if (fabric_.node(pt.node).kind == NodeKind::kHost) {
-      host_try_send(fabric_.host_index(pt.node));
-    } else {
-      try_forward(out_port);
-    }
-  }
-
-  /// A scripted cable died: both directions stop granting. Transfers already
-  /// on the wire still arrive (they left before the cut); heads parked on the
-  /// dead port are re-arbitrated so permanent cuts drop them (freeing their
-  /// buffer slots) instead of leaking credits forever.
-  void on_link_down(PortId port) {
-    const PortId peer = fabric_.port(port).peer;
-    ++link_down_events_;
-    dead_[port] = 1;
-    dead_[peer] = 1;
-    if (obs_.trace) {
-      trace_event(queue_.now(), 0, obs::EventKind::kLinkDown, port, 0, 0);
-      trace_event(queue_.now(), 0, obs::EventKind::kLinkDown, peer, 0, 0);
-    }
-    for (const PortId end : {port, peer}) {
-      const topo::Port& pt = fabric_.port(end);
-      const topo::Node& node = fabric_.node(pt.node);
-      if (node.kind == NodeKind::kHost) {
-        // A host cut off with no scheduled revival can never finish its
-        // sends: write the rest of its workload off now.
-        if (revives_at_[end] == kNever) fail_host(fabric_.host_index(pt.node));
-        continue;
-      }
-      const std::uint32_t nports = node.num_down_ports + node.num_up_ports;
-      for (std::uint32_t i = 0; i < nports; ++i) {
-        const PortId in_port = fabric_.port_id(pt.node, i);
-        if (!queues_[in_port].empty()) kick_head(pt.node, in_port);
-      }
-    }
-  }
-
-  /// A scripted cable revived: resume flow in both directions.
-  void on_link_up(PortId port) {
-    const PortId peer = fabric_.port(port).peer;
-    dead_[port] = 0;
-    dead_[peer] = 0;
-    if (obs_.trace) {
-      trace_event(queue_.now(), 0, obs::EventKind::kLinkUp, port, 0, 0);
-      trace_event(queue_.now(), 0, obs::EventKind::kLinkUp, peer, 0, 0);
-    }
-    for (const PortId end : {port, peer}) {
-      const topo::Port& pt = fabric_.port(end);
-      if (fabric_.node(pt.node).kind == NodeKind::kHost) {
-        host_try_send(fabric_.host_index(pt.node));
-      } else {
-        try_forward(end);  // parked heads may now leave through this port
-      }
-    }
-  }
-
-  /// A packet's retransmit timer fired. Unresolved with tries left: queue a
-  /// copy at the source (retransmissions preempt new traffic there).
-  /// Unresolved with tries exhausted: write the packet's bytes off so its
-  /// message still completes — as failed — and the run terminates.
-  void on_timeout(std::uint32_t pend_idx) {
-    Pending& p = pending_[pend_idx];
-    if (p.resolved) return;
-    if (p.attempts >= resilience_.max_attempts) {
-      p.resolved = true;
-      account_failed(p.pkt.msg, p.pkt.bytes);
-      return;
-    }
-    ++p.attempts;
-    const std::uint64_t src = msgs_[p.pkt.msg].src;
-    retx_[src].push_back(pend_idx);
-    host_try_send(src);
-  }
-
-  // --- forwarding -----------------------------------------------------------
-
-  [[nodiscard]] PortId route_port(topo::NodeId sw, std::uint32_t dst) const {
-    return fabric_.port_id(sw, tables_.out_port(sw, dst));
-  }
-
-  void try_forward(PortId out_port) {
-    if (busy_[out_port]) return;
-    if (resilient_ && dead_[out_port]) return;
-    if (credits_[out_port] == 0) {
-      ++credit_stalls_;
-      if (obs_.trace)
-        trace_event(queue_.now(), 0, obs::EventKind::kCreditStall, out_port, 0,
-                    0);
-      return;
-    }
-    const topo::Port& out = fabric_.port(out_port);
-    const topo::NodeId sw = out.node;
-    const topo::Node& node = fabric_.node(sw);
-    const std::uint32_t nports = node.num_down_ports + node.num_up_ports;
-
-    for (std::uint32_t k = 0; k < nports; ++k) {
-      const std::uint32_t i = (rr_[out_port] + k) % nports;
-      const PortId in_port = fabric_.port_id(sw, i);
-      auto& queue = queues_[in_port];
-      if (queue.empty()) continue;
-      if (!may_leave_through(sw, queue.front(), out_port)) continue;
-
-      const Packet pkt = queue.front();
-      queue.pop_front();
-      rr_[out_port] = i + 1;
-      --credits_[out_port];
-      busy_[out_port] = true;
-
-      const SimTime ser = transfer_time(pkt.bytes, rate_[out_port]);
-      busy_ns_[out_port] += ser;
-      account_vl_busy(pkt.dst, ser);
-      if (obs_.trace)
-        trace_event(queue_.now(), ser, obs::EventKind::kPacketForwarded,
-                    out_port, pkt.msg, pkt.seq, msgs_[pkt.msg].stage,
-                    obs_.vl_of(pkt.dst));
-      queue_.push(queue_.now() + ser, Ev{EvType::kOutFree, out_port, {}});
-      // Return a buffer credit to the upstream sender of the input link.
-      queue_.push(queue_.now() + calib_.cable_latency_ns,
-                  Ev{EvType::kCredit, fabric_.port(in_port).peer, {}});
-      queue_.push(queue_.now() + calib_.switch_latency_ns + ser +
-                      calib_.cable_latency_ns,
-                  Ev{EvType::kArrive, out.peer, pkt});
-
-      // The new head of this input queue may target a different, idle output.
-      if (!queue.empty()) kick_head(sw, in_port);
-      return;  // one packet per grant; the OutFree event re-arbitrates
-    }
-  }
-
-  /// Is `out_port` a legal egress for this packet at switch `sw`?
-  [[nodiscard]] bool may_leave_through(topo::NodeId sw, const Packet& pkt,
-                                       PortId out_port) const {
-    if (resilient_ && !tables_.has_entry(sw, pkt.dst)) return false;
-    if (up_selection_ == UpSelection::kDeterministic)
-      return route_port(sw, pkt.dst) == out_port;
-    if (fabric_.is_ancestor_of_host(sw, pkt.dst))
-      return route_port(sw, pkt.dst) == out_port;  // down stays deterministic
-    const topo::Port& out = fabric_.port(out_port);
-    return out.node == sw &&
-           out.index >= fabric_.node(sw).num_down_ports;  // any up port
-  }
-
-  // --- hosts ----------------------------------------------------------------
-
-  void host_try_send(std::uint64_t h) {
-    HostCursor& cur = cursors_[h];
-    auto& retxq = retx_[h];
-    if (cur.done() && retxq.empty()) return;
-    const topo::NodeId node_id = fabric_.host_node(h);
-    const topo::Node& node = fabric_.node(node_id);
-    expects(node.num_up_ports == 1, "packet sim requires single-cable hosts");
-    const PortId up = fabric_.port_id(node_id, node.num_down_ports);
-    if (resilient_ && dead_[up]) {
-      // Cut off for good: write the rest of the workload off. A revivable
-      // host just parks; the kLinkUp event re-kicks it.
-      if (revives_at_[up] == kNever) fail_host(h);
-      return;
-    }
-    if (busy_[up]) return;
-    if (credits_[up] == 0) {
-      ++credit_stalls_;
-      if (obs_.trace)
-        trace_event(queue_.now(), 0, obs::EventKind::kCreditStall, up, 0, 0);
-      return;
-    }
-
-    // Retransmissions go out ahead of new traffic. Copies whose original
-    // has since been delivered are discarded unsent.
-    while (!retxq.empty()) {
-      const std::uint32_t pend = retxq.front();
-      retxq.pop_front();
-      Pending& p = pending_[pend];
-      if (p.resolved) continue;
-      ++packets_retransmitted_;
-      if (obs_.trace)
-        trace_event(queue_.now(), 0, obs::EventKind::kPacketRetransmit,
-                    static_cast<std::uint32_t>(h), p.pkt.msg, p.pkt.seq,
-                    msgs_[p.pkt.msg].stage, obs_.vl_of(p.pkt.dst));
-      send_packet(up, p.pkt, p.attempts);
-      return;
-    }
-    if (cur.done()) return;
-
-    const Message& msg = cur.msgs[cur.index];
-    const std::uint32_t msg_id =
-        cur.first_msg_id + static_cast<std::uint32_t>(cur.index);
-    MsgMeta& meta = msgs_[msg_id];
-    if (meta.start < 0) meta.start = queue_.now();
-
-    const std::uint64_t left = msg.bytes - cur.offset;
-    const auto chunk =
-        static_cast<std::uint32_t>(std::min<std::uint64_t>(left, calib_.mtu_bytes));
-    const auto seq = static_cast<std::uint32_t>(cur.offset / calib_.mtu_bytes);
-    cur.offset += chunk;
-    if (cur.offset == msg.bytes) {
-      // "Sent to the wire": the host moves on to its next message.
-      ++cur.index;
-      cur.offset = 0;
-    }
-
-    Packet pkt{static_cast<std::uint32_t>(msg.dst), chunk, msg_id, seq, kNoPend};
-    if (resilient_) {
-      pkt.pend = static_cast<std::uint32_t>(pending_.size());
-      pending_.push_back(Pending{pkt, 1, false});
-    }
-    if (obs_.trace)
-      trace_event(queue_.now(), 0, obs::EventKind::kPacketInjected,
-                  static_cast<std::uint32_t>(h), msg_id, seq, meta.stage,
-                  obs_.vl_of(pkt.dst));
-    send_packet(up, pkt, 1);
-  }
-
-  /// Put one packet on the host's up-link (shared by fresh sends and
-  /// retransmits). In resilient mode this also arms the packet's timeout,
-  /// backed off exponentially in the attempt count.
-  void send_packet(PortId up, const Packet& pkt, std::uint32_t attempt) {
-    busy_[up] = true;
-    --credits_[up];
-    const SimTime ser = transfer_time(pkt.bytes, rate_[up]);
-    busy_ns_[up] += ser;
-    account_vl_busy(pkt.dst, ser);
-    if (obs_.trace)
-      trace_event(queue_.now(), ser, obs::EventKind::kPacketForwarded, up,
-                  pkt.msg, pkt.seq, msgs_[pkt.msg].stage,
-                  obs_.vl_of(pkt.dst));
-    queue_.push(queue_.now() + ser, Ev{EvType::kOutFree, up, {}});
-    queue_.push(queue_.now() + ser + calib_.cable_latency_ns,
-                Ev{EvType::kArrive, fabric_.port(up).peer, pkt});
-    if (resilient_ && pkt.pend != kNoPend) {
-      const SimTime wait = resilience_.timeout_ns
-                           << std::min<std::uint32_t>(attempt - 1, 20);
-      queue_.push(queue_.now() + ser + wait,
-                  Ev{EvType::kTimeout, pkt.pend, {}});
-    }
-  }
-
-  /// Write off everything a permanently cut-off host still had to send:
-  /// queued retransmissions and every uninjected byte of its cursor.
-  void fail_host(std::uint64_t h) {
-    auto& retxq = retx_[h];
-    while (!retxq.empty()) {
-      const std::uint32_t pend = retxq.front();
-      retxq.pop_front();
-      Pending& p = pending_[pend];
-      if (p.resolved) continue;
-      p.resolved = true;
-      account_failed(p.pkt.msg, p.pkt.bytes);
-    }
-    // Snapshot then reset the cursor *before* accounting: finishing the last
-    // outstanding message can advance the stage and replace cursors_.
-    std::vector<std::pair<std::uint32_t, std::uint64_t>> writeoffs;
-    {
-      HostCursor& cur = cursors_[h];
-      for (; cur.index < cur.msgs.size(); ++cur.index) {
-        writeoffs.emplace_back(
-            cur.first_msg_id + static_cast<std::uint32_t>(cur.index),
-            cur.msgs[cur.index].bytes - cur.offset);
-        cur.offset = 0;
-      }
-    }
-    for (const auto& [msg_id, bytes] : writeoffs) account_failed(msg_id, bytes);
-  }
-
-  /// Mark `bytes` of message `msg_id` undeliverable; completes the message
-  /// (as failed) once every byte is accounted for.
-  void account_failed(std::uint32_t msg_id, std::uint64_t bytes) {
-    if (bytes == 0) return;
-    MsgMeta& meta = msgs_[msg_id];
-    if (meta.start < 0) meta.start = queue_.now();
-    meta.failed = true;
-    bytes_failed_ += bytes;
-    expects(meta.remaining >= bytes, "failure accounting underflow");
-    meta.remaining -= bytes;
-    if (meta.remaining == 0) finish_message(msg_id);
-  }
-
-  /// Every byte of the message is accounted for (delivered or written off).
-  void finish_message(std::uint32_t msg_id) {
-    const MsgMeta& meta = msgs_[msg_id];
-    if (meta.failed) {
-      ++messages_failed_;
-    } else {
-      ++messages_delivered_;
-      latency_.add(to_us(queue_.now() - meta.start));
-      if (obs_.metrics)
-        obs_.metrics->histogram("packet_sim.msg_latency_us", 0.0, 10'000.0, 100)
-            .add(to_us(queue_.now() - meta.start));
-    }
-    expects(outstanding_msgs_ > 0, "message accounting underflow");
-    if (--outstanding_msgs_ == 0 &&
-        progression_ == Progression::kSynchronized) {
-      advance_stage();
-      kick_all_hosts();
-    }
-  }
-
-  void deliver(topo::NodeId host, const Packet& pkt) {
-    expects(fabric_.host_index(host) == pkt.dst, "packet at wrong host");
-    if (resilient_ && pkt.pend != kNoPend) {
-      Pending& p = pending_[pkt.pend];
-      if (p.resolved) {  // a twin of this packet already claimed its bytes
-        ++duplicate_packets_;
-        return;
-      }
-      p.resolved = true;
-    }
-    ++packets_delivered_;
-    bytes_delivered_ += pkt.bytes;
-    last_delivery_ = std::max(last_delivery_, queue_.now());
-    if (obs_.trace)
-      trace_event(queue_.now(), 0, obs::EventKind::kPacketDelivered, pkt.dst,
-                  pkt.msg, pkt.seq, msgs_[pkt.msg].stage,
-                  obs_.vl_of(pkt.dst));
-    MsgMeta& meta = msgs_[pkt.msg];
-    expects(meta.remaining >= pkt.bytes, "over-delivery on a message");
-    meta.remaining -= pkt.bytes;
-    if (meta.any_delivered && pkt.seq < meta.max_seq_seen) ++out_of_order_;
-    meta.max_seq_seen = std::max(meta.max_seq_seen, pkt.seq);
-    meta.any_delivered = true;
-    if (meta.remaining == 0) finish_message(pkt.msg);
-  }
-
-  // --- observability --------------------------------------------------------
-
-  /// Emit link samples at every elapsed period boundary strictly before
-  /// `upto`. Pure observation: reads busy_ns_/queues_, schedules nothing, so
-  /// the event sequence (and RunResult) is identical with sampling off.
-  void take_samples(SimTime upto) {
-    while (next_sample_ < upto) {
-      sample_at(next_sample_);
-      // Bound catch-up after long idle gaps (sync-stage barriers): skip to
-      // the last boundary before `upto` once a gap exceeds 1024 periods.
-      const SimTime behind = (upto - 1 - next_sample_) / obs_.sample_period_ns;
-      if (behind > 1024)
-        next_sample_ += (behind - 1) * obs_.sample_period_ns;
-      next_sample_ += obs_.sample_period_ns;
-    }
-  }
-
-  void sample_at(SimTime at) {
-    // Window = time since the previous sample (a full period mid-run, shorter
-    // for the closing end-of-run sample).
-    const auto window = static_cast<double>(at - last_sample_at_);
-    last_sample_at_ = at;
-    if (window <= 0.0) return;
-    double util_sum = 0.0;
-    double util_max = 0.0;
-    std::uint32_t links_active = 0;
-    std::uint64_t depth_total = 0;
-    std::uint32_t depth_max = 0;
-    for (PortId pid = 0; pid < static_cast<PortId>(busy_ns_.size()); ++pid) {
-      const auto depth = static_cast<std::uint32_t>(queues_[pid].size());
-      depth_total += depth;
-      depth_max = std::max(depth_max, depth);
-      if (busy_ns_[pid] == 0 && depth == 0) continue;  // never-used link
-      // Utilization of this window; a packet's full serialization time is
-      // charged at grant time, so clamp spans overhanging the boundary.
-      const double util = std::min(
-          1.0,
-          static_cast<double>(busy_ns_[pid] - sampled_busy_[pid]) / window);
-      sampled_busy_[pid] = busy_ns_[pid];
-      util_sum += util;
-      util_max = std::max(util_max, util);
-      ++links_active;
-      if (obs_.trace)
-        trace_event(at, 0, obs::EventKind::kLinkSample, pid,
-                    static_cast<std::uint32_t>(util * 1000.0), depth,
-                    stage_active_ ? stage_tag(current_stage_) : obs::kNoStage);
-    }
-    if (obs_.metrics) {
-      obs_.metrics->series("packet_sim.link_util.mean")
-          .sample(at, links_active ? util_sum / links_active : 0.0);
-      obs_.metrics->series("packet_sim.link_util.max").sample(at, util_max);
-      obs_.metrics->series("packet_sim.queue_depth.max")
-          .sample(at, static_cast<double>(depth_max));
-      obs_.metrics->series("packet_sim.queue_depth.total")
-          .sample(at, static_cast<double>(depth_total));
-    }
-  }
-
-  /// Fold serialization time into the destination lane's busy total (only
-  /// when a VL table is attached; lanes appear on first use).
-  void account_vl_busy(std::uint32_t dst, SimTime ser) {
-    if (obs_.vl_of_dst == nullptr || obs_.metrics == nullptr) return;
-    const std::uint8_t lane = obs_.vl_of(dst);
-    if (vl_busy_ns_.size() <= lane) vl_busy_ns_.resize(lane + 1u, 0);
-    vl_busy_ns_[lane] += ser;
-  }
-
-  void export_run_metrics(const RunResult& result) {
-    obs::MetricsRegistry& m = *obs_.metrics;
-    m.counter("packet_sim.packets_delivered").inc(result.packets_delivered);
-    m.counter("packet_sim.messages_delivered").inc(result.messages_delivered);
-    m.counter("packet_sim.bytes_delivered").inc(result.bytes_delivered);
-    m.counter("packet_sim.events").inc(result.events);
-    m.counter("packet_sim.credit_stalls").inc(credit_stalls_);
-    m.counter("packet_sim.out_of_order_packets")
-        .inc(result.out_of_order_packets);
-    m.counter("packet_sim.packets_dropped").inc(result.packets_dropped);
-    m.counter("packet_sim.packets_retransmitted")
-        .inc(result.packets_retransmitted);
-    m.counter("packet_sim.duplicate_packets").inc(result.duplicate_packets);
-    m.counter("packet_sim.messages_failed").inc(result.messages_failed);
-    m.counter("packet_sim.bytes_failed").inc(result.bytes_failed);
-    m.counter("packet_sim.link_down_events").inc(result.link_down_events);
-    m.gauge("packet_sim.makespan_us").set(to_us(result.makespan));
-    m.gauge("packet_sim.normalized_bw").set(result.normalized_bw);
-    for (std::size_t lane = 0; lane < vl_busy_ns_.size(); ++lane) {
-      if (vl_busy_ns_[lane] == 0) continue;
-      m.gauge("packet_sim.vl_busy_us." + std::to_string(lane))
-          .set(to_us(static_cast<SimTime>(vl_busy_ns_[lane])));
-    }
-  }
-
-  const Fabric& fabric_;
-  const route::ForwardingTables& tables_;
-  Calibration calib_;
-
-  TypedEventQueue<Ev> queue_;
-  std::vector<bool> busy_;               ///< per source port
-  std::vector<std::uint32_t> credits_;   ///< per source port
-  std::vector<std::uint32_t> rr_;        ///< per switch output port
-  std::vector<double> rate_;             ///< per source port (bytes/s)
-  std::vector<SimTime> busy_ns_;         ///< per source port: tx time carried
-  std::vector<std::uint32_t> max_depth_; ///< per input port: queue watermark
-  std::vector<std::deque<Packet>> queues_;  ///< per switch input port
-
-  std::vector<HostCursor> cursors_;
-  std::vector<MsgMeta> msgs_;
-  const std::vector<StageTraffic>* stages_ = nullptr;
-  std::size_t next_stage_ = 0;
-  Progression progression_ = Progression::kAsync;
-
-  UpSelection up_selection_ = UpSelection::kDeterministic;
-  SimTime jitter_max_ns_ = 0;
-  std::uint64_t jitter_seed_ = 1;
-
-  obs::SimObserver obs_;
-  bool sampling_ = false;
-  SimTime next_sample_ = 0;
-  SimTime last_sample_at_ = 0;
-  std::vector<SimTime> sampled_busy_;  ///< busy_ns_ at the previous sample
-  std::vector<std::uint64_t> vl_busy_ns_;  ///< per destination lane
-  std::uint32_t current_stage_ = 0;
-  bool stage_active_ = false;
-  std::uint64_t credit_stalls_ = 0;
-
-  // Resilience (active only with a non-pristine fault state or when forced;
-  // otherwise every structure below stays empty and no timer is scheduled).
-  const fault::FaultState* faults_ = nullptr;
-  Resilience resilience_;
-  bool resilient_ = false;
-  std::vector<std::uint8_t> dead_;      ///< per directed link (source port)
-  std::vector<SimTime> revives_at_;     ///< per port: scheduled revival
-  std::vector<Pending> pending_;        ///< per injected packet
-  std::vector<std::deque<std::uint32_t>> retx_;  ///< per host: pending slots
-  std::uint64_t packets_dropped_ = 0;
-  std::uint64_t packets_retransmitted_ = 0;
-  std::uint64_t duplicate_packets_ = 0;
-  std::uint64_t messages_failed_ = 0;
-  std::uint64_t bytes_failed_ = 0;
-  std::uint64_t link_down_events_ = 0;
-
-  std::uint64_t outstanding_msgs_ = 0;
-  std::uint64_t out_of_order_ = 0;
-  std::uint64_t bytes_delivered_ = 0;
-  std::uint64_t packets_delivered_ = 0;
-  std::uint64_t messages_delivered_ = 0;
-  std::uint64_t active_hosts_ = 0;
-  SimTime last_delivery_ = 0;
-  util::Accumulator latency_;
-};
-
-}  // namespace
-
-PacketSim::PacketSim(const Fabric& fabric,
+PacketSim::PacketSim(const topo::Fabric& fabric,
                      const route::ForwardingTables& tables,
                      Calibration calibration)
     : fabric_(&fabric), tables_(&tables), calib_(calibration) {}
@@ -936,16 +17,26 @@ PacketSim::PacketSim(const Fabric& fabric,
 std::vector<PortBuffer> PacketSim::buffer_topology() const {
   std::vector<PortBuffer> out;
   out.reserve(fabric_->num_ports());
-  for (PortId pid = 0; pid < fabric_->num_ports(); ++pid)
-    out.push_back(port_buffer(*fabric_, calib_, pid));
+  for (topo::PortId pid = 0; pid < fabric_->num_ports(); ++pid)
+    out.push_back(detail::engine_port_buffer(*fabric_, calib_, pid));
   return out;
 }
 
 RunResult PacketSim::run(const std::vector<StageTraffic>& stages,
                          Progression progression, std::uint64_t event_limit) {
-  Engine engine(*fabric_, *tables_, calib_, up_selection_, jitter_max_ns_,
-                jitter_seed_, obs_, faults_, resilience_, resilience_forced_);
-  return engine.run(stages, progression, event_limit);
+  detail::EngineConfig cfg;
+  cfg.fabric = fabric_;
+  cfg.tables = tables_;
+  cfg.calib = calib_;
+  cfg.up_selection = up_selection_;
+  cfg.jitter_max_ns = jitter_max_ns_;
+  cfg.jitter_seed = jitter_seed_;
+  cfg.obs = obs_;
+  cfg.faults = faults_;
+  cfg.resilience = resilience_;
+  cfg.resilience_forced = resilience_forced_;
+  const PartitionMap map = partition_fabric(*fabric_, 1);
+  return detail::run_core(cfg, map, stages, progression, event_limit, nullptr);
 }
 
 }  // namespace ftcf::sim

@@ -12,10 +12,15 @@
 //     (switch + cable) added per packet, pipelined at packet granularity;
 //   * links run at QDR rate, host-adjacent links at the PCIe rate.
 //
-// Determinism: event ties break by schedule order; no randomness inside the
-// simulator — workloads carry all the randomness.
+// Determinism: same-time events order by a canonical content key (time,
+// event type, port, message, packet seq) rather than by push order, so the
+// serial engine and the partitioned PDES engine (pdes.hpp) realize the same
+// schedule; no randomness inside the simulator — workloads carry all the
+// randomness. PacketSim is the single-partition differential oracle for
+// ParallelPacketSim.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 
@@ -51,12 +56,33 @@ struct PortBuffer {
 /// Retry policy for resilient runs (transport-level, IB-RC-style semantics).
 /// A packet's timeout is armed when it goes on the wire; on expiry the source
 /// re-injects a copy with exponential backoff (timeout_ns << attempts so
-/// far). After `max_attempts` total tries the packet's bytes are written off
-/// and its message completes as *failed* rather than hanging the run.
+/// far, clamped — see retx_backoff_ns). After `max_attempts` total tries the
+/// packet's bytes are written off and its message completes as *failed*
+/// rather than hanging the run.
 struct Resilience {
   SimTime timeout_ns = 500'000;    ///< base per-packet timeout (500 us)
   std::uint32_t max_attempts = 4;  ///< total tries, first send included
 };
+
+/// Ceiling for one retransmit wait: 2^40 ns (~18.3 simulated minutes), far
+/// beyond any sane timeout yet small enough that `now + ser + wait` can
+/// never overflow SimTime. Documented contract: backoff doubles per attempt
+/// until it reaches this ceiling and then stays there.
+inline constexpr SimTime kRetxBackoffCeilingNs = SimTime{1} << 40;
+
+/// The exponential-backoff wait armed for retransmit attempt `attempt`
+/// (1-based; attempt 1 is the first injection). Doubles per attempt —
+/// base << (attempt - 1) — but saturates at kRetxBackoffCeilingNs instead
+/// of shifting into overflow: the naive `timeout_ns << attempts` is UB for
+/// large timeouts or attempt counts (a 2^43 ns timeout overflows SimTime on
+/// the second attempt). Shared by the serial and partitioned engines.
+[[nodiscard]] constexpr SimTime retx_backoff_ns(SimTime base_timeout_ns,
+                                                std::uint32_t attempt) noexcept {
+  const std::uint32_t shift = attempt > 1 ? std::min(attempt - 1, 40u) : 0u;
+  if (base_timeout_ns >= (kRetxBackoffCeilingNs >> shift))
+    return kRetxBackoffCeilingNs;
+  return base_timeout_ns << shift;
+}
 
 class PacketSim {
  public:

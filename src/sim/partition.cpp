@@ -1,0 +1,63 @@
+#include "sim/partition.hpp"
+
+#include <algorithm>
+
+#include "util/expects.hpp"
+
+namespace ftcf::sim {
+
+using topo::NodeId;
+using util::expects;
+
+PartitionMap partition_fabric(const topo::Fabric& fabric,
+                              std::uint32_t partitions) {
+  // Count the leaf (level-1) switches; they anchor the subtree groups.
+  std::vector<NodeId> leaves;
+  for (const NodeId sw : fabric.switch_ids())
+    if (fabric.node(sw).level == 1) leaves.push_back(sw);
+
+  PartitionMap map;
+  const auto num_leaves = static_cast<std::uint32_t>(leaves.size());
+  map.num_partitions = std::clamp<std::uint32_t>(
+      partitions, 1, std::max<std::uint32_t>(1, num_leaves));
+  const std::uint32_t p = map.num_partitions;
+
+  map.owner_of_node.assign(fabric.num_nodes(), 0);
+  if (p > 1) {
+    // Leaf l of L total -> contiguous group l*P/L (balanced to within one).
+    for (std::uint32_t l = 0; l < num_leaves; ++l) {
+      const auto group = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(l) * p) / num_leaves);
+      map.owner_of_node[leaves[l]] = group;
+    }
+    // Upper levels: round-robin by ordinal, spreading spine load.
+    for (const NodeId sw : fabric.switch_ids()) {
+      const topo::Node& node = fabric.node(sw);
+      if (node.level >= 2) map.owner_of_node[sw] = node.ordinal % p;
+    }
+    // Hosts live with their leaf subtree.
+    for (std::uint64_t h = 0; h < fabric.num_hosts(); ++h) {
+      const NodeId host = fabric.host_node(h);
+      map.owner_of_node[host] =
+          map.owner_of_node[fabric.leaf_switch_of_host(h)];
+    }
+  }
+
+  map.owner_of_host.assign(fabric.num_hosts(), 0);
+  map.hosts_of.resize(p);
+  for (std::uint64_t h = 0; h < fabric.num_hosts(); ++h) {
+    const std::uint32_t owner = map.owner_of_node[fabric.host_node(h)];
+    map.owner_of_host[h] = owner;
+    map.hosts_of[owner].push_back(h);
+  }
+  map.nodes_of.resize(p);
+  for (NodeId n = 0; n < fabric.num_nodes(); ++n)
+    map.nodes_of[map.owner_of_node[n]].push_back(n);
+
+  for (std::uint32_t g = 0; g < p; ++g)
+    expects(!map.hosts_of[g].empty(),
+            "every partition must own at least one traffic source");
+  return map;
+}
+
+}  // namespace ftcf::sim

@@ -1,0 +1,58 @@
+// Fabric partitioning for the parallel discrete-event packet simulator.
+//
+// A partition (logical process, LP) owns a region of the fabric: every host
+// and switch node maps to exactly one partition, and an LP's event loop only
+// touches state of ports on nodes it owns. The scheme follows the fat-tree
+// structure:
+//
+//   - Leaf subtrees stay together: level-1 switches are split into
+//     `num_partitions` contiguous ordinal ranges, and every host lives in
+//     the partition of its leaf switch. Host <-> leaf traffic (the majority
+//     of hops) therefore never crosses a partition boundary.
+//   - Upper-level switches (level >= 2) are dealt round-robin by ordinal, so
+//     spine load spreads evenly across partitions.
+//
+// The map is a pure function of (fabric, num_partitions) — no randomness, no
+// thread-count dependence — which is what makes the PDES determinism
+// contract (same seed + same partition count => byte-identical results at
+// any --threads) possible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/fabric.hpp"
+
+namespace ftcf::sim {
+
+/// Node -> partition ownership map. Built by partition_fabric(); all lookup
+/// tables are dense and index-addressed for hot-loop use.
+struct PartitionMap {
+  std::uint32_t num_partitions = 1;
+  std::vector<std::uint32_t> owner_of_node;  ///< by NodeId
+  std::vector<std::uint32_t> owner_of_host;  ///< by host index
+  /// Host indices per partition, ascending (kick order within an LP).
+  std::vector<std::vector<std::uint64_t>> hosts_of;
+  /// Node ids per partition, ascending (port-scan order within an LP).
+  std::vector<std::vector<topo::NodeId>> nodes_of;
+
+  [[nodiscard]] std::uint32_t owner_node(topo::NodeId node) const {
+    return owner_of_node[node];
+  }
+  [[nodiscard]] std::uint32_t owner_host(std::uint64_t host) const {
+    return owner_of_host[host];
+  }
+  [[nodiscard]] std::uint32_t owner_port(const topo::Fabric& fabric,
+                                         topo::PortId port) const {
+    return owner_of_node[fabric.port(port).node];
+  }
+};
+
+/// Build the ownership map described above. `partitions` is clamped to
+/// [1, number of leaf switches] (a partition without a leaf subtree would
+/// own no traffic sources); fabrics without switches collapse to one
+/// partition.
+[[nodiscard]] PartitionMap partition_fabric(const topo::Fabric& fabric,
+                                            std::uint32_t partitions);
+
+}  // namespace ftcf::sim

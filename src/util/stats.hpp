@@ -41,6 +41,28 @@ class Accumulator {
   /// Merge another accumulator into this one (parallel-friendly).
   void merge(const Accumulator& other) noexcept;
 
+  /// Rebuild an accumulator from externally computed moments. Used by code
+  /// that accumulates exact integer moments (count / sum / sum-of-squares)
+  /// and derives mean and m2 once at the end — unlike streaming Welford
+  /// updates, such moments are independent of accumulation order, which is
+  /// what the partitioned simulator needs for partition-count-invariant
+  /// latency statistics. `m2` is the sum of squared deviations from the
+  /// mean (so variance() = m2 / (count - 1)).
+  [[nodiscard]] static Accumulator from_moments(std::uint64_t count,
+                                                double sum, double mean,
+                                                double m2, double min,
+                                                double max) noexcept {
+    Accumulator acc;
+    if (count == 0) return acc;
+    acc.count_ = count;
+    acc.sum_ = sum;
+    acc.mean_ = mean;
+    acc.m2_ = m2;
+    acc.min_ = min;
+    acc.max_ = max;
+    return acc;
+  }
+
  private:
   std::uint64_t count_ = 0;
   double sum_ = 0.0;

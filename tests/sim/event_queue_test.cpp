@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
+#include "sim/packet_sim.hpp"
 #include "sim/typed_queue.hpp"
 #include "util/expects.hpp"
 
@@ -69,6 +72,69 @@ TEST(TypedQueue, PopsInOrderWithStableTies) {
 TEST(TypedQueue, PopFromEmptyThrows) {
   TypedEventQueue<int> q;
   EXPECT_THROW(q.pop(), util::PreconditionError);
+}
+
+struct KeyedEv {
+  int type = 0;
+  int port = 0;
+};
+struct KeyedEvKey {
+  std::tuple<int, int> operator()(const KeyedEv& ev) const noexcept {
+    return {ev.type, ev.port};
+  }
+};
+
+TEST(KeyedQueue, CollidingTimestampsPopInCanonicalKeyOrder) {
+  // Same-time events must pop by content key, not by push order: the PDES
+  // engine's partitions can never agree on a global push sequence, so push
+  // order is not reproducible across partition counts.
+  KeyedEventQueue<KeyedEv, KeyedEvKey> q;
+  q.push(7, {2, 9});
+  q.push(7, {1, 4});
+  q.push(7, {2, 3});
+  q.push(7, {1, 11});
+  q.push(3, {9, 9});  // earlier time still wins over every key
+  std::vector<std::pair<int, int>> order;
+  while (!q.empty()) {
+    const KeyedEv ev = q.pop();
+    order.emplace_back(ev.type, ev.port);
+  }
+  EXPECT_EQ(order, (std::vector<std::pair<int, int>>{
+                       {9, 9}, {1, 4}, {1, 11}, {2, 3}, {2, 9}}));
+}
+
+TEST(KeyedQueue, EqualKeysFallBackToInsertionOrder) {
+  KeyedEventQueue<KeyedEv, KeyedEvKey> q;
+  q.push(5, {1, 1});
+  q.push(5, {1, 1});
+  EXPECT_EQ(q.pop().type, 1);
+  EXPECT_EQ(q.now(), 5);
+  EXPECT_EQ(q.processed(), 1u);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(RetxBackoff, DoublesPerAttemptUntilTheCeiling) {
+  EXPECT_EQ(retx_backoff_ns(500'000, 1), 500'000);
+  EXPECT_EQ(retx_backoff_ns(500'000, 2), 1'000'000);
+  EXPECT_EQ(retx_backoff_ns(500'000, 5), 8'000'000);
+  EXPECT_EQ(retx_backoff_ns(1, 41), kRetxBackoffCeilingNs);
+  EXPECT_EQ(retx_backoff_ns(1, 1'000'000), kRetxBackoffCeilingNs);
+}
+
+TEST(RetxBackoff, LargeTimeoutsClampInsteadOfOverflowing) {
+  // Regression: the old `timeout_ns << min(attempt - 1, 20)` shifted a
+  // 2^43 ns timeout into signed overflow (UB) by the second attempt. The
+  // clamped form saturates at the documented ceiling for any input.
+  const SimTime huge = SimTime{1} << 43;
+  EXPECT_EQ(retx_backoff_ns(huge, 1), kRetxBackoffCeilingNs);
+  EXPECT_EQ(retx_backoff_ns(huge, 2), kRetxBackoffCeilingNs);
+  EXPECT_EQ(retx_backoff_ns(huge, 64), kRetxBackoffCeilingNs);
+  // Every attempt count stays finite and positive even at the max timeout.
+  for (std::uint32_t attempt = 1; attempt <= 128; ++attempt) {
+    const SimTime wait = retx_backoff_ns(huge, attempt);
+    EXPECT_GT(wait, 0);
+    EXPECT_LE(wait, kRetxBackoffCeilingNs);
+  }
 }
 
 TEST(Time, TransferTimeRoundsUpToOneNs) {

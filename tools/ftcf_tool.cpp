@@ -7,6 +7,7 @@
 //   ftcf_tool simulate --topo cluster.topo --cps ring --order random
 //                      --kib 256 [--sync] [--adaptive] [--trace t.json]
 //                      [--metrics m.json] [--profile]
+//                      [--pdes] [--partitions 8] [--full-oracle]
 //                      [--faults "link:S1_0:4,flap:spine1:0:50:200"]
 //   ftcf_tool inject   --nodes 324 --faults "switch:spine4" [--lft-out d.lft]
 //   ftcf_tool theorems --spec "PGFT(3; 6,6,4; 1,6,6; 1,1,1)"
@@ -22,6 +23,7 @@
 //
 // Exit codes: 0 success, 1 audit failure or internal error, 2 usage error or
 // malformed input (a typed ftcf::util error, reported as one line on stderr).
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -43,6 +45,7 @@
 #include "routing/router.hpp"
 #include "routing/validate.hpp"
 #include "sim/packet_sim.hpp"
+#include "sim/pdes.hpp"
 #include "topology/obs_names.hpp"
 #include "topology/presets.hpp"
 #include "topology/topo_io.hpp"
@@ -252,6 +255,31 @@ int cmd_hsd(int argc, const char* const* argv) {
   return 0;
 }
 
+/// Strict RunResult equality, the --full-oracle contract: the partitioned
+/// engine must reproduce the serial engine byte for byte — doubles included,
+/// since both reduce the same integer tallies in the same order.
+bool same_run_result(const sim::RunResult& a, const sim::RunResult& b) {
+  const auto& la = a.message_latency_us;
+  const auto& lb = b.message_latency_us;
+  return a.makespan == b.makespan && a.bytes_delivered == b.bytes_delivered &&
+         a.messages_delivered == b.messages_delivered &&
+         a.packets_delivered == b.packets_delivered &&
+         a.out_of_order_packets == b.out_of_order_packets &&
+         a.events == b.events && a.active_hosts == b.active_hosts &&
+         a.packets_dropped == b.packets_dropped &&
+         a.packets_retransmitted == b.packets_retransmitted &&
+         a.duplicate_packets == b.duplicate_packets &&
+         a.messages_failed == b.messages_failed &&
+         a.bytes_failed == b.bytes_failed &&
+         a.link_down_events == b.link_down_events &&
+         a.effective_bw_per_host == b.effective_bw_per_host &&
+         a.normalized_bw == b.normalized_bw && la.count() == lb.count() &&
+         la.sum() == lb.sum() && la.mean() == lb.mean() &&
+         la.stddev() == lb.stddev() && la.min() == lb.min() &&
+         la.max() == lb.max() && a.link_busy_ns == b.link_busy_ns &&
+         a.max_queue_depth == b.max_queue_depth;
+}
+
 int cmd_simulate(int argc, const char* const* argv) {
   util::Cli cli("ftcf_tool simulate", "packet-level simulation of a CPS");
   add_fabric_options(cli);
@@ -266,6 +294,12 @@ int cmd_simulate(int argc, const char* const* argv) {
   cli.add_option("retries", "max send attempts per packet (0 = default)", "0");
   cli.add_flag("sync", "barrier between stages");
   cli.add_flag("adaptive", "adaptive up-port selection");
+  cli.add_flag("pdes", "run the partitioned parallel engine (PDES)");
+  cli.add_option("partitions",
+                 "PDES partition count (implies --pdes; 0 = thread count)",
+                 "0");
+  cli.add_flag("full-oracle", "also run the serial engine and require the "
+               "PDES RunResult to match it exactly");
   cli.add_option("vls", "attach a proposed destination->VL assignment of at "
                  "most N lanes so trace/heatmap cells split per VL (0 = off)",
                  "0");
@@ -298,27 +332,66 @@ int cmd_simulate(int argc, const char* const* argv) {
     obs_cli.set_heatmap_meta("vls", std::to_string(vl->num_lanes));
   }
 
-  sim::PacketSim psim(fabric, tables);
-  psim.set_observer(obs_cli.observer());
-  if (faults) psim.set_fault_state(&*faults);
-  if (cli.uinteger("timeout-us") > 0 || cli.uinteger("retries") > 0) {
-    sim::Resilience policy;
-    if (cli.uinteger("timeout-us") > 0)
-      policy.timeout_ns =
-          static_cast<sim::SimTime>(cli.uinteger("timeout-us") * 1000);
-    if (cli.uinteger("retries") > 0)
-      policy.max_attempts = static_cast<std::uint32_t>(cli.uinteger("retries"));
-    psim.set_resilience(policy);
+  // Shared configuration surface of the serial and partitioned engines.
+  // The observer only feeds the primary run: with --full-oracle the serial
+  // re-run is unobserved so traces/metrics aren't double-recorded.
+  const auto configure = [&](auto& s, bool observed) {
+    if (observed) s.set_observer(obs_cli.observer());
+    if (faults) s.set_fault_state(&*faults);
+    if (cli.uinteger("timeout-us") > 0 || cli.uinteger("retries") > 0) {
+      sim::Resilience policy;
+      if (cli.uinteger("timeout-us") > 0)
+        policy.timeout_ns =
+            static_cast<sim::SimTime>(cli.uinteger("timeout-us") * 1000);
+      if (cli.uinteger("retries") > 0)
+        policy.max_attempts =
+            static_cast<std::uint32_t>(cli.uinteger("retries"));
+      s.set_resilience(policy);
+    }
+    if (cli.flag("adaptive")) s.set_up_selection(sim::UpSelection::kAdaptive);
+    if (cli.uinteger("jitter-us") > 0)
+      s.set_stage_jitter(
+          static_cast<sim::SimTime>(cli.uinteger("jitter-us") * 1000),
+          cli.uinteger("seed"));
+  };
+  const auto progression = cli.flag("sync") ? sim::Progression::kSynchronized
+                                            : sim::Progression::kAsync;
+  const bool use_pdes = cli.flag("pdes") || cli.uinteger("partitions") > 0;
+  std::uint32_t partitions =
+      static_cast<std::uint32_t>(cli.uinteger("partitions"));
+  if (use_pdes && partitions == 0) partitions = par::default_threads();
+
+  sim::RunResult result;
+  sim::PdesStats pdes_stats;
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (use_pdes) {
+    sim::ParallelPacketSim psim(fabric, tables);
+    configure(psim, true);
+    psim.set_partitions(partitions);
+    result = psim.run(traffic, progression);
+    pdes_stats = psim.last_stats();
+  } else {
+    sim::PacketSim psim(fabric, tables);
+    configure(psim, true);
+    result = psim.run(traffic, progression);
   }
-  if (cli.flag("adaptive"))
-    psim.set_up_selection(sim::UpSelection::kAdaptive);
-  if (cli.uinteger("jitter-us") > 0)
-    psim.set_stage_jitter(
-        static_cast<sim::SimTime>(cli.uinteger("jitter-us") * 1000),
-        cli.uinteger("seed"));
-  const auto result =
-      psim.run(traffic, cli.flag("sync") ? sim::Progression::kSynchronized
-                                         : sim::Progression::kAsync);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  if (cli.flag("full-oracle")) {
+    sim::PacketSim oracle(fabric, tables);
+    configure(oracle, false);
+    const auto expected = oracle.run(traffic, progression);
+    if (!same_run_result(result, expected)) {
+      std::cerr << "full-oracle: PDES RunResult diverges from the serial "
+                   "engine (partitions="
+                << (use_pdes ? pdes_stats.partitions : 1) << ")\n";
+      return 1;
+    }
+    std::cout << "full-oracle: PDES matches the serial engine exactly\n";
+  }
 
   util::Table table({"metric", "value"});
   table.add_row({"makespan", util::fmt_double(sim::to_us(result.makespan), 1) +
@@ -331,6 +404,20 @@ int cmd_simulate(int argc, const char* const* argv) {
   table.add_row({"out-of-order packets",
                  std::to_string(result.out_of_order_packets)});
   table.add_row({"events", std::to_string(result.events)});
+  if (use_pdes) {
+    table.add_row({"pdes partitions", std::to_string(pdes_stats.partitions)});
+    table.add_row({"pdes windows", std::to_string(pdes_stats.windows)});
+    table.add_row({"pdes channel events",
+                   std::to_string(pdes_stats.channel_events)});
+  }
+  if (wall_s > 0.0) {
+    // Wall-clock throughput; stdout only, never part of a JSON artifact.
+    table.add_row({"events/sec",
+                   util::fmt_double(static_cast<double>(result.events) /
+                                        wall_s / 1e6,
+                                    2) +
+                       " M"});
+  }
   if (faults) {
     table.add_row({"faults", fault_spec.to_string()});
     table.add_row({"packets dropped", std::to_string(result.packets_dropped)});
