@@ -4,6 +4,7 @@
 
 #include "check/depgraph.hpp"
 #include "obs/profile.hpp"
+#include "routing/adaptive.hpp"
 
 namespace ftcf::check {
 
@@ -36,6 +37,46 @@ CdgAnalysis analyze_cdg(const Fabric& fabric,
     for (const std::uint32_t dense :
          extract_cycle(graph, sccs.first_cycle_members))
       analysis.cycle.push_back(ci.channels[dense]);
+  }
+  return analysis;
+}
+
+AdaptiveCdgAnalysis analyze_adaptive_cdg(const Fabric& fabric,
+                                         const route::ForwardingTables& tables) {
+  FTCF_PROF_SCOPE("check.cdg.adaptive");
+  AdaptiveCdgAnalysis analysis;
+  const route::AdaptiveRelationStats stats =
+      route::adaptive_relation_stats(fabric, tables);
+  analysis.relation_pairs = stats.pairs;
+  analysis.relation_choices = stats.candidates;
+  analysis.max_fanout = stats.max_fanout;
+
+  const ChannelIndex ci = switch_channels(fabric);
+  analysis.cdg.num_channels = ci.size();
+  if (ci.empty()) return analysis;  // single-switch or host-only
+
+  const std::vector<std::uint64_t> deps = build_relation_dependencies(
+      fabric,
+      [&](topo::NodeId sw, std::uint64_t dest, std::vector<std::uint32_t>& out) {
+        route::adaptive_candidates(fabric, tables, sw, dest, out);
+      },
+      ci, "check.cdg.adaptive");
+  analysis.cdg.num_dependencies = deps.size();
+  for (const std::uint64_t packed : deps) {
+    const PortId from = ci.channels[packed >> 32];
+    const PortId to = ci.channels[packed & 0xffffffffu];
+    if (!is_up_channel(fabric, from) && is_up_channel(fabric, to))
+      ++analysis.cdg.down_up_turns;
+  }
+
+  const ChannelGraph graph = build_graph(ci.size(), deps);
+  const SccSummary sccs = find_cyclic_sccs(graph);
+  analysis.cdg.cyclic_scc_count = sccs.cyclic_sccs;
+  analysis.cdg.acyclic = sccs.cyclic_sccs == 0;
+  if (!analysis.cdg.acyclic) {
+    for (const std::uint32_t dense :
+         extract_cycle(graph, sccs.first_cycle_members))
+      analysis.cdg.cycle.push_back(ci.channels[dense]);
   }
   return analysis;
 }

@@ -49,6 +49,25 @@ struct CdgAnalysis {
 [[nodiscard]] CdgAnalysis analyze_cdg(const topo::Fabric& fabric,
                                       const route::ForwardingTables& tables);
 
+/// CDG of the adaptive routing *relation* (route::adaptive_candidates):
+/// descents follow the tables, ascents may take any up port. The analyzed
+/// graph is the union over every choice the relation admits, so an acyclic
+/// verdict proves the simulator's adaptive mode deadlock-free for every
+/// per-packet up-port selection policy — not just one schedule. The verdict
+/// is strictly stronger than the deterministic CDG's: a cycle here can hide
+/// behind tables whose deterministic graph is acyclic.
+struct AdaptiveCdgAnalysis {
+  CdgAnalysis cdg;                  ///< union-graph Dally–Seitz verdict
+  std::uint64_t relation_pairs = 0; ///< (switch, dest) pairs with candidates
+  std::uint64_t relation_choices = 0;  ///< total out-port candidates
+  std::uint32_t max_fanout = 0;        ///< widest single choice
+
+  [[nodiscard]] bool deadlock_free() const noexcept { return cdg.acyclic; }
+};
+
+[[nodiscard]] AdaptiveCdgAnalysis analyze_adaptive_cdg(
+    const topo::Fabric& fabric, const route::ForwardingTables& tables);
+
 /// Render a cycle as a switch/port chain, e.g.
 /// "S1_0[port 4] -> S2_0[port 1] -> S1_0[port 4]".
 [[nodiscard]] std::string cycle_to_string(const topo::Fabric& fabric,

@@ -85,9 +85,42 @@ void report_unknown_suppressions(const Suppressions& suppressions,
   }
 }
 
+/// Render a small destination list, e.g. "{3, 17, 41}".
+std::string dest_set_to_string(const std::vector<std::uint64_t>& dests) {
+  std::ostringstream oss;
+  oss << '{';
+  for (std::size_t i = 0; i < dests.size(); ++i)
+    oss << (i == 0 ? "" : ", ") << dests[i];
+  oss << '}';
+  return oss.str();
+}
+
 void report_vl(const topo::Fabric& fabric, const VlProposal& vl,
                bool cdg_acyclic, Diagnostics& diagnostics) {
   const bool solved = vl.assignment.complete() && vl.analysis.all_acyclic();
+  const VlOptimality* opt =
+      vl.optimality.has_value() ? &*vl.optimality : nullptr;
+  if (solved && opt != nullptr && opt->optimal()) {
+    // The minimality proof upgrades the vl-assignment certificate.
+    std::ostringstream oss;
+    oss << opt->upper_bound
+        << " lane(s) proven minimal: branch-and-bound lower bound "
+        << opt->lower_bound << " equals the assigned lane count";
+    if (opt->clique.size() >= 2)
+      oss << "; clique witness " << dest_set_to_string(opt->clique)
+          << " — these destinations pairwise conflict, no two can share a "
+             "lane";
+    else
+      oss << "; the union dependency graph over every destination is "
+             "acyclic, so one lane suffices";
+    if (opt->improved)
+      oss << "; the greedy first-fit proposal was suboptimal and has been "
+             "replaced";
+    oss << " (" << opt->nodes_explored << " search node(s) explored): "
+        << vl_assignment_to_string(vl.assignment);
+    diagnostics.note("vl-optimal", "", oss.str());
+    return;
+  }
   if (solved) {
     std::ostringstream oss;
     oss << "virtual-lane assignment with " << vl.assignment.num_lanes
@@ -99,21 +132,70 @@ void report_vl(const topo::Fabric& fabric, const VlProposal& vl,
       oss << ", breaking the single-lane dependency cycle: "
           << vl_assignment_to_string(vl.assignment);
     diagnostics.note("vl-assignment", "", oss.str());
-    return;
+  } else {
+    std::ostringstream oss;
+    oss << "no destination->VL assignment within " << vl.assignment.num_lanes
+        << " lane(s) breaks every dependency cycle";
+    if (!vl.assignment.unassigned.empty())
+      oss << " (" << vl.assignment.unassigned.size()
+          << " destination(s) unplaceable — a per-destination routing loop "
+             "cannot be fixed by lane separation)";
+    for (const CdgAnalysis& lane : vl.analysis.lanes) {
+      if (lane.acyclic) continue;
+      oss << "; first cyclic lane: " << cycle_to_string(fabric, lane.cycle);
+      break;
+    }
+    diagnostics.error("vl-cycle", "", oss.str());
   }
+
+  // Honest bound reporting when the proof did not certify minimality.
+  if (opt == nullptr || !opt->provable() || opt->optimal()) return;
   std::ostringstream oss;
-  oss << "no destination->VL assignment within " << vl.assignment.num_lanes
-      << " lane(s) breaks every dependency cycle";
-  if (!vl.assignment.unassigned.empty())
-    oss << " (" << vl.assignment.unassigned.size()
-        << " destination(s) unplaceable — a per-destination routing loop "
-           "cannot be fixed by lane separation)";
-  for (const CdgAnalysis& lane : vl.analysis.lanes) {
-    if (lane.acyclic) continue;
-    oss << "; first cyclic lane: " << cycle_to_string(fabric, lane.cycle);
-    break;
+  if (opt->budget_exhausted) {
+    oss << "lane minimality unresolved: node budget " << opt->node_budget
+        << " exhausted after " << opt->nodes_explored
+        << " placement(s); proven lower bound " << opt->lower_bound;
+    if (opt->clique.size() >= 2)
+      oss << " (clique witness " << dest_set_to_string(opt->clique) << ')';
+    if (opt->upper_bound != 0)
+      oss << ", best known assignment " << opt->upper_bound << " lane(s)"
+          << (opt->improved ? " (replacing the greedy proposal)" : "");
+    else
+      oss << ", no feasible assignment known yet";
+  } else {
+    // The search ran to exhaustion without finding any assignment the lane
+    // budget admits: infeasibility is proven, not just unobserved.
+    oss << "proven: no destination->VL assignment exists within the lane "
+           "budget — at least "
+        << opt->lower_bound << " lane(s) are required ("
+        << opt->nodes_explored << " search node(s) explored)";
   }
-  diagnostics.error("vl-cycle", "", oss.str());
+  diagnostics.warning("vl-bound-gap", "", oss.str());
+}
+
+void report_adaptive(const topo::Fabric& fabric,
+                     const AdaptiveCdgAnalysis& adaptive,
+                     Diagnostics& diagnostics) {
+  const CdgAnalysis& cdg = adaptive.cdg;
+  if (cdg.acyclic) {
+    std::ostringstream oss;
+    oss << "adaptive-closure CDG acyclic: " << cdg.num_dependencies
+        << " union dependencies over " << cdg.num_channels << " channels ("
+        << adaptive.relation_pairs << " (switch, dest) pairs, "
+        << adaptive.relation_choices << " candidate out-ports, max fanout "
+        << adaptive.max_fanout
+        << "); every per-packet minimal up-port policy is deadlock-free";
+    diagnostics.note("cdg-adaptive-ok", "", oss.str());
+  } else {
+    std::ostringstream oss;
+    oss << "adaptive routing relation closes a dependency cycle ("
+        << cdg.cyclic_scc_count << " cyclic SCC(s) over " << cdg.num_channels
+        << " channels / " << cdg.num_dependencies
+        << " union dependencies); some legal sequence of up-port choices can "
+           "deadlock even if the deterministic tables cannot. Cycle: "
+        << cycle_to_string(fabric, cdg.cycle);
+    diagnostics.error("cdg-adaptive-cycle", "", oss.str());
+  }
 }
 
 void report_credit(const topo::Fabric& fabric,
@@ -182,6 +264,22 @@ void record_metrics(obs::MetricsRegistry& metrics, const CheckReport& report) {
     metrics.gauge("check.vl.lanes").set(report.vl->assignment.num_lanes);
     metrics.gauge("check.vl.acyclic")
         .set(report.vl->analysis.all_acyclic() ? 1.0 : 0.0);
+    if (report.vl->optimality) {
+      const VlOptimality& opt = *report.vl->optimality;
+      metrics.gauge("check.vl.lower_bound").set(opt.lower_bound);
+      metrics.gauge("check.vl.optimal").set(opt.optimal() ? 1.0 : 0.0);
+      metrics.counter("check.vl.suspects").inc(opt.suspects);
+      metrics.counter("check.vl.conflict_edges").inc(opt.conflict_edges);
+      metrics.counter("check.vl.bb_nodes").inc(opt.nodes_explored);
+    }
+  }
+  if (report.adaptive) {
+    metrics.counter("check.adaptive.dependencies")
+        .inc(report.adaptive->cdg.num_dependencies);
+    metrics.counter("check.adaptive.choices")
+        .inc(report.adaptive->relation_choices);
+    metrics.gauge("check.adaptive.acyclic")
+        .set(report.adaptive->cdg.acyclic ? 1.0 : 0.0);
   }
   if (report.credit) {
     metrics.counter("check.credit.channels")
@@ -239,10 +337,24 @@ CheckReport run_check(const topo::Fabric& fabric,
 
   if (options.propose_vls > 0) {
     VlProposal vl;
-    vl.assignment = propose_vl_assignment(fabric, tables, options.propose_vls);
+    std::vector<std::vector<std::uint64_t>> per_dest;
+    vl.assignment =
+        propose_vl_assignment(fabric, tables, options.propose_vls,
+                              options.prove_vl_optimal ? &per_dest : nullptr);
+    if (options.prove_vl_optimal)
+      vl.optimality = prove_vl_optimality(
+          fabric, per_dest, options.propose_vls, vl.assignment,
+          VlOptimalityOptions{.node_budget = options.vl_node_budget});
+    // Validated after the prover so a replaced assignment is what gets the
+    // per-lane verdicts.
     vl.analysis = analyze_cdg_per_vl(fabric, tables, vl.assignment);
     report.vl = std::move(vl);
     report_vl(fabric, *report.vl, report.cdg.acyclic, report.diagnostics);
+  }
+
+  if (options.adaptive_closure) {
+    report.adaptive = analyze_adaptive_cdg(fabric, tables);
+    report_adaptive(fabric, *report.adaptive, report.diagnostics);
   }
 
   if (options.credit_loops) {

@@ -29,6 +29,7 @@
 #include "check/lint.hpp"
 #include "check/replay.hpp"
 #include "check/vl.hpp"
+#include "check/vl_optimal.hpp"
 #include "fault/degraded.hpp"
 #include "obs/metrics.hpp"
 #include "routing/validate.hpp"
@@ -63,6 +64,19 @@ struct CheckOptions {
   /// lanes whose per-lane dependency graphs are all acyclic (rules
   /// vl-assignment / vl-cycle).
   std::uint32_t propose_vls = 0;
+  /// With propose_vls: also run the exact branch-and-bound lane-minimality
+  /// prover. A certified-minimal proposal upgrades to rule vl-optimal (with
+  /// the clique witness); a search that beats the greedy proposal replaces
+  /// it; a tripped node budget reports the proven [lower, upper] gap as
+  /// vl-bound-gap.
+  bool prove_vl_optimal = false;
+  /// Vertex-placement budget for the branch-and-bound search.
+  std::uint64_t vl_node_budget = 1'000'000;
+  /// Prove Dally–Seitz deadlock freedom over the *adaptive* routing relation
+  /// (route::adaptive_candidates: deterministic descents, any-up-port
+  /// ascents) instead of just the deterministic tables (rules
+  /// cdg-adaptive-ok / cdg-adaptive-cycle).
+  bool adaptive_closure = false;
   /// Run the credit-loop prover over the packet simulator's buffer topology
   /// (rules credit-loop / credit-cdg-mismatch).
   bool credit_loops = false;
@@ -75,6 +89,9 @@ struct CheckOptions {
 struct VlProposal {
   VlAssignment assignment;
   VlCdgAnalysis analysis;
+  /// Present when CheckOptions::prove_vl_optimal was set. When it marked the
+  /// greedy proposal `improved`, `assignment` already is the replacement.
+  std::optional<VlOptimality> optimality;
 };
 
 struct CheckReport {
@@ -87,6 +104,8 @@ struct CheckReport {
   std::optional<TelemetryReplay> telemetry;
   /// Present when CheckOptions::propose_vls > 0.
   std::optional<VlProposal> vl;
+  /// Present when CheckOptions::adaptive_closure was set.
+  std::optional<AdaptiveCdgAnalysis> adaptive;
   /// Present when CheckOptions::credit_loops was set.
   std::optional<CreditLoopAnalysis> credit;
 

@@ -77,6 +77,38 @@ std::vector<std::uint64_t> host_dependencies(
   return deps;
 }
 
+/// Relation analogue of switch_dependencies: every candidate out-channel of
+/// (u, d) depends on every candidate out-channel of the peer switch it
+/// reaches, for the same destination.
+std::vector<std::uint64_t> switch_relation_dependencies(
+    const Fabric& fabric, const RoutingRelation& relation,
+    const ChannelIndex& ci, NodeId u) {
+  std::vector<std::uint64_t> deps;
+  std::vector<std::uint32_t> outs_u;
+  std::vector<std::uint32_t> outs_v;
+  const std::uint64_t n = fabric.num_hosts();
+  for (std::uint64_t d = 0; d < n; ++d) {
+    relation(u, d, outs_u);
+    for (const std::uint32_t o1 : outs_u) {
+      const PortId e1 = fabric.port_id(u, o1);
+      const std::uint32_t c1 = ci.dense[e1];
+      if (c1 == kNoChannel) continue;  // terminates at a host
+      const NodeId v = fabric.port(fabric.port(e1).peer).node;
+      if (fabric.node(v).kind != topo::NodeKind::kSwitch) continue;
+      relation(v, d, outs_v);
+      for (const std::uint32_t o2 : outs_v) {
+        const PortId e2 = fabric.port_id(v, o2);
+        const std::uint32_t c2 = ci.dense[e2];
+        if (c2 == kNoChannel) continue;
+        deps.push_back((static_cast<std::uint64_t>(c1) << 32) | c2);
+      }
+    }
+  }
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  return deps;
+}
+
 }  // namespace
 
 ChannelIndex switch_channels(const Fabric& fabric) {
@@ -133,6 +165,26 @@ std::vector<std::uint64_t> build_dependencies(
       all.insert(all.end(), deps.begin(), deps.end());
   }
 
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+std::vector<std::uint64_t> build_relation_dependencies(
+    const Fabric& fabric, const RoutingRelation& relation,
+    const ChannelIndex& ci, const char* label) {
+  const std::span<const NodeId> switches = fabric.switch_ids();
+  auto per_switch = par::parallel_map(
+      switches.size(),
+      [&](std::size_t idx) {
+        return switch_relation_dependencies(fabric, relation, ci,
+                                            switches[idx]);
+      },
+      par::ForOptions{.threads = 0, .grain = 1, .label = label});
+
+  std::vector<std::uint64_t> all;
+  for (const auto& deps : per_switch)
+    all.insert(all.end(), deps.begin(), deps.end());
   std::sort(all.begin(), all.end());
   all.erase(std::unique(all.begin(), all.end()), all.end());
   return all;

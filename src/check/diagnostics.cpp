@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/expects.hpp"
 
 namespace ftcf::check {
 
@@ -88,6 +89,12 @@ void Diagnostics::set_suppressions(Suppressions suppressions) {
 }
 
 void Diagnostics::add(Finding finding) {
+  // Drift guard: a rule outside the catalog could never be suppressed or
+  // baselined, so emitting one is a library bug, not an input problem.
+  if (!is_known_rule(finding.rule))
+    util::ensures(false, "rule '" + finding.rule +
+                             "' is not in the known-rule catalog; add it to "
+                             "known_rule_ids()");
   if (suppressions_.matches(finding)) {
     ++suppressed_;
     return;
@@ -183,6 +190,8 @@ void Diagnostics::write_json(
 std::span<const std::string_view> known_rule_ids() noexcept {
   // Sorted ascending; keep in sync with docs/STATIC_ANALYSIS.md.
   static constexpr std::string_view kRules[] = {
+      "cdg-adaptive-cycle",
+      "cdg-adaptive-ok",
       "cdg-cycle",
       "cdg-walk-mismatch",
       "cert-ok",
@@ -205,7 +214,9 @@ std::span<const std::string_view> known_rule_ids() noexcept {
       "suppress-unknown-rule",
       "updown-turn",
       "vl-assignment",
+      "vl-bound-gap",
       "vl-cycle",
+      "vl-optimal",
   };
   return kRules;
 }
@@ -223,11 +234,16 @@ void write_baseline(const Diagnostics& diagnostics, std::ostream& os) {
         "# one entry per line: rule or rule:location-substring\n";
   std::vector<std::string> seen;
   for (const Finding& f : diagnostics.findings()) {
-    // A location containing '#' or a leading colon would not round-trip
-    // through the parser; fall back to suppressing the rule everywhere.
+    // A location the parser cannot reproduce — comment markers, line breaks,
+    // or leading/trailing padding it would trim away — falls back to
+    // suppressing the rule everywhere.
+    const std::string& loc = f.location;
+    const bool roundtrips =
+        !loc.empty() && loc.find_first_of("#\r\n") == std::string::npos &&
+        loc.front() != ' ' && loc.front() != '\t' && loc.back() != ' ' &&
+        loc.back() != '\t';
     std::string token = f.rule;
-    if (!f.location.empty() && f.location.find('#') == std::string::npos)
-      token += ':' + f.location;
+    if (roundtrips) token += ':' + loc;
     if (std::find(seen.begin(), seen.end(), token) != seen.end()) continue;
     seen.push_back(token);
     os << token << '\n';

@@ -64,6 +64,13 @@ VlCdgAnalysis analyze_cdg_per_vl(const Fabric& fabric,
 VlAssignment propose_vl_assignment(const Fabric& fabric,
                                    const route::ForwardingTables& tables,
                                    std::uint32_t max_lanes) {
+  return propose_vl_assignment(fabric, tables, max_lanes, nullptr);
+}
+
+VlAssignment propose_vl_assignment(
+    const Fabric& fabric, const route::ForwardingTables& tables,
+    std::uint32_t max_lanes,
+    std::vector<std::vector<std::uint64_t>>* per_dest_out) {
   FTCF_PROF_SCOPE("check.vl.propose");
   util::expects(max_lanes >= 1, "VL search needs at least one lane");
   const ChannelIndex ci = switch_channels(fabric);
@@ -75,7 +82,7 @@ VlAssignment propose_vl_assignment(const Fabric& fabric,
   // Per-destination dependency sets in parallel; the greedy placement below
   // is serial and ascending in destination, so the proposal is identical at
   // any thread count.
-  const auto per_dest = par::parallel_map(
+  auto per_dest = par::parallel_map(
       n,
       [&](std::size_t d) {
         return destination_dependencies(fabric, tables, ci, d);
@@ -115,6 +122,7 @@ VlAssignment propose_vl_assignment(const Fabric& fabric,
     }
   }
   out.num_lanes = static_cast<std::uint32_t>(lane_deps.size());
+  if (per_dest_out != nullptr) *per_dest_out = std::move(per_dest);
   return out;
 }
 

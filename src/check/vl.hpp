@@ -72,6 +72,15 @@ struct VlCdgAnalysis {
     const topo::Fabric& fabric, const route::ForwardingTables& tables,
     std::uint32_t max_lanes);
 
+/// As above, but additionally hands back the per-destination dependency sets
+/// the search computed (indexed by destination, packed like
+/// destination_dependencies) so the optimality prover can reuse them instead
+/// of rebuilding.
+[[nodiscard]] VlAssignment propose_vl_assignment(
+    const topo::Fabric& fabric, const route::ForwardingTables& tables,
+    std::uint32_t max_lanes,
+    std::vector<std::vector<std::uint64_t>>* per_dest_out);
+
 /// Render an assignment for reports, e.g.
 /// "2 lane(s): lane 0 <- dests 0-2,5 (4); lane 1 <- dests 3-4 (2)".
 [[nodiscard]] std::string vl_assignment_to_string(

@@ -1,0 +1,85 @@
+// Exact lane-minimality prover for the destination-based VL assignment.
+//
+// propose_vl_assignment (check/vl.hpp) is a greedy first-fit heuristic: it
+// proves its lane count *sufficient* but says nothing about necessity. This
+// module closes that gap with an exact branch-and-bound search over the
+// destination-conflict graph:
+//
+//   1. Suspects. A cycle in the union of any subset of per-destination
+//      dependency sets is a cycle in the full union graph, hence confined to
+//      one of its cyclic SCCs. Destinations contributing no edge inside a
+//      cyclic SCC ("non-suspects") can therefore never close a cycle on any
+//      lane, in any combination — they are free riders on lane 0 and the
+//      search space shrinks to the suspects and their SCC-internal edges.
+//   2. Conflict graph. Two suspects conflict when the union of their
+//      restricted dependency sets is cyclic: they can never share a lane.
+//      A greedy clique over this graph is a sound chromatic lower bound
+//      (clique members need pairwise-distinct lanes).
+//   3. Branch and bound. DSATUR-ordered exact search for a feasible
+//      k-lane placement of the suspects, with clique members pre-placed on
+//      lanes 0..c-1 and at most one fresh lane opened per step (empty lanes
+//      are interchangeable). Feasibility of every placement is checked
+//      against the real per-lane union graphs, so a found assignment is
+//      valid — and an exhausted search at k proves k+1 lanes necessary.
+//
+// Outcomes: lower == upper certifies minimality (rule vl-optimal, clique as
+// witness); a search that beats the greedy count replaces the assignment;
+// a tripped node budget reports the proven [lower, upper] gap honestly
+// (rule vl-bound-gap). Entirely serial after the parallel per-destination
+// precomputation — results are byte-identical at any thread count.
+#pragma once
+
+#include <span>
+
+#include "check/vl.hpp"
+
+namespace ftcf::check {
+
+struct VlOptimalityOptions {
+  /// Abort the branch-and-bound after this many vertex placements and report
+  /// the bounds proven so far. The default is far above anything realistic
+  /// fabrics need (pristine tables have zero suspects and never search).
+  std::uint64_t node_budget = 1'000'000;
+};
+
+/// Verdict of the minimality proof. `upper_bound` is the best lane count a
+/// feasible assignment is known for (0 = none exists within the lane
+/// budget); `lower_bound` lanes are proven necessary. Equality certifies
+/// minimality.
+struct VlOptimality {
+  std::uint32_t lower_bound = 1;
+  std::uint32_t upper_bound = 0;
+  /// Mutually conflicting destinations — the witness for the clique part of
+  /// the lower bound (ascending host indices).
+  std::vector<std::uint64_t> clique;
+  /// Destinations whose own dependency set is cyclic: a routing loop no lane
+  /// count can fix. When non-empty the bounds are meaningless and the proof
+  /// is abandoned.
+  std::vector<std::uint64_t> unfixable;
+  std::uint64_t suspects = 0;        ///< destinations that can conflict at all
+  std::uint64_t conflict_edges = 0;  ///< pairs that can never share a lane
+  std::uint64_t nodes_explored = 0;  ///< B&B vertex placements performed
+  std::uint64_t node_budget = 0;     ///< the budget the search ran under
+  bool budget_exhausted = false;
+  /// The search found a feasible assignment with fewer lanes than the greedy
+  /// proposal (which was therefore suboptimal) and replaced it.
+  bool improved = false;
+
+  [[nodiscard]] bool provable() const noexcept { return unfixable.empty(); }
+  [[nodiscard]] bool optimal() const noexcept {
+    return provable() && upper_bound != 0 && lower_bound == upper_bound;
+  }
+};
+
+/// Prove bounds on the minimum lane count for `tables`, reusing the greedy
+/// proposal in `assignment` (and its `per_dest` dependency sets) as the
+/// starting upper bound. `max_lanes` is the same lane budget the greedy
+/// search ran under (<= 64). When the search finds a smaller feasible
+/// assignment, `assignment` is replaced by it and `improved` is set.
+[[nodiscard]] VlOptimality prove_vl_optimality(
+    const topo::Fabric& fabric,
+    std::span<const std::vector<std::uint64_t>> per_dest,
+    std::uint32_t max_lanes, VlAssignment& assignment,
+    const VlOptimalityOptions& options = {});
+
+}  // namespace ftcf::check

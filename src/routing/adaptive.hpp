@@ -1,0 +1,43 @@
+// The minimal-path adaptive routing *relation* over a PGFT.
+//
+// The packet simulator's adaptive mode (sim::UpSelection::kAdaptive) keeps
+// descents deterministic — once a switch is an ancestor of the destination
+// the LFT entry decides the out-port — but lets the ascent pick *any* up
+// port. Deadlock analysis of that mode therefore cannot look at one
+// forwarding function: it must consider the whole relation of out-ports a
+// packet may legally take at each (switch, destination). This header exposes
+// exactly that relation, with semantics mirroring the engine
+// (sim/engine_core.cpp) so the static proof covers what the simulator does:
+//   * ancestor of the destination: the single LFT entry (whatever it is —
+//     degraded or hand-edited tables may point anywhere);
+//   * not an ancestor: every up port, regardless of the tables;
+//   * ancestor with no programmed entry: no candidates (the engine drops or
+//     parks such heads; they forward nowhere).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/lft.hpp"
+
+namespace ftcf::route {
+
+/// Append the out-port indices (on `sw`) a packet for host `dest` may leave
+/// through under adaptive minimal routing. `out` is cleared first; candidates
+/// are ascending. Returns the number of candidates.
+std::uint32_t adaptive_candidates(const topo::Fabric& fabric,
+                                  const ForwardingTables& tables,
+                                  topo::NodeId sw, std::uint64_t dest,
+                                  std::vector<std::uint32_t>& out);
+
+/// Aggregate size of the relation — how much wider it is than a function.
+struct AdaptiveRelationStats {
+  std::uint64_t pairs = 0;       ///< (switch, dest) pairs with >= 1 candidate
+  std::uint64_t candidates = 0;  ///< total out-port candidates over all pairs
+  std::uint32_t max_fanout = 0;  ///< widest single (switch, dest) choice
+};
+
+[[nodiscard]] AdaptiveRelationStats adaptive_relation_stats(
+    const topo::Fabric& fabric, const ForwardingTables& tables);
+
+}  // namespace ftcf::route

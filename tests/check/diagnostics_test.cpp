@@ -166,6 +166,108 @@ TEST(Diagnostics, BaselineRoundTripsThroughParse) {
   EXPECT_EQ(again.exit_code(/*strict=*/true), 0);
 }
 
+TEST(Diagnostics, SuppressionParsingHandlesCrlfLineEndings) {
+  struct Case {
+    const char* text;
+    std::size_t entries;
+    const char* rule;
+    const char* location;
+  };
+  // Files hand-edited on Windows (or round-tripped through git with CRLF
+  // conversion) must parse identically to their LF twins — in particular the
+  // \r must never stick to a location substring, or the entry silently stops
+  // matching anything.
+  const Case cases[] = {
+      {"rlft-cbb\r\n", 1, "rlft-cbb", ""},
+      {"rlft-cbb\r\norder-mismatch\r\n", 2, "rlft-cbb", ""},
+      {"order-mismatch:rank 3\r\n", 1, "order-mismatch", "rank 3"},
+      {"order-mismatch:rank 3 \r\n", 1, "order-mismatch", "rank 3"},
+      {"rlft-cbb # comment\r\n", 1, "rlft-cbb", ""},
+      {"\r\n\r\nrlft-cbb\r\n\r\n", 1, "rlft-cbb", ""},
+      {"rlft-cbb\r", 1, "rlft-cbb", ""},  // lone CR on the final line
+  };
+  for (const Case& c : cases) {
+    const Suppressions sup = Suppressions::parse_string(c.text);
+    ASSERT_EQ(sup.size(), c.entries) << '"' << c.text << '"';
+    EXPECT_EQ(sup.rules().front(), c.rule) << '"' << c.text << '"';
+    Diagnostics diag;
+    diag.set_suppressions(sup);
+    diag.warning(c.rule, c.location, "must be suppressed");
+    EXPECT_EQ(diag.suppressed(), 1u)
+        << '"' << c.text << "\" failed to match location '" << c.location
+        << "'";
+  }
+}
+
+TEST(Diagnostics, BaselineDeduplicatesAndSurvivesHostileLocations) {
+  struct Case {
+    const char* name;
+    const char* rule;
+    const char* location;
+    const char* expect_line;  // what write_baseline must emit for it
+  };
+  // Locations the parser could never reproduce — comment markers, CR/LF,
+  // padding the trimmer would eat — must degrade to suppressing the bare
+  // rule instead of writing a line that silently matches nothing.
+  const Case cases[] = {
+      {"plain", "rlft-cbb", "level 1", "rlft-cbb:level 1"},
+      {"empty location", "order-mismatch", "", "order-mismatch"},
+      {"hash inside", "order-mismatch", "rank #3", "order-mismatch"},
+      {"leading space", "order-partial", " rank 3", "order-partial"},
+      {"trailing tab", "updown-turn", "S1_0\t", "updown-turn"},
+      {"embedded newline", "route-problem", "a\nb", "route-problem"},
+      {"embedded cr", "route-unreachable", "a\rb", "route-unreachable"},
+      {"inner spaces ok", "cps-displacement", "stage 2 of 4",
+       "cps-displacement:stage 2 of 4"},
+  };
+  for (const Case& c : cases) {
+    Diagnostics diag;
+    diag.warning(c.rule, c.location, "m");
+    std::ostringstream oss;
+    write_baseline(diag, oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find(std::string(c.expect_line) + "\n"), std::string::npos)
+        << c.name << " wrote:\n"
+        << text;
+
+    // Whatever was written must parse back and suppress the same finding.
+    Diagnostics again;
+    again.set_suppressions(Suppressions::parse_string(text));
+    again.warning(c.rule, c.location, "m");
+    EXPECT_EQ(again.suppressed(), 1u) << c.name;
+    EXPECT_TRUE(again.findings().empty()) << c.name;
+  }
+
+  // Duplicate findings — same rule, same location — must write one line,
+  // and distinct locations of one rule must keep their own lines.
+  Diagnostics diag;
+  diag.warning("rlft-cbb", "level 1", "first");
+  diag.warning("rlft-cbb", "level 1", "second (same entry)");
+  diag.warning("rlft-cbb", "level 2", "third (new location)");
+  diag.error("cdg-cycle", "", "e1");
+  diag.error("cdg-cycle", "", "e2 (same entry)");
+  std::ostringstream oss;
+  write_baseline(diag, oss);
+  const std::string text = oss.str();
+  const auto count = [&](const std::string& line) {
+    std::size_t n = 0;
+    for (std::size_t pos = text.find(line); pos != std::string::npos;
+         pos = text.find(line, pos + 1))
+      ++n;
+    return n;
+  };
+  EXPECT_EQ(count("rlft-cbb:level 1\n"), 1u) << text;
+  EXPECT_EQ(count("rlft-cbb:level 2\n"), 1u) << text;
+  EXPECT_EQ(count("cdg-cycle\n"), 1u) << text;
+
+  Diagnostics again;
+  again.set_suppressions(Suppressions::parse_string(text));
+  again.warning("rlft-cbb", "level 1", "m");
+  again.warning("rlft-cbb", "level 2", "m");
+  again.error("cdg-cycle", "", "m");
+  EXPECT_EQ(again.suppressed(), 3u);
+}
+
 TEST(Diagnostics, SuppressedFindingsLeaveJsonSummaryHonest) {
   Diagnostics diag;
   diag.set_suppressions(Suppressions::parse_string("rlft-cbb\n"));

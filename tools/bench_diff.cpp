@@ -4,14 +4,25 @@
 //   bench_diff --baseline BENCH_micro_perf.json --current build/bench.json
 //              [--threshold 0.15]
 //
+// Absolute floors gate gauges that must never sink below a contract value
+// regardless of what the baseline drifted to (e.g. the incremental-repair
+// speedup the churn engine promises):
+//
+//   bench_diff ... --min-gauge speedup.recertify_incremental_vs_full:4
+//
 // Exit codes: 0 no regression beyond the threshold, 1 at least one case
-// regressed, 2 usage error / malformed input. Benchmarks present in only
+// regressed or a --min-gauge floor was violated (or the gauge is missing),
+// 2 usage error / malformed input. Benchmarks present in only
 // one side are skipped with a warning on stderr — a renamed or newly-added
 // bench must not break CI for unrelated changes — unless --strict-missing
 // makes disappeared baseline cases fail. The text diff on stdout is
 // deterministic (name-sorted).
+#include <cmath>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/bench_compare.hpp"
 #include "util/cli.hpp"
@@ -25,6 +36,55 @@ ftcf::obs::BenchSample load_sample(const std::string& path) {
   if (!is)
     throw ftcf::util::Error("cannot open bench json '" + path + "'");
   return ftcf::obs::parse_bench_json(is);
+}
+
+/// Parse "key:value[,key:value...]" into (gauge name, floor) pairs. The
+/// gauge name may itself contain dots, so only the last ':' splits.
+std::vector<std::pair<std::string, double>> parse_floors(
+    const std::string& spec) {
+  std::vector<std::pair<std::string, double>> floors;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0)
+      throw ftcf::util::Error("--min-gauge entry '" + entry +
+                              "' is not KEY:VALUE");
+    const auto value = ftcf::util::parse_f64(entry.substr(colon + 1));
+    if (!value || !std::isfinite(*value))
+      throw ftcf::util::Error("--min-gauge entry '" + entry +
+                              "' has a non-numeric floor");
+    floors.emplace_back(entry.substr(0, colon), *value);
+  }
+  return floors;
+}
+
+/// Check every floor against the current sample's gauges; a missing gauge
+/// fails the gate just like a violated floor (a silently renamed gauge
+/// must not green-light CI).
+bool check_floors(const ftcf::obs::BenchSample& current,
+                  const std::vector<std::pair<std::string, double>>& floors) {
+  bool ok = true;
+  for (const auto& [name, floor] : floors) {
+    const auto it = current.gauges.find(name);
+    if (it == current.gauges.end() || !std::isfinite(it->second)) {
+      std::cout << "min-gauge " << name << ": MISSING (floor " << floor
+                << ")\n";
+      ok = false;
+    } else if (it->second < floor) {
+      std::cout << "min-gauge " << name << ": " << it->second << " < floor "
+                << floor << " VIOLATION\n";
+      ok = false;
+    } else {
+      std::cout << "min-gauge " << name << ": " << it->second << " >= floor "
+                << floor << " ok\n";
+    }
+  }
+  return ok;
 }
 
 }  // namespace
@@ -41,12 +101,17 @@ int main(int argc, char** argv) {
     cli.add_flag("strict-missing",
                  "fail when a baseline case is absent from current "
                  "(default: warn and skip)");
+    cli.add_option("min-gauge",
+                   "absolute gauge floors as KEY:VALUE[,KEY:VALUE...]; a "
+                   "current gauge below its floor (or missing) fails",
+                   "");
     if (!cli.parse(argc, argv)) return 0;
     if (cli.str("baseline").empty() || cli.str("current").empty())
       throw util::Error("need --baseline and --current");
     const auto threshold = util::parse_f64(cli.str("threshold"));
     if (!threshold || !(*threshold >= 0))
       throw util::Error("--threshold must be a non-negative number");
+    const auto floors = parse_floors(cli.str("min-gauge"));
 
     const obs::BenchSample baseline = load_sample(cli.str("baseline"));
     const obs::BenchSample current = load_sample(cli.str("current"));
@@ -60,9 +125,10 @@ int main(int argc, char** argv) {
     for (const std::string& name : cmp.added)
       std::cerr << "warning: current case '" << name
                 << "' absent from baseline (skipped)\n";
+    const bool floors_ok = check_floors(current, floors);
     const bool missing_fails =
         !cmp.missing.empty() && cli.flag("strict-missing");
-    return cmp.regressed() || missing_fails ? 1 : 0;
+    return cmp.regressed() || missing_fails || !floors_ok ? 1 : 0;
   } catch (const util::Error& ex) {
     std::cerr << "error: " << ex.what() << '\n';
     return 2;

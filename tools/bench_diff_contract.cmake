@@ -1,7 +1,8 @@
 # Exit-code contract of tools/bench_diff on synthetic BENCH_*.json inputs:
 #   0 - all cases within the threshold (one-sided cases warn and skip),
-#   1 - a regression beyond the threshold, or a baseline case disappeared
-#       under --strict-missing,
+#   1 - a regression beyond the threshold, a baseline case disappeared
+#       under --strict-missing, or a --min-gauge floor was violated (a
+#       missing floor gauge fails too),
 #   2 - usage error / malformed JSON.
 if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR)
   message(FATAL_ERROR "bench_diff_contract.cmake needs -DTOOL= and -DOUT_DIR=")
@@ -12,7 +13,7 @@ set(slow "${OUT_DIR}/bench_slow.json")
 set(gone "${OUT_DIR}/bench_gone.json")
 set(bad "${OUT_DIR}/bench_bad.json")
 file(WRITE ${base} "{\"meta\":{\"bench\":\"synthetic\"},\"counters\":{\"iterations.BM_A\":10},\"gauges\":{\"ns_per_op.BM_A\":100.0,\"items_per_second.BM_B\":1000.0}}")
-file(WRITE ${ok} "{\"meta\":{},\"counters\":{},\"gauges\":{\"ns_per_op.BM_A\":108.0,\"items_per_second.BM_B\":950.0}}")
+file(WRITE ${ok} "{\"meta\":{},\"counters\":{},\"gauges\":{\"ns_per_op.BM_A\":108.0,\"items_per_second.BM_B\":950.0,\"speedup.x_vs_y\":5.5}}")
 file(WRITE ${slow} "{\"meta\":{},\"counters\":{},\"gauges\":{\"ns_per_op.BM_A\":200.0,\"items_per_second.BM_B\":1000.0}}")
 file(WRITE ${gone} "{\"meta\":{},\"counters\":{},\"gauges\":{\"ns_per_op.BM_A\":100.0}}")
 file(WRITE ${bad} "this is not json")
@@ -33,6 +34,13 @@ expect_exit(1 --baseline ${base} --current ${slow})
 expect_exit(0 --baseline ${base} --current ${slow} --threshold 2.0)
 expect_exit(0 --baseline ${base} --current ${gone})
 expect_exit(1 --baseline ${base} --current ${gone} --strict-missing)
+expect_exit(0 --baseline ${base} --current ${ok} --min-gauge speedup.x_vs_y:4)
+expect_exit(0 --baseline ${base} --current ${ok}
+            --min-gauge "speedup.x_vs_y:4,ns_per_op.BM_A:100")
+expect_exit(1 --baseline ${base} --current ${ok} --min-gauge speedup.x_vs_y:6)
+expect_exit(1 --baseline ${base} --current ${ok} --min-gauge no.such.gauge:1)
+expect_exit(2 --baseline ${base} --current ${ok} --min-gauge speedup.x_vs_y)
+expect_exit(2 --baseline ${base} --current ${ok} --min-gauge :4)
 expect_exit(2 --baseline ${base} --current ${bad})
 expect_exit(2 --baseline ${OUT_DIR}/does_not_exist.json --current ${ok})
 expect_exit(2 --baseline ${base})

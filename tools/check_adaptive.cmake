@@ -1,0 +1,50 @@
+# Adaptive-closure deadlock prover acceptance:
+#   * on the 3-level 648-node RLFT the adaptive union CDG is acyclic —
+#     `check --adaptive` exits 0 with cdg-adaptive-ok;
+#   * the committed counterexample tables (one corrupted descent entry at a
+#     spine the deterministic routes never enter) pass the deterministic
+#     check (exit 0) yet `--adaptive` rejects them (exit 1) with a
+#     cdg-adaptive-cycle naming a concrete cycle through the corrupt spine.
+if(NOT DEFINED TOOL OR NOT DEFINED LFT)
+  message(FATAL_ERROR "check_adaptive.cmake needs -DTOOL= and -DLFT=")
+endif()
+set(spec "PGFT(3\; 6,6,18\; 1,6,6\; 1,1,1)")
+execute_process(
+  COMMAND ${TOOL} check --spec ${spec} --adaptive
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "648-node --adaptive exited ${rc}:\n${stdout}")
+endif()
+if(NOT stdout MATCHES "cdg-adaptive-ok")
+  message(FATAL_ERROR "648-node run did not emit cdg-adaptive-ok:\n${stdout}")
+endif()
+
+# The deterministic analysis must find nothing fatal in the counterexample.
+execute_process(
+  COMMAND ${TOOL} check --nodes 16 --lft ${LFT}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "counterexample must pass the deterministic check, got ${rc}:\n${stdout}")
+endif()
+if(NOT stdout MATCHES "acyclic \\(deadlock-free\\)")
+  message(FATAL_ERROR
+          "deterministic CDG on the counterexample not acyclic:\n${stdout}")
+endif()
+
+execute_process(
+  COMMAND ${TOOL} check --nodes 16 --lft ${LFT} --adaptive
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+          "counterexample --adaptive expected exit 1, got ${rc}:\n${stdout}")
+endif()
+if(NOT stdout MATCHES "cdg-adaptive-cycle")
+  message(FATAL_ERROR "missing cdg-adaptive-cycle:\n${stdout}")
+endif()
+if(NOT stdout MATCHES "Cycle: S1_1\\[port 4\\] -> S2_0\\[port 1\\] -> S1_1\\[port 4\\]")
+  message(FATAL_ERROR "missing the concrete rendered cycle:\n${stdout}")
+endif()

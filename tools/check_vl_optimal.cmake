@@ -1,0 +1,56 @@
+# Lane-minimality prover acceptance on the 3-level 648-node RLFT
+# (PGFT(3; 6,6,18; 1,6,6; 1,1,1)):
+#   * `check --vls 2 --prove-optimal` certifies the greedy assignment as
+#     exactly minimal (vl-optimal, "PROVEN MINIMAL", exit 0);
+#   * the report JSON is byte-identical at --threads 1, 2 and 8;
+#   * --prove-optimal without --vls is a usage error (exit 2).
+if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "check_vl_optimal.cmake needs -DTOOL= and -DOUT_DIR=")
+endif()
+set(spec "PGFT(3\; 6,6,18\; 1,6,6\; 1,1,1)")
+set(outputs "")
+foreach(threads 1 2 8)
+  set(out "${OUT_DIR}/vl_optimal_t${threads}.json")
+  list(APPEND outputs ${out})
+  execute_process(
+    COMMAND ${TOOL} check --spec ${spec} --vls 2 --prove-optimal
+            --json ${out} --threads ${threads}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "prove-optimal --threads ${threads} exited ${rc}:\n${stdout}")
+  endif()
+  if(NOT stdout MATCHES "vl-optimal")
+    message(FATAL_ERROR "run did not emit vl-optimal:\n${stdout}")
+  endif()
+  if(NOT stdout MATCHES "PROVEN MINIMAL")
+    message(FATAL_ERROR "run did not print PROVEN MINIMAL:\n${stdout}")
+  endif()
+endforeach()
+list(GET outputs 0 first)
+foreach(out ${outputs})
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${first} ${out}
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+            "report JSON differs across --threads: ${first} vs ${out}")
+  endif()
+endforeach()
+file(READ ${first} report)
+if(NOT report MATCHES "\"rule\":\"vl-optimal\"")
+  message(FATAL_ERROR "JSON report missing the vl-optimal finding:\n${report}")
+endif()
+if(NOT report MATCHES "branch-and-bound lower bound 1 equals the assigned lane count")
+  message(FATAL_ERROR "JSON report missing the bound==lanes claim:\n${report}")
+endif()
+
+execute_process(
+  COMMAND ${TOOL} check --spec ${spec} --prove-optimal
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR
+          "--prove-optimal without --vls expected exit 2, got ${rc}")
+endif()

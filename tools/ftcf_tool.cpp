@@ -512,6 +512,17 @@ int cmd_check(int argc, const char* const* argv) {
                  "loaded stages)", "6");
   cli.add_option("vls", "propose a virtual-lane assignment of at most N "
                  "lanes whose per-lane CDGs are acyclic (0 = off)", "0");
+  cli.add_flag("prove-optimal", "with --vls: prove the lane count minimal by "
+               "exact branch-and-bound over the destination-conflict graph "
+               "(rules vl-optimal / vl-bound-gap); a smaller feasible "
+               "assignment replaces the greedy proposal");
+  cli.add_option("vl-node-budget", "branch-and-bound placement budget for "
+                 "--prove-optimal (exceeding it reports the proven bound "
+                 "gap)", "1000000");
+  cli.add_flag("adaptive", "prove Dally-Seitz deadlock freedom over the "
+               "adaptive routing relation — deterministic descents, any "
+               "minimal up-port ascent (rules cdg-adaptive-ok / "
+               "cdg-adaptive-cycle)");
   cli.add_flag("credit-loops", "prove the packet simulator's credit "
                "flow-control graph loop-free, cross-checked against the CDG");
   cli.add_option("write-baseline", "write a suppression baseline covering "
@@ -570,6 +581,13 @@ int cmd_check(int argc, const char* const* argv) {
     throw util::Error("--replay requires --certify");
   options.replay.max_stages = cli.uinteger("replay-stages");
   options.propose_vls = static_cast<std::uint32_t>(cli.uinteger("vls"));
+  options.prove_vl_optimal = cli.flag("prove-optimal");
+  if (options.prove_vl_optimal && options.propose_vls == 0)
+    throw util::Error("--prove-optimal requires --vls N");
+  if (options.prove_vl_optimal && options.propose_vls > 64)
+    throw util::Error("--prove-optimal supports at most 64 lanes");
+  options.vl_node_budget = cli.uinteger("vl-node-budget");
+  options.adaptive_closure = cli.flag("adaptive");
   options.credit_loops = cli.flag("credit-loops");
 
   const check::CheckReport report = check::run_check(fabric, tables, options);
@@ -597,6 +615,28 @@ int cmd_check(int argc, const char* const* argv) {
     std::cout << "VL: " << check::vl_assignment_to_string(report.vl->assignment)
               << (report.vl->analysis.all_acyclic() ? " [all lanes acyclic]"
                                                     : " [CYCLIC lane]")
+              << '\n';
+  if (report.vl && report.vl->optimality) {
+    const check::VlOptimality& opt = *report.vl->optimality;
+    std::cout << "VL optimality: bounds [" << opt.lower_bound << ", "
+              << (opt.upper_bound == 0 ? std::string("-")
+                                       : std::to_string(opt.upper_bound))
+              << "], " << opt.suspects << " suspect dest(s), "
+              << opt.conflict_edges << " conflict pair(s), "
+              << opt.nodes_explored << " search node(s)";
+    if (opt.optimal()) std::cout << " [PROVEN MINIMAL]";
+    else if (opt.budget_exhausted) std::cout << " [node budget exhausted]";
+    if (opt.improved) std::cout << " [greedy proposal replaced]";
+    std::cout << '\n';
+  }
+  if (report.adaptive)
+    std::cout << "adaptive CDG: " << report.adaptive->cdg.num_dependencies
+              << " union dependencies over "
+              << report.adaptive->cdg.num_channels << " channels, max fanout "
+              << report.adaptive->max_fanout << ", "
+              << (report.adaptive->cdg.acyclic
+                      ? "acyclic (deadlock-free for any up-port policy)"
+                      : "CYCLIC (adaptive deadlock hazard)")
               << '\n';
   if (report.credit)
     std::cout << "credit: " << report.credit->num_dependencies
