@@ -321,9 +321,55 @@ CheckReport run_check(const topo::Fabric& fabric,
   if (options.certify) {
     util::expects(options.ordering != nullptr && options.sequence != nullptr,
                   "certification needs a node ordering and a CPS");
-    report.certificate = certify_contention_freedom(
-        fabric, tables, *options.ordering, *options.sequence);
-    report_certificate(*report.certificate, report.diagnostics);
+    bool need_enumerative = true;
+    if (options.symbolic) {
+      report.symbolic =
+          symbolic_certify(fabric, *options.ordering, *options.sequence,
+                           options.tables_canonical_dmodk);
+      if (report.symbolic->applicable) {
+        if (options.symbolic_cross_check) {
+          // Differential mode: run the enumerative walk anyway and demand
+          // byte-identical certificates through the shared JSON writer.
+          const Certificate enumerative = certify_contention_freedom(
+              fabric, tables, *options.ordering, *options.sequence);
+          std::ostringstream sym_doc;
+          std::ostringstream enum_doc;
+          write_certificate_json(sym_doc, report.symbolic->certificate);
+          write_certificate_json(enum_doc, enumerative);
+          if (sym_doc.str() != enum_doc.str()) {
+            report.diagnostics.error(
+                "cert-symbolic-mismatch", "",
+                "symbolic and enumerative certificates diverge for '" +
+                    report.symbolic->certificate.sequence_name +
+                    "' — the algebraic proof is unsound for this input; "
+                    "the enumerative certificate wins");
+            report.certificate = enumerative;
+            report_certificate(*report.certificate, report.diagnostics);
+            need_enumerative = false;
+          }
+        }
+        if (need_enumerative) {  // no cross-check, or cross-check agreed
+          report.certificate = report.symbolic->certificate;
+          report_certificate(*report.certificate, report.diagnostics);
+          report_symbolic_proof(*report.symbolic, report.diagnostics);
+          need_enumerative = false;
+        }
+      } else {
+        report.diagnostics.note(
+            "symbolic-inapplicable",
+            report.symbolic->inapplicable_stage
+                ? "stage " + std::to_string(*report.symbolic->inapplicable_stage)
+                : "",
+            "symbolic prover declined (" +
+                report.symbolic->inapplicable_reason +
+                "); falling back to the enumerative certifier");
+      }
+    }
+    if (need_enumerative) {
+      report.certificate = certify_contention_freedom(
+          fabric, tables, *options.ordering, *options.sequence);
+      report_certificate(*report.certificate, report.diagnostics);
+    }
   }
 
   if (options.replay_telemetry) {

@@ -28,6 +28,7 @@
 #include "check/diagnostics.hpp"
 #include "check/lint.hpp"
 #include "check/replay.hpp"
+#include "check/symbolic.hpp"
 #include "check/vl.hpp"
 #include "check/vl_optimal.hpp"
 #include "fault/degraded.hpp"
@@ -53,6 +54,23 @@ struct CheckOptions {
   /// Run the contention-freedom certifier (requires `ordering` and
   /// `sequence`; rules cert-ok / hsd-violation / blame-<rule>).
   bool certify = false;
+  /// With `certify`: try the symbolic prover (check/symbolic.hpp) first.
+  /// When it applies, the certificate is derived algebraically (rule
+  /// cert-symbolic-ok names the per-level digit permutations); when it
+  /// declines, rule symbolic-inapplicable records the pinpointed reason and
+  /// the enumerative certifier runs as before. Requires
+  /// `tables_canonical_dmodk` for the proof to apply.
+  bool symbolic = false;
+  /// With `symbolic`: additionally run the enumerative certifier and
+  /// byte-compare the two certificates (differential cross-check). Any
+  /// divergence raises cert-symbolic-mismatch (an error) and the enumerative
+  /// certificate wins.
+  bool symbolic_cross_check = false;
+  /// Caller's provenance statement: the tables are exactly
+  /// route::DModKRouter::compute on the pristine fabric (no --lft load, no
+  /// degraded reroute, no other router). The symbolic prover declines
+  /// without it — a wrong proof must be impossible.
+  bool tables_canonical_dmodk = false;
   /// Re-simulate a deterministic sample of the certified stages through
   /// sim::PacketSim and compare the per-link telemetry against the static
   /// witnesses (requires `certify`; rules cert-telemetry-ok /
@@ -100,6 +118,9 @@ struct CheckReport {
   route::LftAudit walk;
   /// Present when CheckOptions::certify was set (with ordering + sequence).
   std::optional<Certificate> certificate;
+  /// Present when CheckOptions::symbolic was set: the symbolic prover's
+  /// outcome (applicable proof, or the pinpointed decline reason).
+  std::optional<SymbolicProof> symbolic;
   /// Present when CheckOptions::replay_telemetry was set (with certify).
   std::optional<TelemetryReplay> telemetry;
   /// Present when CheckOptions::propose_vls > 0.

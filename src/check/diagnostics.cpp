@@ -195,6 +195,8 @@ std::span<const std::string_view> known_rule_ids() noexcept {
       "cdg-cycle",
       "cdg-walk-mismatch",
       "cert-ok",
+      "cert-symbolic-mismatch",
+      "cert-symbolic-ok",
       "cert-telemetry-mismatch",
       "cert-telemetry-ok",
       "cps-displacement",
@@ -212,6 +214,7 @@ std::span<const std::string_view> known_rule_ids() noexcept {
       "route-problem",
       "route-unreachable",
       "suppress-unknown-rule",
+      "symbolic-inapplicable",
       "updown-turn",
       "vl-assignment",
       "vl-bound-gap",

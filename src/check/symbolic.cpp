@@ -1,0 +1,488 @@
+#include "check/symbolic.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+#include <sstream>
+
+#include "check/diagnostics.hpp"
+#include "obs/profile.hpp"
+#include "util/expects.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ftcf::check {
+
+namespace detail {
+
+std::uint64_t floor_sum(std::uint64_t n, std::uint64_t m, std::uint64_t a,
+                        std::uint64_t b) {
+  util::expects(m > 0, "floor_sum needs a positive modulus");
+  // Euclidean lattice-point count (the AtCoder floor_sum): each iteration
+  // swaps the roles of slope and modulus, so the loop terminates like gcd.
+  std::uint64_t ans = 0;
+  while (n > 0) {
+    if (a >= m) {
+      ans += n * (n - 1) / 2 * (a / m);
+      a %= m;
+    }
+    if (b >= m) {
+      ans += n * (b / m);
+      b %= m;
+    }
+    const std::uint64_t y_max = a * n + b;
+    if (y_max < m) break;
+    n = y_max / m;
+    b = y_max % m;
+    std::swap(m, a);
+  }
+  return ans;
+}
+
+namespace {
+
+/// #{x < hi : x mod m < w} — the O(1) prefix form for unit strides.
+std::uint64_t prefix_mod_lt(std::uint64_t hi, std::uint64_t m,
+                            std::uint64_t w) {
+  return (hi / m) * w + std::min(hi % m, w);
+}
+
+}  // namespace
+
+std::uint64_t count_strided_mod_lt(std::uint64_t n, std::uint64_t base,
+                                   std::uint64_t stride, std::uint64_t m,
+                                   std::uint64_t w) {
+  util::expects(w <= m, "residue window exceeds the modulus");
+  if (n == 0 || w == 0) return 0;
+  if (w == m) return n;
+  if (stride == 1)
+    return prefix_mod_lt(base + n, m, w) - prefix_mod_lt(base, m, w);
+  // [x mod m < w] == floor(x/m) - floor((x + m - w)/m) + 1, summed over the
+  // progression x = base + stride*k via two Euclidean floor-sums.
+  return n + floor_sum(n, m, stride, base) -
+         floor_sum(n, m, stride, base + m - w);
+}
+
+}  // namespace detail
+
+namespace {
+
+using cps::AlgebraKind;
+using cps::SourceSet;
+using cps::StageAlgebra;
+using detail::count_strided_mod_lt;
+
+/// Number of sources s in S with s < threshold (S sorted / ascending).
+std::uint64_t count_below(const SourceSet& s, std::uint64_t threshold) {
+  if (!s.strided) {
+    return static_cast<std::uint64_t>(
+        std::lower_bound(s.values.begin(), s.values.end(), threshold) -
+        s.values.begin());
+  }
+  if (s.base >= threshold) return 0;
+  const std::uint64_t k = (threshold - s.base + s.stride - 1) / s.stride;
+  return std::min(s.count, k);
+}
+
+/// Flows of a shift stage staying inside their size-m block:
+///   no-wrap sources (s < N - d): same block iff d < m and s mod m < m - d;
+///   wrapping sources (s >= N - d): same block iff N - d < m and
+///   s mod m >= N - d.
+std::uint64_t shift_same_block(const SourceSet& sources, std::uint64_t d,
+                               std::uint64_t m, std::uint64_t n) {
+  const std::uint64_t wrap_gap = n - d;  // d in [1, n)
+  if (!sources.strided) {
+    std::uint64_t same = 0;
+    for (const std::uint64_t s : sources.values) {
+      if (s < wrap_gap) {
+        same += (d < m && s % m < m - d) ? 1 : 0;
+      } else {
+        same += (wrap_gap < m && s % m >= wrap_gap) ? 1 : 0;
+      }
+    }
+    return same;
+  }
+  const std::uint64_t cut = count_below(sources, wrap_gap);
+  std::uint64_t same = 0;
+  if (d < m) {
+    same += count_strided_mod_lt(cut, sources.base, sources.stride, m, m - d);
+  }
+  if (wrap_gap < m) {
+    const std::uint64_t tail = sources.count - cut;
+    const std::uint64_t tail_base = sources.base + sources.stride * cut;
+    same += tail - count_strided_mod_lt(tail, tail_base, sources.stride, m,
+                                        wrap_gap);
+  }
+  return same;
+}
+
+/// Smallest power of two strictly containing every bit of mask (mask != 0).
+std::uint64_t xor_span(std::uint64_t mask) { return std::bit_floor(mask) << 1; }
+
+/// Max source value, for range validation.
+std::uint64_t max_source(const SourceSet& s) {
+  if (!s.strided) return s.values.empty() ? 0 : s.values.back();
+  return s.count == 0 ? 0 : s.base + s.stride * (s.count - 1);
+}
+
+/// The stage shape classify_stage_shape would recover from materialized
+/// pairs, derived analytically for the pure-tuple path. Exact for every
+/// generator algebra (symbolic_sequence normalizes the one degenerate
+/// XOR-equals-shift stage); conservative (kIrregular) beyond it.
+StageShape shape_of_algebra(const StageAlgebra& a) {
+  switch (a.kind) {
+    case AlgebraKind::kEmpty: return StageShape::kEmpty;
+    case AlgebraKind::kShift: return StageShape::kConstantShift;
+    case AlgebraKind::kXor: {
+      // Symmetric exchange needs a constant |dst - src| (single-bit mask)
+      // and an involution (sources closed under the mask).
+      const bool single_bit = std::has_single_bit(a.xor_mask);
+      const std::uint64_t span = single_bit ? a.xor_mask * 2 : 0;
+      const bool closed = single_bit && a.sources.strided &&
+                          a.sources.stride == 1 &&
+                          a.sources.base % span == 0 &&
+                          a.sources.count % span == 0;
+      return closed ? StageShape::kSymmetricExchange : StageShape::kIrregular;
+    }
+    case AlgebraKind::kOpaque: return StageShape::kIrregular;
+  }
+  return StageShape::kIrregular;
+}
+
+struct Declined {
+  std::string reason;
+  std::optional<std::size_t> stage;
+  std::optional<std::uint32_t> level;
+};
+
+SymbolicProof declined(Declined d) {
+  SymbolicProof proof;
+  proof.applicable = false;
+  proof.inapplicable_reason = std::move(d.reason);
+  proof.inapplicable_stage = d.stage;
+  proof.inapplicable_level = d.level;
+  return proof;
+}
+
+/// Validate one stage's algebra against the level blocks and produce its
+/// proof record (flows + boundary-crossing counts). Returns a reason when
+/// the stage has no digit-permutation argument.
+std::optional<Declined> prove_stage(
+    std::size_t index, const StageAlgebra& a, std::uint64_t n,
+    const std::vector<route::DmodkLevelDigits>& levels,
+    SymbolicStageProof& out) {
+  out.kind = a.kind;
+  out.ascents.assign(levels.empty() ? 0 : levels.size() - 1, 0);
+  const auto stage_loc = [index] { return "stage " + std::to_string(index); };
+  if (a.kind == AlgebraKind::kOpaque) {
+    return Declined{stage_loc() +
+                        " has no closed-form displacement algebra (not a "
+                        "constant shift or constant XOR over distinct "
+                        "in-range sources)",
+                    index, std::nullopt};
+  }
+  if (a.kind == AlgebraKind::kEmpty) return std::nullopt;
+  if (!a.sources.strided &&
+      !std::is_sorted(a.sources.values.begin(), a.sources.values.end()))
+    return Declined{stage_loc() + " has an unsorted explicit source set",
+                    index, std::nullopt};
+  if (a.sources.size() == 0) return std::nullopt;
+  if (max_source(a.sources) >= n)
+    return Declined{stage_loc() + " has source ranks beyond the fabric",
+                    index, std::nullopt};
+
+  if (a.kind == AlgebraKind::kShift) {
+    const std::uint64_t d = a.displacement % n;
+    out.parameter = d;
+    if (d == 0) return std::nullopt;  // all self-pairs: nothing routed
+    out.flows = a.sources.size();
+    for (std::uint32_t l = 1; l + 1 <= levels.size(); ++l) {
+      const std::uint64_t m = levels[l - 1].block;
+      out.ascents[l - 1] =
+          out.flows - shift_same_block(a.sources, d, m, n);
+    }
+    return std::nullopt;
+  }
+
+  // XOR: dst = src ^ mask. The map must stay inside [0, n) — guaranteed
+  // when the source range is closed under the mask's bit span.
+  const std::uint64_t mask = a.xor_mask;
+  out.parameter = mask;
+  const std::uint64_t span = xor_span(mask);
+  const bool closed_range = a.sources.strided && a.sources.stride == 1 &&
+                            a.sources.base % span == 0 &&
+                            a.sources.count % span == 0;
+  if (!closed_range)
+    return Declined{stage_loc() +
+                        ": XOR stage sources are not closed under the mask's "
+                        "bit span, so the destination range is unproven",
+                    index, std::nullopt};
+  out.flows = a.sources.size();
+  for (std::uint32_t l = 1; l + 1 <= levels.size(); ++l) {
+    const std::uint64_t m = levels[l - 1].block;
+    if (std::has_single_bit(m)) {
+      // Low digit permutation x -> x ^ (mask mod m); the boundary is
+      // crossed by every source or none, depending on the high bits.
+      out.ascents[l - 1] = mask >= m ? out.flows : 0;
+    } else if (m % span == 0) {
+      out.ascents[l - 1] = 0;  // the mask's bits never leave a block
+    } else {
+      std::ostringstream oss;
+      oss << stage_loc() << ": XOR mask " << mask
+          << " crosses level-" << l << " blocks of size " << m
+          << " (neither a power of two nor a multiple of " << span
+          << "), so x -> x ^ d is not a digit permutation of Z_" << m;
+      return Declined{oss.str(), index, l};
+    }
+  }
+  return std::nullopt;
+}
+
+StageWitness witness_of(const SymbolicStageProof& proof, StageShape shape) {
+  StageWitness w;
+  w.shape = shape;
+  w.num_flows = proof.flows;
+  w.unroutable_flows = 0;
+  if (proof.flows == 0) return w;
+  // Every link loads at most one flow (the digit-injectivity argument), so
+  // links_loaded is exactly the total link uses: each flow with nca t uses
+  // 2t links, and sum over flows of nca equals A_0 + sum_l A_l.
+  std::uint64_t ascent_sum = 0;
+  for (const std::uint64_t a : proof.ascents) ascent_sum += a;
+  w.links_loaded = 2 * (proof.flows + ascent_sum);
+  w.max_hsd = 1;
+  w.max_down_hsd = 1;  // every delivered flow ends on a down link
+  w.max_up_hsd = (!proof.ascents.empty() && proof.ascents.front() > 0) ? 1 : 0;
+  return w;
+}
+
+SymbolicProof certify_algebra(const topo::PgftSpec& spec,
+                              const cps::SequenceAlgebra& algebra,
+                              const std::vector<StageShape>* shapes) {
+  const std::uint64_t n = spec.num_hosts();
+  if (algebra.num_ranks != n) {
+    std::ostringstream oss;
+    oss << "sequence is over " << algebra.num_ranks << " rank(s) but the "
+        << "fabric has " << n << " host(s)";
+    return declined({oss.str(), std::nullopt, std::nullopt});
+  }
+  SymbolicProof proof;
+  proof.levels = route::dmodk_level_digits(spec);
+  for (std::uint32_t l = 0; l < proof.levels.size(); ++l) {
+    if (proof.levels[l].closed_form) continue;
+    std::ostringstream oss;
+    oss << "the D-Mod-K closed form does not hold: W_l*p_l = "
+        << proof.levels[l].key_modulus << " != M_(l-1) = "
+        << spec.m_prefix_product(l) << " at level " << (l + 1)
+        << " (PGFT tuple outside the RLFT digit frontier)";
+    SymbolicProof out = declined({oss.str(), std::nullopt, l + 1});
+    out.levels = std::move(proof.levels);
+    return out;
+  }
+
+  proof.stages.resize(algebra.stages.size());
+  proof.certificate.num_ranks = algebra.num_ranks;
+  proof.certificate.sequence_name = algebra.name;
+  proof.certificate.contention_free = true;
+  proof.certificate.stages.reserve(algebra.stages.size());
+  for (std::size_t s = 0; s < algebra.stages.size(); ++s) {
+    if (auto bad = prove_stage(s, algebra.stages[s], n, proof.levels,
+                               proof.stages[s])) {
+      SymbolicProof out = declined(std::move(*bad));
+      out.levels = std::move(proof.levels);
+      return out;
+    }
+    const StageShape shape =
+        shapes != nullptr ? (*shapes)[s] : shape_of_algebra(algebra.stages[s]);
+    proof.certificate.stages.push_back(witness_of(proof.stages[s], shape));
+  }
+  proof.applicable = true;
+  return proof;
+}
+
+}  // namespace
+
+SymbolicProof symbolic_certify(const topo::PgftSpec& spec,
+                               const cps::SequenceAlgebra& algebra) {
+  FTCF_PROF_SCOPE("check.symbolic");
+  return certify_algebra(spec, algebra, nullptr);
+}
+
+SymbolicProof symbolic_certify(const topo::Fabric& fabric,
+                               const order::NodeOrdering& ordering,
+                               const cps::Sequence& sequence,
+                               bool tables_canonical_dmodk) {
+  FTCF_PROF_SCOPE("check.symbolic");
+  if (!tables_canonical_dmodk) {
+    return declined(
+        {"forwarding tables are not provenance-tracked as canonical D-Mod-K "
+         "on the pristine fabric (hand-loaded LFTs, degraded reroutes, and "
+         "non-dmodk routers have no closed-form digit decomposition)",
+         std::nullopt, std::nullopt});
+  }
+  const std::uint64_t n = fabric.num_hosts();
+  if (ordering.num_ranks() != n) {
+    std::ostringstream oss;
+    oss << "node ordering covers " << ordering.num_ranks() << " of " << n
+        << " host(s); the closed form needs the full identity order";
+    return declined({oss.str(), std::nullopt, std::nullopt});
+  }
+  for (std::uint64_t r = 0; r < n; ++r) {
+    if (ordering.host_of(r) == r) continue;
+    std::ostringstream oss;
+    oss << "node ordering is not the RLFT index order (rank " << r
+        << " runs on host " << ordering.host_of(r)
+        << "), so stage displacements in rank space say nothing about "
+        << "host-index digits";
+    return declined({oss.str(), std::nullopt, std::nullopt});
+  }
+
+  // Classify every stage's algebra and shape in parallel; both are pure
+  // per-stage functions, so the fold below is deterministic.
+  struct Classified {
+    StageAlgebra algebra;
+    StageShape shape = StageShape::kEmpty;
+  };
+  const std::vector<Classified> classified = par::parallel_map(
+      sequence.stages.size(),
+      [&](std::size_t s) {
+        const cps::Stage& stage = sequence.stages[s];
+        return Classified{cps::classify_stage_algebra(stage, n),
+                          classify_stage_shape(stage, n)};
+      },
+      par::ForOptions{.threads = 0, .grain = 1,
+                      .label = "check.symbolic.classify"});
+
+  cps::SequenceAlgebra algebra;
+  algebra.name = sequence.name;
+  algebra.num_ranks = sequence.num_ranks;
+  algebra.stages.reserve(classified.size());
+  std::vector<StageShape> shapes;
+  shapes.reserve(classified.size());
+  for (const Classified& c : classified) {
+    algebra.stages.push_back(c.algebra);
+    shapes.push_back(c.shape);
+  }
+  return certify_algebra(fabric.spec(), algebra, &shapes);
+}
+
+std::string symbolic_digit_map(const SymbolicStageProof& stage,
+                               std::uint64_t block) {
+  std::ostringstream oss;
+  switch (stage.kind) {
+    case AlgebraKind::kEmpty:
+      oss << "no flows";
+      break;
+    case AlgebraKind::kShift:
+      oss << "x -> (x + " << stage.parameter % block << ") mod " << block;
+      break;
+    case AlgebraKind::kXor:
+      if (std::has_single_bit(block)) {
+        oss << "x -> x ^ " << (stage.parameter & (block - 1));
+      } else {
+        oss << "boundary uncrossed (" << xor_span(stage.parameter)
+            << " divides " << block << ")";
+      }
+      break;
+    case AlgebraKind::kOpaque:
+      oss << "no digit map";
+      break;
+  }
+  return oss.str();
+}
+
+void report_symbolic_proof(const SymbolicProof& proof,
+                           Diagnostics& diagnostics) {
+  util::expects(proof.applicable,
+                "only an applicable proof can be reported as cert-symbolic-ok");
+  std::uint64_t shift_stages = 0;
+  std::uint64_t xor_stages = 0;
+  for (const SymbolicStageProof& s : proof.stages) {
+    if (s.flows == 0) continue;
+    if (s.kind == AlgebraKind::kShift) ++shift_stages;
+    if (s.kind == AlgebraKind::kXor) ++xor_stages;
+  }
+  std::ostringstream oss;
+  oss << "HSD = 1 proved algebraically for " << (shift_stages + xor_stages)
+      << " loaded stage(s) of '" << proof.certificate.sequence_name
+      << "' over " << proof.certificate.num_ranks
+      << " rank(s): up-link keys (floor(i/M_l), j mod M_l) with M = [";
+  for (std::size_t l = 0; l < proof.levels.size(); ++l)
+    oss << (l == 0 ? "" : ",") << proof.levels[l].block;
+  oss << "]";
+  if (shift_stages > 0)
+    oss << "; " << shift_stages
+        << " stage(s) act by the digit rotation x -> (x + d) mod M_l";
+  if (xor_stages > 0)
+    oss << "; " << xor_stages
+        << " stage(s) act by the digit involution x -> x ^ d";
+  oss << " — injective at every crossed boundary, no flow enumerated";
+  diagnostics.note("cert-symbolic-ok", "", oss.str());
+}
+
+void write_symbolic_proof_json(std::ostream& os, const SymbolicProof& proof,
+                               const std::map<std::string, std::string>& meta) {
+  os << "{\n \"meta\":{";
+  bool first = true;
+  for (const auto& [key, value] : meta) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, key);
+    os << ':';
+    write_json_string(os, value);
+  }
+  os << "},\n \"proof\":{\"applicable\":"
+     << (proof.applicable ? "true" : "false");
+  if (!proof.applicable) {
+    if (proof.inapplicable_level)
+      os << ",\"level\":" << *proof.inapplicable_level;
+    os << ",\"reason\":";
+    write_json_string(os, proof.inapplicable_reason);
+    if (proof.inapplicable_stage)
+      os << ",\"stage\":" << *proof.inapplicable_stage;
+    os << "},\n \"stages\":[]\n}\n";
+    return;
+  }
+  os << ",\"argument\":";
+  write_json_string(
+      os,
+      "up-link keys (floor(i/M_l), j mod M_l) are digit-injective at every "
+      "crossed boundary; down-links follow the Theorem-2 destination "
+      "bijection; per-stage sources and destinations are distinct");
+  os << ",\"levels\":[";
+  for (std::size_t l = 0; l < proof.levels.size(); ++l) {
+    if (l != 0) os << ',';
+    const route::DmodkLevelDigits& d = proof.levels[l];
+    os << "{\"block\":" << d.block << ",\"closed_form\":"
+       << (d.closed_form ? "true" : "false") << ",\"columns\":" << d.columns
+       << ",\"key_modulus\":" << d.key_modulus << ",\"level\":" << (l + 1)
+       << '}';
+  }
+  os << "],\"num_ranks\":" << proof.certificate.num_ranks
+     << ",\"num_stages\":" << proof.stages.size() << ",\"sequence\":";
+  write_json_string(os, proof.certificate.sequence_name);
+  os << "},\n \"stages\":[";
+  const std::size_t shown =
+      std::min(proof.stages.size(), kMaxProofStagesShown);
+  for (std::size_t s = 0; s < shown; ++s) {
+    os << (s == 0 ? "\n  " : ",\n  ");
+    const SymbolicStageProof& sp = proof.stages[s];
+    os << "{\"algebra\":\"" << cps::algebra_kind_name(sp.kind)
+       << "\",\"ascents\":[";
+    for (std::size_t l = 0; l < sp.ascents.size(); ++l)
+      os << (l == 0 ? "" : ",") << sp.ascents[l];
+    os << "],\"digit_maps\":[";
+    for (std::size_t l = 0; l < sp.ascents.size(); ++l) {
+      if (l != 0) os << ',';
+      write_json_string(os, sp.ascents[l] == 0
+                                ? "uncrossed"
+                                : symbolic_digit_map(
+                                      sp, proof.levels[l].block));
+    }
+    os << "],\"flows\":" << sp.flows << ",\"parameter\":" << sp.parameter
+       << ",\"stage\":" << s << '}';
+  }
+  os << (shown == 0 ? "]" : "\n ]") << ",\n \"elided_stages\":"
+     << proof.stages.size() - shown << "\n}\n";
+}
+
+}  // namespace ftcf::check

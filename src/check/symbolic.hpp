@@ -1,0 +1,139 @@
+// Symbolic contention certifier — the paper's Theorems 1-3 as closed-form
+// digit algebra instead of flow enumeration.
+//
+// The enumerative certifier (check/certify.hpp) walks every (src, dst)
+// flow of every stage: O(stages × flows × path length). This prover
+// derives the *same certificate* from three algebraic ingredients:
+//
+//   1. the PGFT tuple's digit decomposition (route::dmodk_level_digits):
+//      under the RLFT identity W_l p_l == M_{l-1}, the up-going link a
+//      flow (i -> j) takes at the level-l boundary is keyed by
+//      (floor(i / M_l), j mod M_l);
+//   2. the CPS displacement algebra (cps::StageAlgebra): every stage of
+//      the paper's eight sequences is a constant shift or constant XOR
+//      over an arithmetic progression of sources;
+//   3. composition: shift keys are the digit permutation
+//      x -> (x + d) mod M_l of Z_{M_l}, XOR keys the digit permutation
+//      x -> x ^ (d mod M_l) (when M_l is a power of two, or no flow
+//      crosses the boundary at all) — injective, so every up link carries
+//      at most one flow; down links are the Theorem-2 destination
+//      bijection, and destinations are distinct. HSD = 1, no enumeration.
+//
+// The per-stage witness counts (flows, links_loaded, up/down HSD flags)
+// reduce to counting boundary crossings A_l = #{flows with nca > l},
+// a residue-class count over an arithmetic progression solved in O(log)
+// per (stage, level) with a Euclidean floor-sum — certifying a
+// million-endpoint shift set (10^12 flows) in well under a second.
+//
+// Honesty contract: anything outside the closed form — non-canonical
+// tables, degraded fabrics, a non-identity node order, a stage with no
+// recognized algebra, an XOR mask misaligned with a non-power-of-two
+// level block — returns applicable == false with the violating
+// stage/level pinpointed, and the caller falls back to the enumerative
+// certifier. A wrong proof is never possible; at worst the prover
+// declines. When it applies, the produced Certificate is byte-identical
+// (through write_certificate_json) to the enumerative one — pinned on the
+// 648-node RLFT by tools/check_symbolic.cmake and cross-checked by
+// tests/check/symbolic_test.cpp across random PGFT tuples.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/certify.hpp"
+#include "cps/symbolic.hpp"
+#include "ordering/ordering.hpp"
+#include "routing/dmodk.hpp"
+
+namespace ftcf::check {
+
+/// Per-stage injectivity record: the algebra, the flow count, and the
+/// boundary-crossing counts A_l (l = 1..h-1) the witness row derives from.
+struct SymbolicStageProof {
+  cps::AlgebraKind kind = cps::AlgebraKind::kEmpty;
+  std::uint64_t parameter = 0;  ///< shift displacement or XOR mask
+  std::uint64_t flows = 0;
+  std::vector<std::uint64_t> ascents;  ///< A_l, flows with nca > l
+};
+
+/// Outcome of the symbolic prover: a full proof (applicable) or a
+/// pinpointed reason it declined (never a guess).
+struct SymbolicProof {
+  bool applicable = false;
+  std::string inapplicable_reason;             ///< "" when applicable
+  std::optional<std::size_t> inapplicable_stage;
+  std::optional<std::uint32_t> inapplicable_level;
+
+  std::vector<route::DmodkLevelDigits> levels;  ///< digit constants, 1..h
+  std::vector<SymbolicStageProof> stages;
+
+  /// Valid iff applicable: field-identical to what the enumerative
+  /// certifier produces for the same inputs (contention_free == true by
+  /// construction — the prover declines rather than proving a violation).
+  Certificate certificate;
+};
+
+/// Pure-tuple prover: certify symbolic_sequence-style algebra directly
+/// against the PGFT tuple, assuming the identity node order (rank r on
+/// host r). Never materializes a flow — this is the million-endpoint path.
+[[nodiscard]] SymbolicProof symbolic_certify(
+    const topo::PgftSpec& spec, const cps::SequenceAlgebra& algebra);
+
+/// Fabric-path prover: checks the full applicability frontier —
+/// `tables_canonical_dmodk` is the caller's provenance statement that the
+/// forwarding tables are exactly DModKRouter::compute on the pristine
+/// fabric (false for --lft dumps, degraded reroutes, or other routers),
+/// then identity order, then per-stage algebra recognition — and proves or
+/// declines. Stage classification fans out over ftcf::par; the result is
+/// byte-identical at any thread count.
+[[nodiscard]] SymbolicProof symbolic_certify(
+    const topo::Fabric& fabric, const order::NodeOrdering& ordering,
+    const cps::Sequence& sequence, bool tables_canonical_dmodk);
+
+/// Human-readable digit-permutation argument for one stage at one level,
+/// e.g. "x -> (x + 5) mod 36" or "level uncrossed (2^3 | 36)". Used by the
+/// proof document and the cert-symbolic-ok diagnostic.
+[[nodiscard]] std::string symbolic_digit_map(const SymbolicStageProof& stage,
+                                             std::uint64_t block);
+
+/// Map an *applicable* proof onto the diagnostics engine: one
+/// `cert-symbolic-ok` note naming the digit-permutation family per level
+/// ("HSD = 1 proved algebraically: ... — no flow enumerated").
+void report_symbolic_proof(const SymbolicProof& proof,
+                           Diagnostics& diagnostics);
+
+/// Deterministic proof document:
+/// {"meta":{...},"proof":{...},"stages":[...]}. Stage rows are capped at
+/// kMaxProofStagesShown (the certificate carries the full witness table;
+/// the proof rows exist to name the digit permutations), with an
+/// "elided_stages" count keeping the cap explicit.
+void write_symbolic_proof_json(
+    std::ostream& os, const SymbolicProof& proof,
+    const std::map<std::string, std::string>& meta = {});
+
+inline constexpr std::size_t kMaxProofStagesShown = 16;
+
+namespace detail {
+
+/// sum_{k=0}^{n-1} floor((a*k + b) / m) in O(log) Euclidean steps
+/// (values bounded by a*n + b, no overflow for fabric-sized inputs).
+/// Exposed for the unit tests pinning it against brute force.
+[[nodiscard]] std::uint64_t floor_sum(std::uint64_t n, std::uint64_t m,
+                                      std::uint64_t a, std::uint64_t b);
+
+/// #{k < n : (base + stride*k) mod m < w} for w <= m: the residue-class
+/// count behind every shift-stage crossing number. O(1) for stride 1,
+/// O(log) otherwise.
+[[nodiscard]] std::uint64_t count_strided_mod_lt(std::uint64_t n,
+                                                 std::uint64_t base,
+                                                 std::uint64_t stride,
+                                                 std::uint64_t m,
+                                                 std::uint64_t w);
+
+}  // namespace detail
+
+}  // namespace ftcf::check

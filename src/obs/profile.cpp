@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <array>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/mutex.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ftcf::obs {
@@ -24,8 +25,8 @@ struct Slot {
 
 // Keyed by name text (not pointer): the same scope name may appear at
 // several call sites and should aggregate into one row.
-std::mutex g_mutex;
-std::map<std::string, Slot>& slots() {
+util::Mutex g_mutex;
+std::map<std::string, Slot>& slots() FTCF_REQUIRES(g_mutex) {
   static std::map<std::string, Slot> s;
   return s;
 }
@@ -45,7 +46,7 @@ Profiler& Profiler::instance() {
 }
 
 void Profiler::add(const char* name, std::uint64_t ns) {
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const util::LockGuard lock(g_mutex);
   Slot& slot = slots()[name];
   ++slot.calls;
   slot.total_ns += ns;
@@ -55,7 +56,7 @@ void Profiler::add(const char* name, std::uint64_t ns) {
 std::vector<Profiler::Entry> Profiler::entries() const {
   std::vector<Entry> out;
   {
-    const std::lock_guard<std::mutex> lock(g_mutex);
+    const util::LockGuard lock(g_mutex);
     for (const auto& [name, slot] : slots())
       out.push_back(Entry{name, slot.calls, slot.total_ns, slot.max_ns});
   }
@@ -67,7 +68,7 @@ std::vector<Profiler::Entry> Profiler::entries() const {
 }
 
 void Profiler::reset() {
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const util::LockGuard lock(g_mutex);
   slots().clear();
 }
 

@@ -67,4 +67,18 @@ ForwardingTables DModKRouter::compute(const Fabric& fabric) const {
   return tables;
 }
 
+std::vector<DmodkLevelDigits> dmodk_level_digits(const topo::PgftSpec& spec) {
+  std::vector<DmodkLevelDigits> levels;
+  levels.reserve(spec.height());
+  for (std::uint32_t l = 1; l <= spec.height(); ++l) {
+    DmodkLevelDigits d;
+    d.block = spec.m_prefix_product(l);
+    d.columns = spec.w_prefix_product(l);
+    d.key_modulus = d.columns * spec.p(l);
+    d.closed_form = d.key_modulus == spec.m_prefix_product(l - 1);
+    levels.push_back(d);
+  }
+  return levels;
+}
+
 }  // namespace ftcf::route

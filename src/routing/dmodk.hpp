@@ -12,9 +12,36 @@
 // carry exactly one destination (Theorem 2).
 #pragma once
 
+#include <vector>
+
 #include "routing/router.hpp"
 
 namespace ftcf::route {
+
+/// Per-level constants of the Eq. (1) digit decomposition, specialized to
+/// the RLFT closed form the symbolic certifier (check/symbolic.hpp) builds
+/// on. At the level-l boundary the up-going link a flow (i -> j) takes is
+/// keyed by (floor(i / M_l), q_l(j) digits); when the identity
+/// W_l * p_l == M_{l-1} holds at every level, the (column, up-port) digits
+/// collapse to j mod M_l, so the key is exactly
+///
+///     (floor(i / M_l),  j mod M_l)
+///
+/// and per-stage link-injectivity becomes a statement about digit
+/// permutations of Z_{M_l} — no flow enumeration required.
+struct DmodkLevelDigits {
+  std::uint64_t block = 0;        ///< M_l = m_1 * ... * m_l
+  std::uint64_t columns = 0;      ///< W_l = w_1 * ... * w_l
+  std::uint64_t key_modulus = 0;  ///< W_l * p_l
+  bool closed_form = false;       ///< key_modulus == M_{l-1}
+};
+
+/// The digit constants for levels 1..h. The symbolic certifier requires
+/// closed_form at every level; anything else falls back to the enumerative
+/// walk (the closed form is exactly what makes "up-link key == j mod M_l"
+/// true, and a wrong proof must be impossible).
+[[nodiscard]] std::vector<DmodkLevelDigits> dmodk_level_digits(
+    const topo::PgftSpec& spec);
 
 class DModKRouter final : public Router {
  public:

@@ -1,0 +1,74 @@
+// Annotated synchronization primitives for the thread-safety analysis.
+//
+// std::mutex and std::lock_guard carry no capability attributes in
+// libstdc++/libc++, so clang's -Wthread-safety cannot reason about them.
+// These thin wrappers add the attributes (util/thread_annotations.hpp)
+// without changing behaviour:
+//
+//   * util::Mutex      — a std::mutex marked FTCF_CAPABILITY;
+//   * util::LockGuard  — a scoped lock marked FTCF_SCOPED_CAPABILITY;
+//   * util::CondVar    — a std::condition_variable_any waiting directly on
+//                        a Mutex (the _any variant is what makes annotated
+//                        waits possible; wait() REQUIRES the mutex).
+//
+// Waits are written as explicit `while (!predicate) cv.wait(mutex);` loops
+// rather than the predicate-lambda overload: lambdas are analyzed as
+// capability-free functions, so a predicate touching GUARDED_BY state
+// inside a lambda would defeat the analysis the wrappers exist to enable.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace ftcf::util {
+
+/// std::mutex with the clang capability attribute.
+class FTCF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FTCF_ACQUIRE() { m_.lock(); }
+  void unlock() FTCF_RELEASE() { m_.unlock(); }
+
+  /// The wrapped handle, for CondVar only (std::condition_variable_any
+  /// takes any BasicLockable; we hand it the annotated wrapper itself).
+  friend class CondVar;
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock on a util::Mutex, visible to the analysis as holding the
+/// capability from construction to destruction.
+class FTCF_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) FTCF_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() FTCF_RELEASE() { m_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Condition variable waiting directly on util::Mutex. wait() releases and
+/// reacquires the mutex, which the analysis models as REQUIRES(m).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& m) FTCF_REQUIRES(m) { cv_.wait(m); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace ftcf::util

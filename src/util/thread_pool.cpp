@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 #include "util/expects.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ftcf::par {
 
@@ -57,25 +57,34 @@ TimingSink timing_sink() noexcept {
 struct ThreadPool::Impl {
   std::vector<std::thread> workers;  ///< num_threads - 1 background threads
 
-  std::mutex run_mutex;  ///< serialises whole batches: one run() at a time
-  std::mutex mutex;
-  std::condition_variable work_cv;  ///< workers wait here for a batch
-  std::condition_variable done_cv;  ///< run() waits here for the drain
+  util::Mutex run_mutex;  ///< serialises whole batches: one run() at a time
+  util::Mutex mutex;
+  util::CondVar work_cv;  ///< workers wait here for a batch
+  util::CondVar done_cv;  ///< run() waits here for the drain
 
   // Current batch, published under `mutex` with a generation bump.
-  std::uint64_t generation = 0;
-  std::size_t num_tasks = 0;
-  std::uint32_t max_workers = 0;
-  const std::function<void(std::size_t, std::uint32_t)>* body = nullptr;
+  std::uint64_t generation FTCF_GUARDED_BY(mutex) = 0;
+  std::size_t num_tasks FTCF_GUARDED_BY(mutex) = 0;
+  std::uint32_t max_workers FTCF_GUARDED_BY(mutex) = 0;
+  const std::function<void(std::size_t, std::uint32_t)>* body
+      FTCF_GUARDED_BY(mutex) = nullptr;
 
   std::atomic<std::size_t> cursor{0};  ///< next unclaimed task
   std::atomic<bool> failed{false};
-  std::exception_ptr error;  ///< first task exception, under `mutex`
-  std::size_t workers_idle = 0;  ///< background workers done with current gen
-  bool stopping = false;
+  std::exception_ptr error FTCF_GUARDED_BY(mutex);  ///< first task exception
+  /// Background workers done with the current generation.
+  std::size_t workers_idle FTCF_GUARDED_BY(mutex) = 0;
+  bool stopping FTCF_GUARDED_BY(mutex) = false;
 
   /// Claim and execute tasks of the current batch as logical `worker`.
-  void drain(std::uint32_t worker) {
+  ///
+  /// Reads `num_tasks` and `body` without holding `mutex`: both are
+  /// published by run() under the lock *before* the generation bump that
+  /// releases workers (and before run() itself drains as worker 0), and
+  /// stay frozen until every participant reports idle — the generation
+  /// protocol is the happens-before edge, not the lock, so the analysis is
+  /// waived here (validated by the TSan CI job).
+  void drain(std::uint32_t worker) FTCF_NO_THREAD_SAFETY_ANALYSIS {
     RegionGuard in_region;
     const std::size_t n = num_tasks;
     for (;;) {
@@ -87,7 +96,7 @@ struct ThreadPool::Impl {
       } catch (...) {
         bool expected = false;
         if (failed.compare_exchange_strong(expected, true)) {
-          const std::lock_guard<std::mutex> lock(mutex);
+          const util::LockGuard lock(mutex);
           error = std::current_exception();
         }
       }
@@ -105,7 +114,7 @@ ThreadPool::ThreadPool(std::uint32_t threads) : impl_(std::make_unique<Impl>()) 
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    const util::LockGuard lock(impl_->mutex);
     impl_->stopping = true;
   }
   impl_->work_cv.notify_all();
@@ -122,10 +131,9 @@ void ThreadPool::worker_loop(std::uint32_t worker) {
   for (;;) {
     std::uint32_t max_workers;
     {
-      std::unique_lock<std::mutex> lock(impl.mutex);
-      impl.work_cv.wait(lock, [&] {
-        return impl.stopping || impl.generation != seen_generation;
-      });
+      const util::LockGuard lock(impl.mutex);
+      while (!impl.stopping && impl.generation == seen_generation)
+        impl.work_cv.wait(impl.mutex);
       if (impl.stopping) return;
       seen_generation = impl.generation;
       max_workers = impl.max_workers;
@@ -133,7 +141,7 @@ void ThreadPool::worker_loop(std::uint32_t worker) {
     // Workers beyond the batch's cap sit this generation out.
     if (worker < max_workers) impl.drain(worker);
     {
-      const std::lock_guard<std::mutex> lock(impl.mutex);
+      const util::LockGuard lock(impl.mutex);
       ++impl.workers_idle;
     }
     impl.done_cv.notify_one();
@@ -151,12 +159,12 @@ void ThreadPool::run(
   // Batches are exclusive: a run() issued while another batch is in flight
   // (from a different caller thread) waits its turn, so library entry
   // points that fan out internally stay safe to call from user threads.
-  const std::lock_guard<std::mutex> batch(impl.run_mutex);
+  const util::LockGuard batch(impl.run_mutex);
   if (max_workers == 0 || max_workers > num_threads()) {
     max_workers = num_threads();
   }
   {
-    const std::lock_guard<std::mutex> lock(impl.mutex);
+    const util::LockGuard lock(impl.mutex);
     impl.num_tasks = num_tasks;
     impl.max_workers = max_workers;
     impl.body = &task;
@@ -170,19 +178,18 @@ void ThreadPool::run(
 
   impl.drain(0);  // the caller is worker 0
 
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(impl.mutex);
-    impl.done_cv.wait(lock, [&] {
-      return impl.workers_idle == impl.workers.size();
-    });
+    const util::LockGuard lock(impl.mutex);
+    while (impl.workers_idle != impl.workers.size())
+      impl.done_cv.wait(impl.mutex);
     impl.body = nullptr;
-    if (impl.error != nullptr) {
-      std::exception_ptr error = impl.error;
-      impl.error = nullptr;
-      lock.unlock();
-      std::rethrow_exception(error);
-    }
+    error = impl.error;
+    impl.error = nullptr;
   }
+  // Rethrown outside the lock scope so a throwing destructor chain in the
+  // caller can issue new batches.
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 // ---------------------------------------------------------------------------
@@ -190,8 +197,8 @@ void ThreadPool::run(
 
 namespace {
 
-std::mutex g_pool_mutex;
-std::shared_ptr<ThreadPool> g_pool;
+util::Mutex g_pool_mutex;
+std::shared_ptr<ThreadPool> g_pool FTCF_GUARDED_BY(g_pool_mutex);
 
 /// Shared pool with at least `threads` lanes, grown (never shrunk) on
 /// demand. Callers hold the returned shared_ptr across their batch: when a
@@ -199,7 +206,7 @@ std::shared_ptr<ThreadPool> g_pool;
 /// flight, the old pool is destroyed (and its workers joined) only after
 /// that batch releases its reference.
 std::shared_ptr<ThreadPool> shared_pool(std::uint32_t threads) {
-  const std::lock_guard<std::mutex> lock(g_pool_mutex);
+  const util::LockGuard lock(g_pool_mutex);
   if (g_pool == nullptr || g_pool->num_threads() < threads) {
     g_pool = std::make_shared<ThreadPool>(threads);
   }

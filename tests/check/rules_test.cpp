@@ -38,6 +38,7 @@ using topo::NodeId;
 /// spec — topo files are cross-checked against that wiring on load).
 const std::set<std::string> kUnreachableByConstruction = {
     "cdg-walk-mismatch",
+    "cert-symbolic-mismatch",
     "cert-telemetry-mismatch",
     "credit-cdg-mismatch",
     "rlft-parallel-ports",
@@ -137,6 +138,9 @@ TEST(Rules, BatteryCoversTheWholeCatalog) {
     options.ordering = &ordering;
     options.sequence = &sequence;
     options.certify = true;
+    options.symbolic = true;
+    options.symbolic_cross_check = true;
+    options.tables_canonical_dmodk = true;
     options.replay_telemetry = true;
     options.propose_vls = 1;
     options.prove_vl_optimal = true;
@@ -152,6 +156,10 @@ TEST(Rules, BatteryCoversTheWholeCatalog) {
     options.ordering = &ordering;
     options.sequence = &sequence;
     options.certify = true;
+    // Symbolic on a non-identity order: declines (symbolic-inapplicable)
+    // and the enumerative certifier produces the blame as before.
+    options.symbolic = true;
+    options.tables_canonical_dmodk = true;
     collect(run_check(fig4b, tables, options), emitted);
   }
   {  // Shuffled partial ordering + irregular stage: ordering/CPS lints.

@@ -1,0 +1,99 @@
+# Acceptance pin for the symbolic contention certifier on the 3-level
+# 648-node RLFT (PGFT(3; 6,6,18; 1,6,6; 1,1,1)):
+#   * --symbolic --symbolic-check certifies (exit 0, cert-symbolic-ok, no
+#     cert-symbolic-mismatch) and the certificate JSON is byte-identical
+#     at --threads 1/2/8 AND byte-identical to the enumerative
+#     certificate (no --symbolic) — the differential contract;
+#   * the proof JSON is thread-count independent;
+#   * the adversarial order declines the proof (symbolic-inapplicable) and
+#     the enumerative fallback rejects it (exit 1, hsd-violation,
+#     blame-order-mismatch) exactly as without --symbolic;
+#   * grouped-rd has no closed-form algebra: symbolic-inapplicable, yet the
+#     enumerative fallback still certifies (exit 0, cert-ok).
+if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "check_symbolic.cmake needs -DTOOL= and -DOUT_DIR=")
+endif()
+set(spec "PGFT(3\; 6,6,18\; 1,6,6\; 1,1,1)")
+
+execute_process(
+  COMMAND ${TOOL} check --spec ${spec} --order topology --cps shift
+          --certify --cert-out ${OUT_DIR}/sym_cert_enum.json
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "enumerative certify exited ${rc}:\n${stdout}")
+endif()
+
+foreach(threads 1 2 8)
+  set(cert "${OUT_DIR}/sym_cert_t${threads}.json")
+  set(proof "${OUT_DIR}/sym_proof_t${threads}.json")
+  execute_process(
+    COMMAND ${TOOL} check --spec ${spec} --order topology --cps shift
+            --certify --symbolic --symbolic-check --cert-out ${cert}
+            --proof-out ${proof} --threads ${threads}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "symbolic --threads ${threads} exited ${rc}:\n${stdout}")
+  endif()
+  if(NOT stdout MATCHES "cert-symbolic-ok")
+    message(FATAL_ERROR "missing cert-symbolic-ok at ${threads}:\n${stdout}")
+  endif()
+  if(stdout MATCHES "cert-symbolic-mismatch")
+    message(FATAL_ERROR "differential cross-check failed:\n${stdout}")
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${OUT_DIR}/sym_cert_enum.json ${cert}
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "symbolic certificate (--threads ${threads}) is not "
+            "byte-identical to the enumerative certificate")
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${OUT_DIR}/sym_proof_t1.json ${proof}
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "proof JSON differs between --threads 1 and "
+            "--threads ${threads}")
+  endif()
+endforeach()
+file(READ ${OUT_DIR}/sym_proof_t1.json proof_doc)
+if(NOT proof_doc MATCHES "\"applicable\":true")
+  message(FATAL_ERROR "proof document not applicable:true:\n${proof_doc}")
+endif()
+if(NOT proof_doc MATCHES "digit")
+  message(FATAL_ERROR "proof document names no digit maps:\n${proof_doc}")
+endif()
+
+execute_process(
+  COMMAND ${TOOL} check --spec ${spec} --order adversarial --cps shift
+          --certify --symbolic
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "adversarial symbolic expected exit 1, got ${rc}")
+endif()
+if(NOT stdout MATCHES "symbolic-inapplicable")
+  message(FATAL_ERROR "adversarial run missing symbolic-inapplicable:\n${stdout}")
+endif()
+if(NOT stdout MATCHES "hsd-violation")
+  message(FATAL_ERROR "adversarial fallback missing hsd-violation:\n${stdout}")
+endif()
+if(NOT stdout MATCHES "blame-order-mismatch")
+  message(FATAL_ERROR "adversarial fallback missing blame:\n${stdout}")
+endif()
+
+execute_process(
+  COMMAND ${TOOL} check --spec ${spec} --order topology --cps grouped-rd
+          --certify --symbolic
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "grouped-rd fallback expected exit 0, got ${rc}:\n${stdout}")
+endif()
+if(NOT stdout MATCHES "symbolic-inapplicable")
+  message(FATAL_ERROR "grouped-rd missing symbolic-inapplicable:\n${stdout}")
+endif()
+if(NOT stdout MATCHES "cert-ok")
+  message(FATAL_ERROR "grouped-rd fallback missing cert-ok:\n${stdout}")
+endif()

@@ -505,6 +505,15 @@ int cmd_check(int argc, const char* const* argv) {
   cli.add_flag("certify", "emit a per-stage HSD=1 certificate or root-cause "
                "blame (requires --order and --cps)");
   cli.add_option("cert-out", "certificate JSON file ('-' = skip)", "-");
+  cli.add_flag("symbolic", "derive the certificate algebraically from the "
+               "PGFT digit decomposition when the closed form applies "
+               "(canonical dmodk tables, identity order, shift/XOR stages); "
+               "anything else falls back to the enumerative walk with a "
+               "symbolic-inapplicable note (requires --certify)");
+  cli.add_flag("symbolic-check", "with --symbolic: also run the enumerative "
+               "certifier and byte-compare the two certificates (rule "
+               "cert-symbolic-mismatch on divergence)");
+  cli.add_option("proof-out", "symbolic proof JSON file ('-' = skip)", "-");
   cli.add_flag("replay", "re-simulate a sample of the certified stages and "
                "cross-check per-link telemetry against the witnesses "
                "(requires --certify)");
@@ -576,6 +585,16 @@ int cmd_check(int argc, const char* const* argv) {
   options.certify = cli.flag("certify");
   if (options.certify && (!ordering || !sequence))
     throw util::Error("--certify requires --order and --cps");
+  options.symbolic = cli.flag("symbolic");
+  if (options.symbolic && !options.certify)
+    throw util::Error("--symbolic requires --certify");
+  options.symbolic_cross_check = cli.flag("symbolic-check");
+  if (options.symbolic_cross_check && !options.symbolic)
+    throw util::Error("--symbolic-check requires --symbolic");
+  // Provenance statement the symbolic prover's closed form hinges on: the
+  // tables are exactly DModKRouter::compute on the pristine fabric.
+  options.tables_canonical_dmodk =
+      cli.str("router") == "dmodk" && lft_file.empty() && fault_spec.empty();
   options.replay_telemetry = cli.flag("replay");
   if (options.replay_telemetry && !options.certify)
     throw util::Error("--replay requires --certify");
@@ -605,6 +624,15 @@ int cmd_check(int argc, const char* const* argv) {
               << (cert.contention_free ? "contention-free" : "VOID") << ", "
               << cert.stages.size() << " stage(s), " << cert.blames.size()
               << " violation(s)\n";
+  }
+  if (report.symbolic) {
+    if (report.symbolic->applicable)
+      std::cout << "symbolic proof: applicable, " << report.symbolic->stages.size()
+                << " stage(s) proved over " << report.symbolic->levels.size()
+                << " level(s)\n";
+    else
+      std::cout << "symbolic proof: inapplicable ("
+                << report.symbolic->inapplicable_reason << ")\n";
   }
   if (report.telemetry)
     std::cout << "telemetry replay: " << report.telemetry->stages.size()
@@ -658,6 +686,20 @@ int cmd_check(int argc, const char* const* argv) {
          {"order", cli.str("order")},
          {"cps", cli.str("cps")}});
     std::cout << "wrote " << cli.str("cert-out") << '\n';
+  }
+  if (report.symbolic && cli.str("proof-out") != "-") {
+    std::ofstream os(cli.str("proof-out"));
+    if (!os)
+      throw util::Error("cannot open proof file '" + cli.str("proof-out") +
+                        "'");
+    check::write_symbolic_proof_json(
+        os, *report.symbolic,
+        {{"tool", "ftcf_tool check"},
+         {"topology", fabric.spec().to_string()},
+         {"router", lft_file.empty() ? cli.str("router") : "lft:" + lft_file},
+         {"order", cli.str("order")},
+         {"cps", cli.str("cps")}});
+    std::cout << "wrote " << cli.str("proof-out") << '\n';
   }
   if (cli.str("write-baseline") != "-") {
     std::ofstream os(cli.str("write-baseline"));
